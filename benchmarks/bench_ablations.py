@@ -1,0 +1,37 @@
+"""A1-A3: ablations of punishment, the RL controller, and the schedule."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import (
+    ablation_markdown,
+    run_punishment_ablation,
+    run_random_ablation,
+    run_schedule_ablation,
+)
+
+
+def test_a1_punishment(benchmark, bundle, scale):
+    rows = run_once(benchmark, lambda: run_punishment_ablation(bundle, scale))
+    print("\n" + ablation_markdown(rows))
+    by_variant = {r.variant: r for r in rows}
+    assert set(by_variant) == {"punishment (paper)", "weak punishment"}
+
+
+def test_a2_controller_vs_random(benchmark, bundle, scale):
+    rows = run_once(benchmark, lambda: run_random_ablation(bundle, scale))
+    print("\n" + ablation_markdown(rows))
+    by_variant = {r.variant: r for r in rows}
+    rl = by_variant["combined (RL)"].best_reward
+    random = by_variant["random"].best_reward
+    # The controller should be competitive with random at any scale
+    # (and better at paper scale).
+    assert rl >= random - 0.02
+
+
+def test_a3_threshold_schedule(benchmark, scale):
+    rows = run_once(benchmark, lambda: run_schedule_ablation(scale))
+    print("\n" + ablation_markdown(rows))
+    assert len(rows) == 2
+    assert all(np.isfinite(r.feasible_rate) for r in rows)

@@ -1,0 +1,18 @@
+"""F4: enumerate the joint space and extract the Pareto frontier."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig4 import run_fig4
+
+
+def test_fig4_pareto_frontier(benchmark, bundle):
+    result = run_once(benchmark, lambda: run_fig4(bundle))
+    print("\n" + result.to_markdown())
+    summary = result.summary()
+    # Paper shapes: the frontier is a vanishing fraction of the space
+    # and diverse in both the cell and the accelerator axes.
+    assert summary["pareto_fraction"] < 1e-3
+    assert summary["num_distinct_cells"] >= 10
+    assert summary["num_distinct_configs"] >= 10
+    # Three-way tradeoff: the frontier spans wide metric ranges.
+    assert summary["accuracy_max"] - summary["accuracy_min"] > 2.0
+    assert summary["area_mm2_max"] / summary["area_mm2_min"] > 1.5

@@ -1,0 +1,25 @@
+"""F6: reward-vs-steps curves per strategy and scenario."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.search_study import run_search_study
+
+
+@pytest.fixture(scope="module")
+def study(bundle, scale):
+    return run_search_study(bundle, scale, master_seed=1)
+
+
+def test_fig6_reward_curves(benchmark, study):
+    result = run_once(benchmark, lambda: run_fig6(study=study))
+    print("\n" + result.to_markdown())
+    finals = result.final_rewards()
+    for scenario, by_strategy in finals.items():
+        for strategy, value in by_strategy.items():
+            assert np.isfinite(value), (scenario, strategy)
+    # Paper shape: the RL strategies end with a positive mean reward in
+    # the unconstrained scenario (rewards are in (0, 1) when feasible).
+    assert finals["unconstrained"]["combined"] > 0.0

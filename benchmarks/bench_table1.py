@@ -1,0 +1,12 @@
+"""T1: regenerate Table I (FPGA block areas, device totals)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table1 import PAPER_TABLE1, run_table1
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, run_table1)
+    print("\n" + result.to_markdown())
+    # Shape checks: our device anchor reproduces the paper's totals.
+    assert abs(result.total_relative - PAPER_TABLE1["total_relative"]) < 200
+    assert abs(result.total_mm2 - PAPER_TABLE1["total_mm2"]) < 2.0

@@ -1,0 +1,13 @@
+"""V-A / V-L: the Section II-C model-validation experiments."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.validation import PAPER_VALIDATION, run_validation
+
+
+def test_validation_experiments(benchmark):
+    result = run_once(benchmark, run_validation)
+    print("\n" + result.to_markdown())
+    summary = result.summary()
+    # See experiments/validation.py for the synthetic-oracle caveat.
+    assert summary["area_mean_error"] < 3 * PAPER_VALIDATION["area_mean_error"]
+    assert summary["latency_accuracy"] > PAPER_VALIDATION["latency_accuracy"] - 0.1

@@ -1,0 +1,30 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints the rows it reports.  Experiment sizing follows ``REPRO_SCALE``
+(smoke / default / paper); benchmarks default to *smoke* so the whole
+suite completes in minutes — set ``REPRO_SCALE=paper`` for
+paper-fidelity runs (10k steps x 10 repeats).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import Scale, load_bundle
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    return Scale.from_env(default="smoke")
+
+
+@pytest.fixture(scope="session")
+def bundle():
+    """The enumerated micro joint space (disk-cached after first build)."""
+    return load_bundle(max_vertices=5)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,49 @@
+"""Quickstart: evaluate one CNN-accelerator pair, then run a short
+codesign search.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.accelerator import AcceleratorConfig, AreaModel, schedule_network
+from repro.core import CodesignEvaluator, JointSearchSpace, unconstrained
+from repro.nasbench import (
+    CIFAR10_SKELETON,
+    CellDatabase,
+    CellEncoding,
+    compile_network,
+    resnet_cell,
+)
+from repro.search import CombinedSearch
+
+
+def main() -> None:
+    # --- 1. One pair: the ResNet cell on a mid-size accelerator -------
+    spec = resnet_cell()
+    config = AcceleratorConfig(filter_par=16, pixel_par=32)
+    ir = compile_network(spec, CIFAR10_SKELETON)
+    latency = schedule_network(ir, config)
+    area = AreaModel().area_mm2(config)
+    print(f"ResNet cell: {ir.total_macs / 1e9:.2f} GMACs, "
+          f"{ir.total_params / 1e6:.2f} M params")
+    print(f"On {config.short_name()}: {latency.latency_ms:.1f} ms, {area:.1f} mm2")
+
+    # --- 2. A short codesign search over the exhaustive micro space ---
+    database = CellDatabase.nasbench_micro()
+    scenario = unconstrained()
+    evaluator = CodesignEvaluator.from_database(database, scenario)
+    space = JointSearchSpace(cell_encoding=CellEncoding(max_vertices=5))
+    search = CombinedSearch(space, seed=0)
+    result = search.run(evaluator, num_steps=300)
+
+    best = result.best
+    print(f"\nSearched 300 points ({result.archive.num_valid} valid).")
+    print(f"Best reward {best.reward:.4f}: "
+          f"acc {best.metrics.accuracy:.2f}%, "
+          f"lat {best.metrics.latency_ms:.1f} ms, "
+          f"area {best.metrics.area_mm2:.1f} mm2")
+    print(f"Cell: {best.spec}")
+    print(f"Accelerator: {best.config.short_name()}")
+
+
+if __name__ == "__main__":
+    main()

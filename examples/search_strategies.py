@@ -1,0 +1,39 @@
+"""Section III workflow: compare combined / phase / separate search
+against the enumerated Pareto frontier (Figs. 5 and 6 in miniature).
+
+Run:  python examples/search_strategies.py
+"""
+
+from repro.experiments import (
+    Scale,
+    load_bundle,
+    run_fig5,
+    run_fig6,
+    run_search_study,
+)
+
+
+def main() -> None:
+    bundle = load_bundle(max_vertices=5)
+    scale = Scale.from_env(default="smoke")
+    print(f"Running the {scale.name}-scale strategy study "
+          f"({scale.search_steps} steps x {scale.num_repeats} repeats "
+          f"x 3 strategies x 3 scenarios) ...")
+    study = run_search_study(bundle, scale, master_seed=0)
+
+    fig5 = run_fig5(study=study)
+    print(fig5.to_markdown())
+
+    fig6 = run_fig6(study=study)
+    print("Final (smoothed) rewards per scenario:")
+    for scenario, by_strategy in fig6.final_rewards().items():
+        summary = ", ".join(f"{s}={v:.3f}" for s, v in by_strategy.items())
+        print(f"  {scenario}: {summary}")
+    print("\nConvergence step (95% of final reward), unconstrained:")
+    for strategy in ("combined", "phase", "separate"):
+        step = fig6.convergence_step("unconstrained", strategy)
+        print(f"  {strategy}: step {step}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only exists
+so that ``pip install -e .`` can fall back to the legacy (non-PEP-517)
+editable install path on offline machines lacking ``bdist_wheel``.
+"""
+
+from setuptools import setup
+
+setup()

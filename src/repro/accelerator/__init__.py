@@ -1,0 +1,61 @@
+"""CHaiDNN-style FPGA accelerator: design space, area & latency models."""
+
+from repro.accelerator.area import BRAM36_BYTES, AreaModel, AreaModelParams
+from repro.accelerator.config import (
+    GENERAL_ENGINE_RATIO,
+    PARAMETER_VALUES,
+    AcceleratorConfig,
+)
+from repro.accelerator.latency import LatencyModel, LatencyModelParams, config_columns
+from repro.accelerator.lut import LatencyLUT, config_key, signature_key
+from repro.accelerator.resources import (
+    RELATIVE_AREA,
+    TILE_AREA_MM2,
+    ZYNQ_ULTRASCALE_PLUS,
+    Device,
+    ResourceVector,
+)
+from repro.accelerator.scheduler import (
+    ENGINES,
+    ScheduleResult,
+    batch_schedule,
+    engine_of,
+    schedule_network,
+)
+from repro.accelerator.space import AcceleratorSpace
+from repro.accelerator.validation import (
+    SyntheticOracle,
+    ValidationReport,
+    validate_area_model,
+    validate_latency_model,
+)
+
+__all__ = [
+    "BRAM36_BYTES",
+    "AreaModel",
+    "AreaModelParams",
+    "GENERAL_ENGINE_RATIO",
+    "PARAMETER_VALUES",
+    "AcceleratorConfig",
+    "LatencyModel",
+    "LatencyModelParams",
+    "config_columns",
+    "LatencyLUT",
+    "config_key",
+    "signature_key",
+    "RELATIVE_AREA",
+    "TILE_AREA_MM2",
+    "ZYNQ_ULTRASCALE_PLUS",
+    "Device",
+    "ResourceVector",
+    "ENGINES",
+    "ScheduleResult",
+    "batch_schedule",
+    "engine_of",
+    "schedule_network",
+    "AcceleratorSpace",
+    "SyntheticOracle",
+    "ValidationReport",
+    "validate_area_model",
+    "validate_latency_model",
+]

@@ -1,0 +1,158 @@
+"""Per-component accelerator area model (paper Section II-C1).
+
+The accelerator is decomposed into its components — convolution
+engine(s), on-chip buffers, pooling engine, memory interface, and the
+fixed base system (DMA, AXI interconnect, control) — and each component
+is modelled by CLB/BRAM/DSP counts as a function of its configuration
+parameters (e.g. the sliding-window buffer inside the convolution
+engine scales with ``pixel_par`` and ``filter_par``).  Resource counts
+convert to silicon mm2 via Table I (:mod:`repro.accelerator.resources`).
+
+All coefficients live in :class:`AreaModelParams`; the defaults are
+calibrated so the 8640-point space spans roughly 55-205 mm2 (the
+paper's Fig. 4 colour scale spans 60-200 mm2) and so the relative cost
+of components (DSP-heavy engines dominating, buffers contributing a
+few-to-tens of mm2) tracks CHaiDNN's reported utilization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.resources import ResourceVector
+
+__all__ = ["AreaModelParams", "AreaModel", "BRAM36_BYTES"]
+
+#: Usable bytes per 36 Kbit block RAM.
+BRAM36_BYTES = 36 * 1024 // 8
+
+
+@dataclass(frozen=True)
+class AreaModelParams:
+    """Calibration constants of the component area models."""
+
+    # Fixed base system: DMAs, AXI interconnect, CPU interface, control.
+    base_clb: float = 8000.0
+    base_bram: float = 48.0
+    base_dsp: float = 12.0
+
+    # Convolution engines.
+    engine_base_clb: float = 700.0          # control FSM + config regs
+    clb_per_dsp: float = 13.0               # accumulators, pipelining
+    window_clb_per_lane: float = 30.0       # 3x3 sliding-window logic
+    engine_bram_per_dsp: float = 1.0 / 8.0  # local weight/partial sums
+    window_bram_per_lane: float = 3.0 / 8.0 # 3-row line buffers
+
+    # On-chip buffers (double-buffered).
+    buffer_base_clb: float = 120.0
+    buffer_clb_per_entry: float = 1.0 / 32.0
+
+    # Pooling engine.
+    pool_base_clb: float = 1500.0
+    pool_clb_per_lane: float = 25.0
+    pool_bram_per_lane: float = 2.0 / 8.0
+
+    # External memory interface.
+    mem_base_clb: float = 1200.0
+    mem_clb_per_bit: float = 4.5
+    mem_bram: float = 8.0
+    mem_bram_per_bit: float = 1.0 / 64.0
+
+
+class AreaModel:
+    """Maps an :class:`AcceleratorConfig` to resources and silicon area."""
+
+    def __init__(self, params: AreaModelParams | None = None) -> None:
+        self.params = params or AreaModelParams()
+
+    # --- components -----------------------------------------------------
+    def base_system(self) -> ResourceVector:
+        p = self.params
+        return ResourceVector(p.base_clb, p.base_bram, p.base_dsp)
+
+    def conv_engines(self, config: AcceleratorConfig) -> ResourceVector:
+        """One general engine, or a 3x3/1x1 specialised pair.
+
+        The 3x3 engine (and the general engine, which must handle 3x3)
+        carries sliding-window line buffers and window logic per pixel
+        lane; the 1x1 engine is plain dot-product lanes and is cheaper
+        per DSP.
+        """
+        p = self.params
+        dsp_3x3, dsp_1x1 = config.dsp_split()
+        lanes_3x3 = dsp_3x3 / config.filter_par
+        total = ResourceVector(
+            clb=p.engine_base_clb + p.clb_per_dsp * dsp_3x3
+            + p.window_clb_per_lane * lanes_3x3,
+            bram36=math.ceil(p.engine_bram_per_dsp * dsp_3x3)
+            + math.ceil(p.window_bram_per_lane * lanes_3x3),
+            dsp=dsp_3x3,
+        )
+        if dsp_1x1 > 0:
+            # The 1x1 engine is plain dot-product lanes (no window
+            # logic) with a mildly simpler datapath per DSP.
+            total = total + ResourceVector(
+                clb=p.engine_base_clb + 0.9 * p.clb_per_dsp * dsp_1x1,
+                bram36=math.ceil(p.engine_bram_per_dsp * dsp_1x1),
+                dsp=dsp_1x1,
+            )
+        return total
+
+    def buffers(self, config: AcceleratorConfig) -> ResourceVector:
+        """Input, weight and output buffers (each double-buffered)."""
+        p = self.params
+        total = ResourceVector()
+        depths = {
+            "input": config.input_buffer_depth,
+            "weight": config.weight_buffer_depth,
+            "output": config.output_buffer_depth,
+        }
+        for name, capacity in config.buffer_bytes().items():
+            bram = 2 * math.ceil(capacity / BRAM36_BYTES)
+            clb = p.buffer_base_clb + p.buffer_clb_per_entry * depths[name]
+            total = total + ResourceVector(clb=clb, bram36=bram)
+        return total
+
+    def pooling_engine(self, config: AcceleratorConfig) -> ResourceVector:
+        if not config.pool_enable:
+            return ResourceVector()
+        p = self.params
+        return ResourceVector(
+            clb=p.pool_base_clb + p.pool_clb_per_lane * config.pixel_par,
+            bram36=math.ceil(p.pool_bram_per_lane * config.pixel_par),
+        )
+
+    def memory_interface(self, config: AcceleratorConfig) -> ResourceVector:
+        p = self.params
+        width = config.mem_interface_width
+        return ResourceVector(
+            clb=p.mem_base_clb + p.mem_clb_per_bit * width,
+            bram36=p.mem_bram + math.ceil(p.mem_bram_per_bit * width),
+        )
+
+    # --- totals -----------------------------------------------------------
+    def resources(self, config: AcceleratorConfig) -> ResourceVector:
+        """Total resource usage of the configured accelerator."""
+        return (
+            self.base_system()
+            + self.conv_engines(config)
+            + self.buffers(config)
+            + self.pooling_engine(config)
+            + self.memory_interface(config)
+        )
+
+    def area_mm2(self, config: AcceleratorConfig) -> float:
+        """Estimated silicon area in mm2 (the paper's area metric)."""
+        return self.resources(config).silicon_area_mm2()
+
+    def breakdown(self, config: AcceleratorConfig) -> dict[str, float]:
+        """Per-component silicon area in mm2."""
+        return {
+            "base_system": self.base_system().silicon_area_mm2(),
+            "conv_engines": self.conv_engines(config).silicon_area_mm2(),
+            "buffers": self.buffers(config).silicon_area_mm2(),
+            "pooling_engine": self.pooling_engine(config).silicon_area_mm2(),
+            "memory_interface": self.memory_interface(config).silicon_area_mm2(),
+        }

@@ -1,0 +1,130 @@
+"""The CHaiDNN-style accelerator configuration (paper Fig. 3).
+
+Eight parameters are searchable; their value sets multiply out to the
+paper's 8640 accelerator variants:
+
+================  ==========================================  =======
+parameter         values                                       count
+================  ==========================================  =======
+filter_par        8, 16                                            2
+pixel_par         4, 8, 16, 32, 64                                 5
+ratio_conv        1, 0.75, 0.67, 0.5, 0.33, 0.25                   6
+input_buffer      1K, 2K, 4K, 8K entries                           4
+weight_buffer     1K, 2K, 4K entries                               3
+output_buffer     1K, 2K, 4K entries                               3
+mem_interface     256, 512 bits                                    2
+pool_enable       off, on                                          2
+================  ==========================================  =======
+
+``ratio_conv_engines == 1`` means a single general convolution engine;
+any smaller value splits the DSP budget between a 3x3-specialised and a
+1x1-specialised engine — the parameter the paper adds to CHaiDNN.  We
+interpret the ratio as the **1x1 engine's share** of the DSP budget:
+the paper's discovered designs (Table III) pick 0.33/0.25 for cells
+whose MAC mix is roughly 60-80% 3x3 convolutions (Fig. 8), which
+matches a 1x1 share of 0.33/0.25 and would be badly mismatched under
+the opposite reading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["AcceleratorConfig", "PARAMETER_VALUES", "GENERAL_ENGINE_RATIO"]
+
+#: Ordered parameter domains (order fixes controller token order).
+PARAMETER_VALUES: dict[str, tuple] = {
+    "filter_par": (8, 16),
+    "pixel_par": (4, 8, 16, 32, 64),
+    "ratio_conv_engines": (1.0, 0.75, 0.67, 0.5, 0.33, 0.25),
+    "input_buffer_depth": (1024, 2048, 4096, 8192),
+    "weight_buffer_depth": (1024, 2048, 4096),
+    "output_buffer_depth": (1024, 2048, 4096),
+    "mem_interface_width": (256, 512),
+    "pool_enable": (False, True),
+}
+
+#: The ratio value selecting the single general-purpose engine.
+GENERAL_ENGINE_RATIO = 1.0
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """One point of the accelerator design space."""
+
+    filter_par: int = 16
+    pixel_par: int = 32
+    ratio_conv_engines: float = 1.0
+    input_buffer_depth: int = 4096
+    weight_buffer_depth: int = 2048
+    output_buffer_depth: int = 2048
+    mem_interface_width: int = 256
+    pool_enable: bool = False
+
+    def __post_init__(self) -> None:
+        for name, values in PARAMETER_VALUES.items():
+            value = getattr(self, name)
+            if value not in values:
+                raise ValueError(
+                    f"{name}={value!r} not in allowed values {values}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def has_dual_engines(self) -> bool:
+        """True when the DSP budget is split between 3x3/1x1 engines."""
+        return self.ratio_conv_engines < GENERAL_ENGINE_RATIO
+
+    @property
+    def total_conv_dsp(self) -> int:
+        """DSP budget of the convolution subsystem."""
+        return self.filter_par * self.pixel_par
+
+    def dsp_split(self) -> tuple[int, int]:
+        """(3x3-engine DSPs, 1x1-engine DSPs).
+
+        With a single general engine all DSPs serve any convolution and
+        the 1x1 share is zero.  With dual engines the 1x1 engine takes
+        ``ratio_conv_engines`` of the budget and the 3x3 engine the
+        remainder, quantized to whole pixel lanes of ``filter_par``
+        DSPs (at least one lane each, so neither engine degenerates).
+        """
+        total = self.total_conv_dsp
+        if not self.has_dual_engines:
+            return total, 0
+        lanes = self.pixel_par
+        lanes_1x1 = min(max(int(round(self.ratio_conv_engines * lanes)), 1), lanes - 1)
+        dsp_1x1 = lanes_1x1 * self.filter_par
+        return total - dsp_1x1, dsp_1x1
+
+    # ------------------------------------------------------------------
+    def buffer_bytes(self) -> dict[str, int]:
+        """Byte capacity of each double-buffered on-chip memory.
+
+        Words are sized to feed the engines at full rate: the input and
+        output buffers hold ``pixel_par`` bytes per entry, the weight
+        buffer ``filter_par`` bytes per entry (8-bit datapath as in
+        CHaiDNN's int8 mode).
+        """
+        return {
+            "input": self.input_buffer_depth * self.pixel_par,
+            "weight": self.weight_buffer_depth * self.filter_par,
+            "output": self.output_buffer_depth * self.pixel_par,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {name: getattr(self, name) for name in PARAMETER_VALUES}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "AcceleratorConfig":
+        return cls(**{name: data[name] for name in PARAMETER_VALUES})
+
+    def short_name(self) -> str:
+        """Compact identifier, e.g. ``f16xp64-r0.33-b4096.2048.4096-m256-p0``."""
+        return (
+            f"f{self.filter_par}xp{self.pixel_par}-r{self.ratio_conv_engines:g}"
+            f"-b{self.input_buffer_depth}.{self.weight_buffer_depth}."
+            f"{self.output_buffer_depth}-m{self.mem_interface_width}"
+            f"-p{int(self.pool_enable)}"
+        )

@@ -1,0 +1,171 @@
+"""Analytical per-operation latency model (paper Section II-C2).
+
+The paper builds a lookup table of measured per-op latencies and runs a
+greedy scheduler over it.  Offline we cannot measure an FPGA, so the
+LUT entries come from this analytical model instead; the inputs (op
+shape, engine parallelism, buffer depths, memory interface width) and
+the consumer (LUT + greedy scheduler) are unchanged.
+
+Per-op duration is the classic roofline-style maximum of
+
+* **compute time** — MAC (or pooling) work divided by the engine's
+  parallelism, with quantization losses when channel/pixel counts do
+  not divide ``filter_par`` / the engine's pixel lanes, and a pipeline
+  efficiency factor; and
+* **memory time** — DDR traffic over the AXI interface, where weights
+  (inputs) are re-streamed when the input (weight) buffer cannot hold
+  the working set, the buffer-induced tiling that makes buffer depths
+  latency-relevant;
+
+plus a fixed per-dispatch overhead (descriptor setup / driver call).
+Operations the accelerator does not support (element-wise glue, global
+pooling, the classifier — and max-pooling when the pooling engine is
+disabled) fall back to the host CPU, as in CHaiDNN.
+
+Everything is implemented over numpy arrays of configuration
+parameters, so computing one op on one accelerator and one op on all
+8640 accelerators share the same code path (and therefore agree
+exactly, which the test suite checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.nasbench import ops as O
+from repro.nasbench.compile import CompiledOp
+
+__all__ = ["LatencyModelParams", "LatencyModel", "config_columns"]
+
+
+@dataclass(frozen=True)
+class LatencyModelParams:
+    """Calibration constants of the latency model."""
+
+    clock_hz: float = 150e6           # effective fabric clock (CHaiDNN
+                                      # runs logic at 125-150 MHz with
+                                      # double-pumped DSPs)
+    compute_efficiency: float = 0.7   # pipeline fill/drain, edge tiles
+    axi_clock_hz: float = 266e6       # memory interface clock
+    mem_efficiency: float = 0.55      # DDR protocol efficiency
+    cpu_elems_per_s: float = 2e9      # host NEON-ish element throughput
+    cpu_macs_per_s: float = 4e9       # host MAC throughput (classifier)
+    accel_op_overhead_s: float = 150e-6   # per-dispatch driver/DMA cost
+    pool_op_overhead_s: float = 100e-6
+    cpu_op_overhead_s: float = 80e-6
+
+
+def config_columns(configs: "AcceleratorConfig | list[AcceleratorConfig] | dict") -> dict[str, np.ndarray]:
+    """Normalize configs into parameter arrays (the vectorized layout).
+
+    Accepts a single config, a list of configs, or an existing
+    column dict (e.g. from :meth:`AcceleratorSpace.columns`).
+    """
+    if isinstance(configs, dict):
+        return {k: np.asarray(v) for k, v in configs.items()}
+    if isinstance(configs, AcceleratorConfig):
+        configs = [configs]
+    names = list(configs[0].to_dict())
+    return {
+        name: np.asarray([getattr(c, name) for c in configs]) for name in names
+    }
+
+
+def _dsp_split_arrays(cols: dict[str, np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :meth:`AcceleratorConfig.dsp_split`."""
+    filter_par = cols["filter_par"].astype(np.float64)
+    lanes = cols["pixel_par"].astype(np.float64)
+    ratio = cols["ratio_conv_engines"].astype(np.float64)
+    total = filter_par * lanes
+    dual = ratio < 1.0
+    lanes_1x1 = np.clip(np.round(ratio * lanes), 1, lanes - 1)
+    dsp_1x1 = np.where(dual, lanes_1x1 * filter_par, 0.0)
+    dsp_3x3 = total - dsp_1x1
+    return dsp_3x3, dsp_1x1
+
+
+class LatencyModel:
+    """Maps (compiled op, accelerator config) to seconds."""
+
+    def __init__(self, params: LatencyModelParams | None = None) -> None:
+        self.params = params or LatencyModelParams()
+
+    # ------------------------------------------------------------------
+    def memory_bandwidth_bytes_per_s(self, cols: dict[str, np.ndarray]) -> np.ndarray:
+        width_bytes = cols["mem_interface_width"].astype(np.float64) / 8.0
+        return width_bytes * self.params.axi_clock_hz * self.params.mem_efficiency
+
+    def _conv_duration(self, op: CompiledOp, cols: dict[str, np.ndarray]) -> np.ndarray:
+        p = self.params
+        filter_par = cols["filter_par"].astype(np.float64)
+        pixel_par = cols["pixel_par"].astype(np.float64)
+        dsp_3x3, dsp_1x1 = _dsp_split_arrays(cols)
+        dual = cols["ratio_conv_engines"].astype(np.float64) < 1.0
+        if O.is_conv3x3_shaped(op.kind):
+            dsp_engine = dsp_3x3
+        else:
+            # 1x1-shaped: own engine when dual, general engine otherwise.
+            dsp_engine = np.where(dual, dsp_1x1, dsp_3x3)
+        pixel_lanes = np.maximum(dsp_engine / filter_par, 1.0)
+
+        k = op.kernel
+        pixels = float(op.out_height * op.out_width)
+        cycles = (
+            k * k * op.in_channels
+            * np.ceil(op.out_channels / filter_par)
+            * np.ceil(pixels / pixel_lanes)
+        ) / p.compute_efficiency
+        compute_s = cycles / p.clock_hz
+
+        # Buffer-induced tiling: weights re-streamed when inputs spill
+        # (and when the output tile spills partial sums), inputs
+        # re-streamed when weights spill.
+        input_buffer = cols["input_buffer_depth"].astype(np.float64) * pixel_par
+        weight_buffer = cols["weight_buffer_depth"].astype(np.float64) * filter_par
+        output_buffer = cols["output_buffer_depth"].astype(np.float64) * pixel_par
+        n_weight_tiles = np.ceil(op.weight_bytes / weight_buffer)
+        n_input_tiles = np.ceil(op.input_bytes / input_buffer)
+        n_output_tiles = np.ceil(op.output_bytes / output_buffer)
+        bytes_total = (
+            op.input_bytes * n_weight_tiles
+            + op.weight_bytes * np.maximum(n_input_tiles, n_output_tiles)
+            + op.output_bytes
+        )
+        memory_s = bytes_total / self.memory_bandwidth_bytes_per_s(cols)
+        return np.maximum(compute_s, memory_s) + p.accel_op_overhead_s
+
+    def _pool_duration(self, op: CompiledOp, cols: dict[str, np.ndarray]) -> np.ndarray:
+        p = self.params
+        pixel_par = cols["pixel_par"].astype(np.float64)
+        pool_enable = cols["pool_enable"].astype(bool)
+        cycles = op.work / (pixel_par * p.compute_efficiency)
+        engine_compute_s = cycles / p.clock_hz
+        engine_mem_s = (op.input_bytes + op.output_bytes) / self.memory_bandwidth_bytes_per_s(cols)
+        engine_s = np.maximum(engine_compute_s, engine_mem_s) + p.pool_op_overhead_s
+        cpu_s = op.work / p.cpu_elems_per_s + p.cpu_op_overhead_s
+        return np.where(pool_enable, engine_s, cpu_s)
+
+    def _cpu_duration(self, op: CompiledOp, cols: dict[str, np.ndarray]) -> np.ndarray:
+        p = self.params
+        if op.kind == O.KIND_DENSE:
+            busy = op.macs / p.cpu_macs_per_s
+        else:
+            busy = op.work / p.cpu_elems_per_s
+        scalar = busy + p.cpu_op_overhead_s
+        return np.full(len(cols["filter_par"]), scalar, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def durations(self, op: CompiledOp, cols: dict[str, np.ndarray]) -> np.ndarray:
+        """Seconds for ``op`` on every config in ``cols`` (vectorized)."""
+        if op.kind in O.CONV_KINDS:
+            return self._conv_duration(op, cols)
+        if op.kind in O.POOL_KINDS:
+            return self._pool_duration(op, cols)
+        return self._cpu_duration(op, cols)
+
+    def op_duration(self, op: CompiledOp, config: AcceleratorConfig) -> float:
+        """Seconds for ``op`` on a single accelerator config."""
+        return float(self.durations(op, config_columns(config))[0])

@@ -1,0 +1,93 @@
+"""Latency lookup table over (operation signature, accelerator config).
+
+The paper measures each of the ~85 unique operation variations of its
+CNN search space on the FPGA and stores the latencies in a lookup table
+consumed by the scheduler.  This module reproduces that workflow with
+the analytical model as the measurement source: a
+:class:`LatencyLUT` is *built* for a set of networks and accelerator
+configs, can be saved/loaded as JSON (like the authors' measured
+table), and is then the scheduler's duration source — so search runs
+never re-evaluate the analytical formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.latency import LatencyModel
+from repro.nasbench.compile import CompiledOp, NetworkIR
+from repro.utils.serialization import dump_json, load_json
+
+__all__ = ["LatencyLUT", "config_key", "signature_key"]
+
+
+def config_key(config: AcceleratorConfig) -> tuple:
+    """Hashable key of the latency-relevant accelerator parameters."""
+    return tuple(config.to_dict().values())
+
+
+def signature_key(op: CompiledOp) -> tuple:
+    """Hashable key of the latency-relevant op shape."""
+    return op.signature()
+
+
+@dataclass
+class LatencyLUT:
+    """Memoized per-op latencies, keyed by (op signature, config)."""
+
+    model: LatencyModel = field(default_factory=LatencyModel)
+    table: dict[tuple, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def get(self, op: CompiledOp, config: AcceleratorConfig) -> float:
+        """Latency in seconds, computing and caching on miss."""
+        key = (signature_key(op), config_key(config))
+        value = self.table.get(key)
+        if value is None:
+            value = self.model.op_duration(op, config)
+            self.table[key] = value
+        return value
+
+    def network_durations(
+        self, ir: NetworkIR, config: AcceleratorConfig
+    ) -> list[float]:
+        """Per-op durations for a whole network (scheduler input)."""
+        return [self.get(op, config) for op in ir.ops]
+
+    def build(self, irs: list[NetworkIR], configs: list[AcceleratorConfig]) -> "LatencyLUT":
+        """Populate the table for every (op, config) pair up front."""
+        for ir in irs:
+            for config in configs:
+                self.network_durations(ir, config)
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def num_entries(self) -> int:
+        return len(self.table)
+
+    def unique_op_signatures(self) -> set[tuple]:
+        """Distinct op variations covered (the paper counts 85)."""
+        return {sig for sig, _ in self.table}
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Serialize the table to JSON."""
+        rows = [
+            {"signature": list(sig), "config": list(cfg), "seconds": seconds}
+            for (sig, cfg), seconds in sorted(self.table.items())
+        ]
+        return dump_json({"entries": rows}, path)
+
+    @classmethod
+    def load(cls, path: str | Path, model: LatencyModel | None = None) -> "LatencyLUT":
+        """Load a table saved by :meth:`save`."""
+        data = load_json(path)
+        table = {}
+        for row in data["entries"]:
+            sig = tuple(row["signature"])
+            cfg = tuple(row["config"])
+            table[(sig, cfg)] = float(row["seconds"])
+        return cls(model=model or LatencyModel(), table=table)

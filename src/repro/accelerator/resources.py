@@ -1,0 +1,102 @@
+"""FPGA resource accounting and silicon-area conversion (Table I).
+
+The paper quantifies accelerator size as estimated silicon area: each
+resource type (CLB, BRAM-36Kbit, DSP) has a relative area in CLBs and a
+tile area in mm2 (Table I, derived for a 20nm Zynq UltraScale+ class
+device from published 40nm data).  The device anchor reproduces the
+table's totals: ~64.9k CLB-equivalents and ~286 mm2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ResourceVector",
+    "RELATIVE_AREA",
+    "TILE_AREA_MM2",
+    "Device",
+    "ZYNQ_ULTRASCALE_PLUS",
+]
+
+#: Relative area in CLB units (Table I, column 2).
+RELATIVE_AREA = {"clb": 1.0, "bram36": 6.0, "dsp": 10.0}
+
+#: Silicon tile area in mm2 (Table I, column 3).
+TILE_AREA_MM2 = {"clb": 0.0044, "bram36": 0.026, "dsp": 0.044}
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """A bundle of FPGA resources: CLBs, 36Kbit BRAMs, DSP slices."""
+
+    clb: float = 0.0
+    bram36: float = 0.0
+    dsp: float = 0.0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.clb + other.clb,
+            self.bram36 + other.bram36,
+            self.dsp + other.dsp,
+        )
+
+    def scale(self, factor: float) -> "ResourceVector":
+        return ResourceVector(self.clb * factor, self.bram36 * factor, self.dsp * factor)
+
+    def relative_area(self) -> float:
+        """Area in CLB-equivalents (Table I relative units)."""
+        return (
+            self.clb * RELATIVE_AREA["clb"]
+            + self.bram36 * RELATIVE_AREA["bram36"]
+            + self.dsp * RELATIVE_AREA["dsp"]
+        )
+
+    def silicon_area_mm2(self) -> float:
+        """Estimated silicon area in mm2 (the paper's area metric)."""
+        return (
+            self.clb * TILE_AREA_MM2["clb"]
+            + self.bram36 * TILE_AREA_MM2["bram36"]
+            + self.dsp * TILE_AREA_MM2["dsp"]
+        )
+
+    def to_dict(self) -> dict[str, float]:
+        return {"clb": self.clb, "bram36": self.bram36, "dsp": self.dsp}
+
+
+@dataclass(frozen=True)
+class Device:
+    """An FPGA device: available resources and identity."""
+
+    name: str
+    resources: ResourceVector
+
+    def total_relative_area(self) -> float:
+        return self.resources.relative_area()
+
+    def total_silicon_area_mm2(self) -> float:
+        return self.resources.silicon_area_mm2()
+
+    def fits(self, used: ResourceVector) -> bool:
+        """True when ``used`` fits within the device."""
+        return (
+            used.clb <= self.resources.clb
+            and used.bram36 <= self.resources.bram36
+            and used.dsp <= self.resources.dsp
+        )
+
+    def utilization(self, used: ResourceVector) -> dict[str, float]:
+        return {
+            "clb": used.clb / self.resources.clb,
+            "bram36": used.bram36 / self.resources.bram36,
+            "dsp": used.dsp / self.resources.dsp,
+        }
+
+
+#: Device anchor for Table I: a ZU9EG-class Zynq UltraScale+ part.
+#: 34,260 CLBs + 912 BRAM36 + 2,520 DSPs = 64,932 CLB-equivalents
+#: (paper: 64,922) and 285.3 mm2 (paper: 286 mm2).
+ZYNQ_ULTRASCALE_PLUS = Device(
+    name="zynq-ultrascale-plus-zu9eg",
+    resources=ResourceVector(clb=34_260, bram36=912, dsp=2_520),
+)

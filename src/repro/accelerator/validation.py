@@ -1,0 +1,123 @@
+"""Model-validation harness (paper Section II-C, the 1.6% / 85% checks).
+
+The paper validates its area model against 10 full FPGA compilations
+(1.6% mean error) and its latency model against on-board runs of the
+GoogLeNet-cell network on 10 accelerator variants (85% accuracy).  No
+FPGA exists offline, so the "measurement" here is a *synthetic oracle*:
+the analytical model perturbed by deterministic, config-seeded noise
+whose magnitude is set from the paper's reported model errors (2% area,
+~18% latency).  The harness therefore cannot *discover* the paper's
+error figures — it reproduces the validation *procedure* and records
+the resulting statistics in EXPERIMENTS.md with that caveat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accelerator.area import AreaModel
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.latency import LatencyModel
+from repro.accelerator.lut import LatencyLUT, config_key
+from repro.accelerator.scheduler import schedule_network
+from repro.accelerator.space import AcceleratorSpace
+from repro.nasbench.compile import NetworkIR
+from repro.utils.rng import hash_seed
+
+__all__ = ["SyntheticOracle", "ValidationReport", "validate_area_model", "validate_latency_model"]
+
+
+@dataclass(frozen=True)
+class SyntheticOracle:
+    """Deterministic stand-in for FPGA compilation / on-board timing."""
+
+    seed: int = 7
+    area_noise_std: float = 0.02
+    latency_noise_std: float = 0.18
+
+    def _factor(self, tag: str, config: AcceleratorConfig, std: float) -> float:
+        rng = np.random.default_rng(hash_seed("oracle", self.seed, tag, config_key(config)))
+        return float(np.exp(rng.normal(0.0, std)))
+
+    def compiled_area_mm2(self, config: AcceleratorConfig, model: AreaModel) -> float:
+        """Area "reported by the FPGA compiler" for ``config``."""
+        return model.area_mm2(config) * self._factor("area", config, self.area_noise_std)
+
+    def measured_latency_s(
+        self, ir: NetworkIR, config: AcceleratorConfig, model: LatencyModel
+    ) -> float:
+        """Latency "measured on the FPGA" for ``ir`` on ``config``."""
+        predicted = schedule_network(ir, config, model).latency_s
+        return predicted * self._factor("latency", config, self.latency_noise_std)
+
+
+@dataclass
+class ValidationReport:
+    """Per-config errors of a model-vs-oracle comparison."""
+
+    predicted: list[float]
+    measured: list[float]
+
+    @property
+    def relative_errors(self) -> np.ndarray:
+        predicted = np.asarray(self.predicted)
+        measured = np.asarray(self.measured)
+        return np.abs(predicted - measured) / measured
+
+    @property
+    def mean_error(self) -> float:
+        return float(self.relative_errors.mean())
+
+    @property
+    def accuracy(self) -> float:
+        """1 - mean relative error (the paper's "85% accurate")."""
+        return 1.0 - self.mean_error
+
+
+def _sample_configs(n: int, seed: int) -> list[AcceleratorConfig]:
+    space = AcceleratorSpace()
+    rng = np.random.default_rng(seed)
+    indices = rng.choice(space.size, size=n, replace=False)
+    return [space.config_at(int(i)) for i in indices]
+
+
+def validate_area_model(
+    n_configs: int = 10,
+    seed: int = 7,
+    area_model: AreaModel | None = None,
+    oracle: SyntheticOracle | None = None,
+) -> ValidationReport:
+    """Reproduce the 10-compilation area validation experiment."""
+    area_model = area_model or AreaModel()
+    oracle = oracle or SyntheticOracle(seed=seed)
+    configs = _sample_configs(n_configs, seed)
+    predicted = [area_model.area_mm2(c) for c in configs]
+    measured = [oracle.compiled_area_mm2(c, area_model) for c in configs]
+    return ValidationReport(predicted, measured)
+
+
+def validate_latency_model(
+    ir: NetworkIR,
+    n_configs: int = 10,
+    seed: int = 7,
+    latency_model: LatencyModel | None = None,
+    oracle: SyntheticOracle | None = None,
+) -> ValidationReport:
+    """Reproduce the 10-variant latency validation experiment.
+
+    The paper uses the GoogLeNet-cell network for this; callers pass
+    the compiled IR (see :func:`repro.nasbench.compile_network`).
+    """
+    latency_model = latency_model or LatencyModel()
+    oracle = oracle or SyntheticOracle(seed=seed)
+    configs = _sample_configs(n_configs, seed)
+    lut = LatencyLUT(model=latency_model)
+    predicted = []
+    measured = []
+    for config in configs:
+        durations = lut.network_durations(ir, config)
+        predicted.append(schedule_network(ir, config, durations=durations).latency_s)
+        measured.append(oracle.measured_latency_s(ir, config, latency_model))
+    return ValidationReport(predicted, measured)

@@ -1,0 +1,143 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table1
+    python -m repro run fig4 --out results/fig4.md
+    python -m repro run fig7 --scale default --seed 1
+    python -m repro run all --scale smoke
+
+Each experiment prints the same rows the paper reports (markdown) and
+can optionally write them to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable
+
+from repro.experiments.ablations import ablation_markdown, run_all_ablations
+from repro.experiments.common import Scale, load_bundle
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.search_study import run_search_study
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.validation import run_validation
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _run_table1(scale: Scale, seed: int) -> str:
+    return run_table1().to_markdown()
+
+
+def _run_validation(scale: Scale, seed: int) -> str:
+    return run_validation(seed=seed or 7).to_markdown()
+
+
+def _run_fig4(scale: Scale, seed: int) -> str:
+    return run_fig4(load_bundle()).to_markdown()
+
+
+def _run_fig5(scale: Scale, seed: int) -> str:
+    study = run_search_study(load_bundle(), scale, master_seed=seed)
+    return run_fig5(study=study).to_markdown()
+
+
+def _run_fig6(scale: Scale, seed: int) -> str:
+    study = run_search_study(load_bundle(), scale, master_seed=seed)
+    return run_fig6(study=study).to_markdown()
+
+
+def _run_fig56(scale: Scale, seed: int) -> str:
+    study = run_search_study(load_bundle(), scale, master_seed=seed)
+    return (
+        run_fig5(study=study).to_markdown()
+        + "\n\n"
+        + run_fig6(study=study).to_markdown()
+    )
+
+
+def _run_fig7(scale: Scale, seed: int) -> str:
+    fig7 = run_fig7(scale=scale, seed=seed)
+    return "\n\n".join(
+        [fig7.to_markdown(), run_table2(fig7).to_markdown(), run_table3(fig7).to_markdown()]
+    )
+
+
+def _run_ablations(scale: Scale, seed: int) -> str:
+    return ablation_markdown(run_all_ablations(load_bundle(), scale))
+
+
+#: Experiment name -> runner returning a markdown report.
+EXPERIMENTS: dict[str, Callable[[Scale, int], str]] = {
+    "table1": _run_table1,
+    "validation": _run_validation,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig5+6": _run_fig56,
+    "fig7": _run_fig7,
+    "ablations": _run_ablations,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Codesign-NAS reproduction: regenerate paper tables/figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    run.add_argument(
+        "--scale",
+        choices=("smoke", "default", "paper"),
+        default=None,
+        help="experiment sizing (defaults to REPRO_SCALE or 'smoke')",
+    )
+    run.add_argument("--seed", type=int, default=0, help="master seed")
+    run.add_argument("--out", type=Path, default=None, help="write report to file")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    if args.scale is not None:
+        scale = {
+            "smoke": Scale("smoke", 300, 1, 0.1),
+            "default": Scale("default", 1500, 3, 0.25),
+            "paper": Scale("paper", 10000, 10, 1.0),
+        }[args.scale]
+    else:
+        scale = Scale.from_env(default="smoke")
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    reports = []
+    for name in names:
+        print(f"== {name} (scale={scale.name}) ==", file=sys.stderr)
+        reports.append(f"## {name}\n\n{EXPERIMENTS[name](scale, args.seed)}")
+    report = "\n\n".join(reports)
+    print(report)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(report + "\n")
+        print(f"\nwritten to {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""Codesign core: metrics, rewards, evaluator, joint space, Pareto tools."""
+
+from repro.core.archive import ArchiveEntry, SearchArchive
+from repro.core.evaluator import CodesignEvaluator, EvaluationResult
+from repro.core.metrics import METRIC_NAMES, Metrics, perf_per_area
+from repro.core.pareto import (
+    ProductParetoResult,
+    pareto_mask_2d,
+    pareto_mask_3d,
+    product_space_pareto,
+)
+from repro.core.reward import (
+    Constraints,
+    MetricBounds,
+    RewardConfig,
+    RewardFunction,
+    RewardResult,
+)
+from repro.core.scenarios import (
+    CIFAR100_THRESHOLD_SCHEDULE,
+    PAPER_SCENARIOS,
+    cifar100_threshold,
+    one_constraint,
+    two_constraints,
+    unconstrained,
+)
+from repro.core.search_space import JointSearchSpace
+
+__all__ = [
+    "ArchiveEntry",
+    "SearchArchive",
+    "CodesignEvaluator",
+    "EvaluationResult",
+    "METRIC_NAMES",
+    "Metrics",
+    "perf_per_area",
+    "ProductParetoResult",
+    "pareto_mask_2d",
+    "pareto_mask_3d",
+    "product_space_pareto",
+    "Constraints",
+    "MetricBounds",
+    "RewardConfig",
+    "RewardFunction",
+    "RewardResult",
+    "CIFAR100_THRESHOLD_SCHEDULE",
+    "PAPER_SCENARIOS",
+    "cifar100_threshold",
+    "one_constraint",
+    "two_constraints",
+    "unconstrained",
+    "JointSearchSpace",
+]

@@ -1,0 +1,128 @@
+"""Search history: every visited point, reward curves, best-so-far.
+
+The paper's analyses need three views of a finished search: the single
+best point (Eq. 2's argmax over the visited trajectory), the top-K
+feasible points (Fig. 5 and Fig. 7 plot top-1/top-10), and the reward
+trace over steps averaged across repeats (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.core.evaluator import EvaluationResult
+from repro.core.metrics import Metrics
+from repro.nasbench.model_spec import ModelSpec
+
+__all__ = ["ArchiveEntry", "SearchArchive"]
+
+
+@dataclass(frozen=True)
+class ArchiveEntry:
+    """One search step."""
+
+    step: int
+    spec: ModelSpec
+    config: AcceleratorConfig
+    metrics: Metrics | None
+    reward: float
+    feasible: bool
+    valid: bool
+    phase: str = ""
+
+
+@dataclass
+class SearchArchive:
+    """Append-only record of a search run."""
+
+    entries: list[ArchiveEntry] = field(default_factory=list)
+
+    def record(self, result: EvaluationResult, phase: str = "") -> ArchiveEntry:
+        entry = ArchiveEntry(
+            step=len(self.entries),
+            spec=result.spec,
+            config=result.config,
+            metrics=result.metrics,
+            reward=result.reward.value,
+            feasible=result.feasible,
+            valid=result.valid,
+            phase=phase,
+        )
+        self.entries.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def num_valid(self) -> int:
+        return sum(1 for e in self.entries if e.valid)
+
+    @property
+    def num_feasible(self) -> int:
+        return sum(1 for e in self.entries if e.feasible)
+
+    def feasible_entries(self) -> list[ArchiveEntry]:
+        return [e for e in self.entries if e.feasible]
+
+    def best(self) -> ArchiveEntry | None:
+        """Highest-reward feasible entry (Eq. 2's s*), if any."""
+        feasible = self.feasible_entries()
+        if not feasible:
+            return None
+        return max(feasible, key=lambda e: e.reward)
+
+    def top_k(self, k: int, dedupe: bool = True) -> list[ArchiveEntry]:
+        """Top-``k`` feasible entries by reward.
+
+        With ``dedupe`` (default) repeated visits to the same
+        (cell, accelerator) pair count once — the paper plots distinct
+        discovered points.
+        """
+        feasible = sorted(self.feasible_entries(), key=lambda e: -e.reward)
+        if not dedupe:
+            return feasible[:k]
+        seen: set[tuple] = set()
+        out: list[ArchiveEntry] = []
+        for entry in feasible:
+            key = (entry.spec.spec_hash(), tuple(entry.config.to_dict().values()))
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(entry)
+            if len(out) == k:
+                break
+        return out
+
+    # ------------------------------------------------------------------
+    def reward_trace(self) -> np.ndarray:
+        """Per-step reward values (punishments included)."""
+        return np.array([e.reward for e in self.entries], dtype=np.float64)
+
+    def best_so_far_trace(self, feasible_only: bool = True) -> np.ndarray:
+        """Running maximum of the reward over steps (Fig. 6 style).
+
+        Steps before the first (feasible) reward hold NaN.
+        """
+        trace = np.full(len(self.entries), np.nan)
+        best = np.nan
+        for i, e in enumerate(self.entries):
+            if (e.feasible or not feasible_only) and (
+                np.isnan(best) or e.reward > best
+            ):
+                best = e.reward
+            trace[i] = best
+        return trace
+
+    def distinct_pairs(self) -> int:
+        """Number of distinct valid (cell, accelerator) pairs visited."""
+        seen = {
+            (e.spec.spec_hash(), tuple(e.config.to_dict().values()))
+            for e in self.entries
+            if e.valid
+        }
+        return len(seen)

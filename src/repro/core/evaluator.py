@@ -1,0 +1,193 @@
+"""The evaluation function ``E(s)`` (paper Fig. 1's Evaluator).
+
+Given a proposed (cell, accelerator) pair the evaluator:
+
+1. rejects invalid cells (the controller's raw tokens may decode to a
+   disconnected or over-budget graph) — these earn the punishment;
+2. reads the cell's accuracy from its accuracy source — a
+   :class:`repro.nasbench.CellDatabase` (the NASBench-style flow of
+   Section III), any callable such as a surrogate or real trainer
+   (the CIFAR-100 flow of Section IV);
+3. compiles the cell and schedules it on the accelerator for latency,
+   and runs the area model — both memoized, since searches revisit
+   configurations frequently;
+4. maps the metric vector through the scenario's reward function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.accelerator.area import AreaModel
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.latency import LatencyModel
+from repro.accelerator.lut import LatencyLUT, config_key
+from repro.accelerator.scheduler import schedule_network
+from repro.core.metrics import Metrics
+from repro.core.reward import RewardConfig, RewardFunction, RewardResult
+from repro.nasbench.compile import compile_cell_ops
+from repro.nasbench.database import CellDatabase
+from repro.nasbench.model_spec import ModelSpec
+from repro.nasbench.skeleton import CIFAR10_SKELETON, SkeletonConfig
+from repro.nasbench.surrogate import Cifar10Surrogate
+
+__all__ = ["EvaluationResult", "CodesignEvaluator"]
+
+#: Accuracy source signature: percent accuracy, or ``None`` for
+#: "this cell is outside the evaluable space" (punished like invalid).
+AccuracyFn = Callable[[ModelSpec], "float | None"]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Everything the search loop needs about one evaluated point."""
+
+    spec: ModelSpec
+    config: AcceleratorConfig
+    metrics: Metrics | None
+    reward: RewardResult
+
+    @property
+    def feasible(self) -> bool:
+        return self.reward.feasible
+
+    @property
+    def valid(self) -> bool:
+        return self.reward.valid
+
+
+class CodesignEvaluator:
+    """Memoized ``E(s)`` over a fixed accuracy source and HW models."""
+
+    def __init__(
+        self,
+        accuracy_fn: AccuracyFn,
+        reward_config: RewardConfig,
+        skeleton: SkeletonConfig = CIFAR10_SKELETON,
+        area_model: AreaModel | None = None,
+        latency_model: LatencyModel | None = None,
+    ) -> None:
+        self.accuracy_fn = accuracy_fn
+        self.reward_fn = RewardFunction(reward_config)
+        self.skeleton = skeleton
+        self.area_model = area_model or AreaModel()
+        self.latency_lut = LatencyLUT(model=latency_model or LatencyModel())
+        self._area_cache: dict[tuple, float] = {}
+        self._latency_cache: dict[tuple, float] = {}
+        self._accuracy_cache: dict[str, float | None] = {}
+        self._latency_table = None
+        self.num_evaluations = 0
+
+    def attach_latency_table(self, latency_ms, row_of_hash, space) -> None:
+        """Serve latencies from a precomputed (cell x config) matrix.
+
+        ``latency_ms`` is (num_cells, space.size); ``row_of_hash`` maps
+        spec hashes to rows.  Pairs outside the table fall back to the
+        on-the-fly scheduler, so attaching a table never changes
+        results — only speed (the batch and scalar paths agree exactly;
+        see ``tests/accelerator/test_scheduler.py``).
+        """
+        self._latency_table = (latency_ms, dict(row_of_hash), space)
+
+    # --- constructors -----------------------------------------------------
+    @classmethod
+    def from_database(
+        cls, database: CellDatabase, reward_config: RewardConfig, **kwargs
+    ) -> "CodesignEvaluator":
+        """NASBench-style evaluator: only database cells are evaluable.
+
+        Cells outside the database receive ``None`` accuracy and are
+        punished — this keeps search and Pareto enumeration over
+        exactly the same space (the database is exhaustive for the
+        micro space, so in that configuration nothing is ever missed).
+        """
+
+        def accuracy_fn(spec: ModelSpec) -> float | None:
+            record = database.get(spec)
+            return None if record is None else record.validation_accuracy
+
+        return cls(accuracy_fn, reward_config, **kwargs)
+
+    @classmethod
+    def from_surrogate(
+        cls,
+        reward_config: RewardConfig,
+        surrogate: Cifar10Surrogate | None = None,
+        **kwargs,
+    ) -> "CodesignEvaluator":
+        """Open-space evaluator: any valid cell is evaluable."""
+        surrogate = surrogate or Cifar10Surrogate()
+        return cls(surrogate.validation_accuracy, reward_config, **kwargs)
+
+    # --- pieces -------------------------------------------------------------
+    def accuracy(self, spec: ModelSpec) -> float | None:
+        if not spec.valid:
+            return None
+        key = spec.spec_hash()
+        if key not in self._accuracy_cache:
+            self._accuracy_cache[key] = self.accuracy_fn(spec)
+        return self._accuracy_cache[key]
+
+    def area_mm2(self, config: AcceleratorConfig) -> float:
+        key = config_key(config)
+        if key not in self._area_cache:
+            self._area_cache[key] = self.area_model.area_mm2(config)
+        return self._area_cache[key]
+
+    def latency_s(self, spec: ModelSpec, config: AcceleratorConfig) -> float:
+        spec_hash = spec.spec_hash()
+        if self._latency_table is not None:
+            latency_ms, row_of_hash, space = self._latency_table
+            row = row_of_hash.get(spec_hash)
+            if row is not None:
+                return float(latency_ms[row, space.index_of(config)]) / 1e3
+        key = (spec_hash, config_key(config))
+        if key not in self._latency_cache:
+            ir = compile_cell_ops(spec, self.skeleton)
+            durations = self.latency_lut.network_durations(ir, config)
+            result = schedule_network(ir, config, durations=durations)
+            self._latency_cache[key] = result.latency_s
+        return self._latency_cache[key]
+
+    def metrics(self, spec: ModelSpec, config: AcceleratorConfig) -> Metrics | None:
+        """Metric vector of a pair, or ``None`` if not evaluable."""
+        if not spec.valid:
+            return None
+        accuracy = self.accuracy(spec)
+        if accuracy is None:
+            return None
+        return Metrics(
+            accuracy=accuracy,
+            latency_s=self.latency_s(spec, config),
+            area_mm2=self.area_mm2(config),
+        )
+
+    # --- E(s) ---------------------------------------------------------------
+    def evaluate(self, spec: ModelSpec, config: AcceleratorConfig) -> EvaluationResult:
+        """Full evaluation: metrics + scenario reward."""
+        self.num_evaluations += 1
+        metrics = self.metrics(spec, config)
+        return EvaluationResult(
+            spec=spec, config=config, metrics=metrics, reward=self.reward_fn(metrics)
+        )
+
+    def with_reward(self, reward_config: RewardConfig) -> "CodesignEvaluator":
+        """Same caches and models under a different scenario.
+
+        Used by the threshold-schedule search (Section IV), which
+        raises the perf/area constraint mid-run without discarding the
+        latency/area memoization.
+        """
+        clone = CodesignEvaluator.__new__(CodesignEvaluator)
+        clone.accuracy_fn = self.accuracy_fn
+        clone.reward_fn = RewardFunction(reward_config)
+        clone.skeleton = self.skeleton
+        clone.area_model = self.area_model
+        clone.latency_lut = self.latency_lut
+        clone._area_cache = self._area_cache
+        clone._latency_cache = self._latency_cache
+        clone._accuracy_cache = self._accuracy_cache
+        clone._latency_table = self._latency_table
+        clone.num_evaluations = 0
+        return clone

@@ -1,0 +1,65 @@
+"""Quality metrics of a CNN-accelerator pair (paper Section II-A).
+
+The paper assesses each pair by three metrics — DNN accuracy,
+accelerator area, and end-to-end latency — and optimizes the vector
+``m = (-area, -latency, accuracy)`` so that "bigger is better" holds in
+every dimension (Eq. 4).  Section IV additionally folds latency and
+area into performance-per-area (img/s/cm2), which is what Table II
+reports; :func:`perf_per_area` reproduces Table II's arithmetic
+(42.0 ms on 186 mm2 -> 12.8 img/s/cm2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Metrics", "METRIC_NAMES", "perf_per_area"]
+
+#: Canonical metric order used by reward weights and thresholds.
+METRIC_NAMES = ("area", "latency", "accuracy")
+
+
+def perf_per_area(latency_s: float | np.ndarray, area_mm2: float | np.ndarray):
+    """Images per second per cm2 of silicon (Section IV's metric)."""
+    throughput = 1.0 / np.asarray(latency_s, dtype=np.float64)
+    area_cm2 = np.asarray(area_mm2, dtype=np.float64) / 100.0
+    result = throughput / area_cm2
+    return float(result) if np.ndim(result) == 0 else result
+
+
+@dataclass(frozen=True)
+class Metrics:
+    """Evaluated metrics of one model-accelerator pair."""
+
+    accuracy: float     # percent, e.g. 93.2
+    latency_s: float    # end-to-end seconds per image
+    area_mm2: float     # accelerator silicon area
+
+    def __post_init__(self) -> None:
+        if self.latency_s <= 0:
+            raise ValueError("latency must be positive")
+        if self.area_mm2 <= 0:
+            raise ValueError("area must be positive")
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_s * 1e3
+
+    @property
+    def perf_per_area(self) -> float:
+        """img/s/cm2, the Section IV efficiency metric."""
+        return perf_per_area(self.latency_s, self.area_mm2)
+
+    def objective_vector(self) -> np.ndarray:
+        """``(-area, -latency_ms, accuracy)`` — maximize everywhere."""
+        return np.array([-self.area_mm2, -self.latency_ms, self.accuracy])
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "accuracy": self.accuracy,
+            "latency_ms": self.latency_ms,
+            "area_mm2": self.area_mm2,
+            "perf_per_area": self.perf_per_area,
+        }

@@ -1,0 +1,198 @@
+"""Multi-objective reward (paper Eq. 3) with epsilon-constraints.
+
+The paper mixes two standard multi-objective approaches: an
+epsilon-constraint filter (points violating any threshold are rejected
+and punished) followed by a weighted sum of linearly normalized
+metrics:
+
+.. math::
+
+    R(m) = w \\cdot N(m), \\qquad m_i \\ge th_i \\; \\forall i
+
+where ``N`` maps each metric from its space-level range to (0, 1).
+Infeasible or structurally invalid points receive the punishment
+``Rv`` — sign-opposed to the reward and scaled with the violation
+distance so the controller is steered away from, not merely blinded
+to, bad regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.metrics import METRIC_NAMES, Metrics
+
+__all__ = ["MetricBounds", "Constraints", "RewardConfig", "RewardResult", "RewardFunction"]
+
+
+@dataclass(frozen=True)
+class MetricBounds:
+    """Space-level metric ranges used by the linear normalizer ``N``.
+
+    Defaults cover the joint space of this reproduction (area
+    ~55-205 mm2, latency ~5-400 ms, accuracy ~85-95.5%); experiments
+    may compute exact ranges with :meth:`from_arrays`.
+    """
+
+    area_mm2: tuple[float, float] = (50.0, 210.0)
+    latency_ms: tuple[float, float] = (5.0, 400.0)
+    accuracy: tuple[float, float] = (85.0, 95.5)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        area_mm2: np.ndarray,
+        latency_ms: np.ndarray,
+        accuracy: np.ndarray,
+    ) -> "MetricBounds":
+        """Exact bounds measured over an enumerated space."""
+        return cls(
+            area_mm2=(float(np.min(area_mm2)), float(np.max(area_mm2))),
+            latency_ms=(float(np.min(latency_ms)), float(np.max(latency_ms))),
+            accuracy=(float(np.min(accuracy)), float(np.max(accuracy))),
+        )
+
+    def normalize(self, metrics: Metrics) -> np.ndarray:
+        """Linear element-wise ``N``: each term in (0,1), bigger=better.
+
+        Area and latency are *costs*, so their normalized value is
+        ``(xmax - x) / (xmax - xmin)`` — equivalent to normalizing the
+        negated metric of Eq. 4.
+        """
+        lo_a, hi_a = self.area_mm2
+        lo_l, hi_l = self.latency_ms
+        lo_c, hi_c = self.accuracy
+        n_area = (hi_a - metrics.area_mm2) / (hi_a - lo_a)
+        n_lat = (hi_l - metrics.latency_ms) / (hi_l - lo_l)
+        n_acc = (metrics.accuracy - lo_c) / (hi_c - lo_c)
+        return np.clip([n_area, n_lat, n_acc], 0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class Constraints:
+    """Epsilon-constraint thresholds in raw metric units.
+
+    ``None`` disables a constraint.  ``max_area_mm2`` / ``max_latency_ms``
+    are upper bounds on costs; ``min_accuracy`` / ``min_perf_per_area``
+    are lower bounds on qualities (the latter is Section IV's combined
+    constraint).
+    """
+
+    max_area_mm2: float | None = None
+    max_latency_ms: float | None = None
+    min_accuracy: float | None = None
+    min_perf_per_area: float | None = None
+
+    def violations(self, metrics: Metrics) -> dict[str, float]:
+        """Relative violation magnitude per failed constraint."""
+        out: dict[str, float] = {}
+        if self.max_area_mm2 is not None and metrics.area_mm2 > self.max_area_mm2:
+            out["area"] = metrics.area_mm2 / self.max_area_mm2 - 1.0
+        if self.max_latency_ms is not None and metrics.latency_ms > self.max_latency_ms:
+            out["latency"] = metrics.latency_ms / self.max_latency_ms - 1.0
+        if self.min_accuracy is not None and metrics.accuracy < self.min_accuracy:
+            out["accuracy"] = 1.0 - metrics.accuracy / self.min_accuracy
+        if self.min_perf_per_area is not None and metrics.perf_per_area < self.min_perf_per_area:
+            out["perf_per_area"] = 1.0 - metrics.perf_per_area / self.min_perf_per_area
+        return out
+
+    def satisfied(self, metrics: Metrics) -> bool:
+        return not self.violations(metrics)
+
+
+@dataclass(frozen=True)
+class RewardConfig:
+    """Weights + constraints + bounds defining one search scenario."""
+
+    weights: tuple[float, float, float] = (1 / 3, 1 / 3, 1 / 3)
+    constraints: Constraints = field(default_factory=Constraints)
+    bounds: MetricBounds = field(default_factory=MetricBounds)
+    punishment_scale: float = 1.0
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if len(self.weights) != len(METRIC_NAMES):
+            raise ValueError(f"weights must have {len(METRIC_NAMES)} entries")
+        if any(w < 0 for w in self.weights):
+            raise ValueError("weights must be non-negative")
+        if self.punishment_scale <= 0:
+            raise ValueError("punishment_scale must be positive")
+
+
+@dataclass(frozen=True)
+class RewardResult:
+    """Reward assigned to one search point."""
+
+    value: float
+    feasible: bool
+    valid: bool
+    violations: dict[str, float] = field(default_factory=dict)
+
+
+class RewardFunction:
+    """Callable implementing Eq. 3 plus the punishment ``Rv``."""
+
+    def __init__(self, config: RewardConfig) -> None:
+        self.config = config
+
+    def __call__(self, metrics: Metrics | None) -> RewardResult:
+        """Reward for ``metrics`` (``None`` marks an invalid spec)."""
+        if metrics is None:
+            return RewardResult(
+                value=-self.config.punishment_scale, feasible=False, valid=False
+            )
+        violations = self.config.constraints.violations(metrics)
+        if violations:
+            return RewardResult(
+                value=self.punishment(violations),
+                feasible=False,
+                valid=True,
+                violations=violations,
+            )
+        weights = np.asarray(self.config.weights, dtype=np.float64)
+        normalized = self.config.bounds.normalize(metrics)
+        return RewardResult(
+            value=float(weights @ normalized), feasible=True, valid=True
+        )
+
+    def punishment(self, violations: dict[str, float]) -> float:
+        """``Rv``: sign-opposed, scaled with mean violation distance."""
+        distance = float(np.mean(list(violations.values())))
+        return -self.config.punishment_scale * min(0.2 + 0.8 * distance, 1.0)
+
+    def reward_array(
+        self,
+        area_mm2: np.ndarray,
+        latency_ms: np.ndarray,
+        accuracy: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized feasible-region reward (NaN where infeasible).
+
+        Used by the Pareto experiments to rank enumerated points by the
+        scenario reward; infeasible points are NaN so callers can mask
+        them out (the punishment value is search-only feedback).
+        """
+        c = self.config.constraints
+        feasible = np.ones(np.shape(area_mm2), dtype=bool)
+        ppa = (1000.0 / latency_ms) / (area_mm2 / 100.0)
+        if c.max_area_mm2 is not None:
+            feasible &= area_mm2 <= c.max_area_mm2
+        if c.max_latency_ms is not None:
+            feasible &= latency_ms <= c.max_latency_ms
+        if c.min_accuracy is not None:
+            feasible &= accuracy >= c.min_accuracy
+        if c.min_perf_per_area is not None:
+            feasible &= ppa >= c.min_perf_per_area
+        b = self.config.bounds
+        n_area = np.clip((b.area_mm2[1] - area_mm2) / (b.area_mm2[1] - b.area_mm2[0]), 0, 1)
+        n_lat = np.clip(
+            (b.latency_ms[1] - latency_ms) / (b.latency_ms[1] - b.latency_ms[0]), 0, 1
+        )
+        n_acc = np.clip(
+            (accuracy - b.accuracy[0]) / (b.accuracy[1] - b.accuracy[0]), 0, 1
+        )
+        w = self.config.weights
+        reward = w[0] * n_area + w[1] * n_lat + w[2] * n_acc
+        return np.where(feasible, reward, np.nan)

@@ -1,0 +1,83 @@
+"""The paper's reward scenarios (Sections III-C and IV-A).
+
+Three NASBench scenarios drive the Fig. 5/6 search-strategy study:
+
+1. **Unconstrained** — no thresholds, weights (0.1, 0.8, 0.1) over
+   (area, latency, accuracy): sweep the space for good points.
+2. **1 Constraint** — latency < 100 ms, weights (0.1, 0, 0.9): a known
+   real-time budget, best accuracy per device size.
+3. **2 Constraints** — accuracy > 92% and area < 100 mm2, optimizing
+   latency alone: a common deployment use-case.
+
+Section IV replaces thresholds on raw metrics with one combined
+perf/area >= threshold constraint while maximizing accuracy;
+:func:`cifar100_threshold` builds those scenarios, and
+:data:`CIFAR100_THRESHOLD_SCHEDULE` is the paper's (2, 8, 16, 30, 40)
+img/s/cm2 ladder.
+"""
+
+from __future__ import annotations
+
+from repro.core.reward import Constraints, MetricBounds, RewardConfig
+
+__all__ = [
+    "unconstrained",
+    "one_constraint",
+    "two_constraints",
+    "cifar100_threshold",
+    "PAPER_SCENARIOS",
+    "CIFAR100_THRESHOLD_SCHEDULE",
+]
+
+
+def unconstrained(bounds: MetricBounds | None = None) -> RewardConfig:
+    """Scenario 1: no constraints, w(area, lat, acc) = (0.1, 0.8, 0.1)."""
+    return RewardConfig(
+        weights=(0.1, 0.8, 0.1),
+        constraints=Constraints(),
+        bounds=bounds or MetricBounds(),
+        name="unconstrained",
+    )
+
+
+def one_constraint(bounds: MetricBounds | None = None) -> RewardConfig:
+    """Scenario 2: latency < 100 ms, w(area, lat, acc) = (0.1, 0, 0.9)."""
+    return RewardConfig(
+        weights=(0.1, 0.0, 0.9),
+        constraints=Constraints(max_latency_ms=100.0),
+        bounds=bounds or MetricBounds(),
+        name="1-constraint",
+    )
+
+
+def two_constraints(bounds: MetricBounds | None = None) -> RewardConfig:
+    """Scenario 3: acc > 92%, area < 100 mm2; optimize latency only."""
+    return RewardConfig(
+        weights=(0.0, 1.0, 0.0),
+        constraints=Constraints(max_area_mm2=100.0, min_accuracy=92.0),
+        bounds=bounds or MetricBounds(),
+        name="2-constraints",
+    )
+
+
+def cifar100_threshold(
+    threshold: float, bounds: MetricBounds | None = None
+) -> RewardConfig:
+    """Section IV scenario: perf/area >= threshold, maximize accuracy."""
+    return RewardConfig(
+        weights=(0.0, 0.0, 1.0),
+        constraints=Constraints(min_perf_per_area=threshold),
+        bounds=bounds or MetricBounds(),
+        name=f"perf-area>={threshold:g}",
+    )
+
+
+#: Scenario name -> constructor, as evaluated in Fig. 5 and Fig. 6.
+PAPER_SCENARIOS = {
+    "unconstrained": unconstrained,
+    "1-constraint": one_constraint,
+    "2-constraints": two_constraints,
+}
+
+#: The gradually increasing perf/area thresholds of Section IV-A.
+CIFAR100_THRESHOLD_SCHEDULE = (2.0, 8.0, 16.0, 30.0, 40.0)

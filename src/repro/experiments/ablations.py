@@ -1,0 +1,175 @@
+"""Ablation studies on the design choices DESIGN.md calls out.
+
+A1 — **punishment function**: the paper feeds constraint violations
+back as a sign-opposed punishment ``Rv``; the ablation weakens it to a
+near-zero constant, removing the gradient away from infeasible
+regions (1-constraint scenario, combined strategy).
+
+A2 — **RL controller vs random search**: the paper's premise is that
+REINFORCE finds good points in fewer steps than chance (unconstrained
+scenario).
+
+A3 — **threshold schedule vs fixed final threshold**: Section IV-A
+reports that gradually raising the perf/area threshold "makes it
+easier for the RL controller to learn the structure of high-accuracy
+CNNs"; the ablation starts at the final threshold directly with the
+same total budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.reward import RewardConfig
+from repro.core.scenarios import one_constraint, unconstrained
+from repro.core.search_space import JointSearchSpace
+from repro.experiments.common import Scale, SpaceBundle, load_bundle
+from repro.experiments.fig7 import CIFAR100_BOUNDS, run_fig7
+from repro.experiments.search_study import make_bundle_evaluator
+from repro.search.combined import CombinedSearch
+from repro.search.random_search import RandomSearch
+from repro.search.threshold_schedule import ThresholdRung, default_rungs
+from repro.utils.rng import hash_seed
+from repro.utils.tables import format_markdown
+
+__all__ = [
+    "AblationRow",
+    "run_punishment_ablation",
+    "run_random_ablation",
+    "run_schedule_ablation",
+    "run_all_ablations",
+]
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One (variant, statistic) comparison row."""
+
+    ablation: str
+    variant: str
+    best_reward: float
+    feasible_rate: float
+    extra: str = ""
+
+
+def _mean_best_reward(
+    scenario: RewardConfig,
+    bundle: SpaceBundle,
+    strategy_cls,
+    steps: int,
+    repeats: int,
+    master_seed: int,
+) -> tuple[float, float]:
+    """(mean best reward, mean feasible fraction) over repeats."""
+    search_space = JointSearchSpace(cell_encoding=bundle.cell_encoding)
+    best_rewards = []
+    feasible_rates = []
+    for repeat in range(repeats):
+        seed = hash_seed("ablation", master_seed, strategy_cls.__name__, repeat)
+        strategy = strategy_cls(search_space, seed=seed)
+        evaluator = make_bundle_evaluator(bundle, scenario)
+        result = strategy.run(evaluator, steps)
+        best = result.best
+        best_rewards.append(best.reward if best is not None else np.nan)
+        feasible_rates.append(result.archive.num_feasible / max(len(result.archive), 1))
+    return float(np.nanmean(best_rewards)), float(np.mean(feasible_rates))
+
+
+def run_punishment_ablation(
+    bundle: SpaceBundle | None = None, scale: Scale | None = None, master_seed: int = 1
+) -> list[AblationRow]:
+    """A1: distance-scaled punishment vs a barely-there constant."""
+    bundle = bundle or load_bundle()
+    scale = scale or Scale.from_env()
+    scenario = one_constraint(bundle.bounds)
+    weak = replace(scenario, punishment_scale=1e-3, name="1-constraint-weak-punish")
+    rows = []
+    for variant, cfg in (("punishment (paper)", scenario), ("weak punishment", weak)):
+        reward, feasible = _mean_best_reward(
+            cfg, bundle, CombinedSearch, scale.search_steps, scale.num_repeats, master_seed
+        )
+        rows.append(AblationRow("A1-punishment", variant, reward, feasible))
+    return rows
+
+
+def run_random_ablation(
+    bundle: SpaceBundle | None = None, scale: Scale | None = None, master_seed: int = 2
+) -> list[AblationRow]:
+    """A2: REINFORCE controller vs uniform random proposals."""
+    bundle = bundle or load_bundle()
+    scale = scale or Scale.from_env()
+    scenario = unconstrained(bundle.bounds)
+    rows = []
+    for variant, cls in (("combined (RL)", CombinedSearch), ("random", RandomSearch)):
+        reward, feasible = _mean_best_reward(
+            cfg := scenario, bundle, cls, scale.search_steps, scale.num_repeats, master_seed
+        )
+        rows.append(AblationRow("A2-controller", variant, reward, feasible))
+    return rows
+
+
+def run_schedule_ablation(
+    scale: Scale | None = None, master_seed: int = 3
+) -> list[AblationRow]:
+    """A3: rising threshold schedule vs jumping straight to the top."""
+    scale = scale or Scale.from_env()
+    base = default_rungs()
+    scheduled = [
+        ThresholdRung(
+            r.threshold,
+            max(10, int(r.target_valid_points * scale.fig7_target_scale)),
+            max(40, int(r.max_steps * scale.fig7_target_scale)),
+        )
+        for r in base
+    ]
+    total_target = sum(r.target_valid_points for r in scheduled)
+    total_steps = sum(r.max_steps for r in scheduled)
+    fixed = [ThresholdRung(base[-1].threshold, total_target, total_steps)]
+
+    rows = []
+    for variant, rungs in (("schedule (paper)", scheduled), ("fixed final threshold", fixed)):
+        fig7 = run_fig7(scale=scale, seed=master_seed, rungs=rungs)
+        final_threshold = base[-1].threshold
+        top_entries = fig7.top10_per_threshold.get(final_threshold, [])
+        best_acc = max(
+            (e.metrics.accuracy for e in top_entries if e.metrics is not None),
+            default=float("nan"),
+        )
+        feasible = sum(
+            len(a.feasible_entries()) for a in fig7.extras["search_result"].extras["per_rung"].values()
+        )
+        rows.append(
+            AblationRow(
+                "A3-schedule",
+                variant,
+                best_reward=best_acc,
+                feasible_rate=feasible / max(fig7.total_steps, 1),
+                extra=f"best accuracy at final threshold {final_threshold:g}",
+            )
+        )
+    return rows
+
+
+def run_all_ablations(
+    bundle: SpaceBundle | None = None, scale: Scale | None = None
+) -> list[AblationRow]:
+    """All three ablations, one row list."""
+    bundle = bundle or load_bundle()
+    scale = scale or Scale.from_env()
+    rows = []
+    rows += run_punishment_ablation(bundle, scale)
+    rows += run_random_ablation(bundle, scale)
+    rows += run_schedule_ablation(scale)
+    return rows
+
+
+def ablation_markdown(rows: list[AblationRow]) -> str:
+    return format_markdown(
+        ["ablation", "variant", "best_reward", "feasible_rate", "note"],
+        [
+            (r.ablation, r.variant, round(r.best_reward, 4), round(r.feasible_rate, 3), r.extra)
+            for r in rows
+        ],
+    )

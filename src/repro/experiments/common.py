@@ -1,0 +1,146 @@
+"""Shared experiment infrastructure: enumeration bundles and scaling.
+
+The Section III experiments all consume the same enumerated joint
+space: the exhaustive micro cell database crossed with the full 8640
+accelerator configurations.  :func:`load_bundle` builds that once —
+accuracy vector, area vector, and the full latency matrix via the
+vectorized scheduler — and caches it in memory and on disk (the matrix
+takes ~1.5 minutes to compute from scratch, milliseconds to reload).
+
+Experiment *scale* is controlled by the ``REPRO_SCALE`` environment
+variable:
+
+=========  =========  ========  ==============================
+scale      steps      repeats   intended use
+=========  =========  ========  ==============================
+smoke      300        1         CI / unit-test speed
+default    1500       3         pytest-benchmark runs
+paper      10000      10        full paper-fidelity runs
+=========  =========  ========  ==============================
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.accelerator.area import AreaModel
+from repro.accelerator.latency import LatencyModel
+from repro.accelerator.scheduler import batch_schedule
+from repro.accelerator.space import AcceleratorSpace
+from repro.core.reward import MetricBounds
+from repro.nasbench.compile import compile_cell_ops
+from repro.nasbench.database import CellDatabase, enumerate_unique_cells
+from repro.nasbench.encoding import CellEncoding
+from repro.nasbench.skeleton import CIFAR10_SKELETON
+
+__all__ = ["Scale", "SpaceBundle", "load_bundle", "default_cache_dir"]
+
+_BUNDLE_MEMO: dict[tuple, "SpaceBundle"] = {}
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Experiment sizing knobs."""
+
+    name: str
+    search_steps: int
+    num_repeats: int
+    fig7_target_scale: float  # multiplies the per-rung valid-point targets
+
+    @classmethod
+    def from_env(cls, default: str = "default") -> "Scale":
+        name = os.environ.get("REPRO_SCALE", default).lower()
+        presets = {
+            "smoke": cls("smoke", 300, 1, 0.1),
+            "default": cls("default", 1500, 3, 0.25),
+            "paper": cls("paper", 10000, 10, 1.0),
+        }
+        if name not in presets:
+            raise ValueError(
+                f"REPRO_SCALE must be one of {sorted(presets)}, got {name!r}"
+            )
+        return presets[name]
+
+
+def default_cache_dir() -> Path:
+    """On-disk cache location (override with ``REPRO_CACHE_DIR``)."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        return Path(root)
+    return Path(__file__).resolve().parents[3] / ".cache" / "repro"
+
+
+@dataclass
+class SpaceBundle:
+    """The enumerated joint space the Section III experiments share."""
+
+    database: CellDatabase
+    cell_encoding: CellEncoding
+    space: AcceleratorSpace
+    accuracy: np.ndarray       # (Nc,) percent
+    area_mm2: np.ndarray       # (8640,)
+    latency_ms: np.ndarray     # (Nc, 8640)
+    bounds: MetricBounds
+
+    @property
+    def num_pairs(self) -> int:
+        return int(self.latency_ms.size)
+
+    def row_of_hash(self) -> dict[str, int]:
+        return {rec.spec_hash: i for i, rec in enumerate(self.database.records)}
+
+    def perf_per_area(self) -> np.ndarray:
+        """(Nc, 8640) img/s/cm2 for every pair."""
+        return (1000.0 / self.latency_ms) / (self.area_mm2[None, :] / 100.0)
+
+
+def load_bundle(
+    max_vertices: int = 5,
+    use_disk_cache: bool = True,
+    cache_dir: Path | None = None,
+) -> SpaceBundle:
+    """Build (or reload) the enumerated micro-space bundle."""
+    key = (max_vertices,)
+    if key in _BUNDLE_MEMO:
+        return _BUNDLE_MEMO[key]
+
+    database = CellDatabase.from_specs(enumerate_unique_cells(max_vertices))
+    space = AcceleratorSpace()
+    area_model = AreaModel()
+    area_mm2 = np.array([area_model.area_mm2(space.config_at(i)) for i in range(space.size)])
+    accuracy = database.accuracies()
+
+    cache_dir = cache_dir or default_cache_dir()
+    cache_file = cache_dir / f"bundle_v{max_vertices}_n{len(database)}_h{space.size}.npz"
+    latency_ms: np.ndarray | None = None
+    if use_disk_cache and cache_file.exists():
+        cached = np.load(cache_file)
+        if cached["latency_ms"].shape == (len(database), space.size):
+            latency_ms = cached["latency_ms"].astype(np.float64)
+    if latency_ms is None:
+        model = LatencyModel()
+        cols = space.columns()
+        latency_ms = np.empty((len(database), space.size), dtype=np.float64)
+        for i, record in enumerate(database.records):
+            ir = compile_cell_ops(record.spec, CIFAR10_SKELETON)
+            latency_ms[i] = batch_schedule(ir, cols, model) * 1e3
+        if use_disk_cache:
+            cache_dir.mkdir(parents=True, exist_ok=True)
+            np.savez_compressed(cache_file, latency_ms=latency_ms.astype(np.float32))
+
+    bounds = MetricBounds.from_arrays(area_mm2, latency_ms, accuracy)
+    bundle = SpaceBundle(
+        database=database,
+        cell_encoding=CellEncoding(max_vertices=max_vertices),
+        space=space,
+        accuracy=accuracy,
+        area_mm2=area_mm2,
+        latency_ms=latency_ms,
+        bounds=bounds,
+    )
+    _BUNDLE_MEMO[key] = bundle
+    return bundle

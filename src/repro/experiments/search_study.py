@@ -1,0 +1,150 @@
+"""The Section III search-strategy study feeding Fig. 5 and Fig. 6.
+
+For each scenario (unconstrained / 1 constraint / 2 constraints) and
+each strategy (combined / phase / separate), run ``num_repeats``
+independent searches over the enumerated micro space and keep the
+archives.  Fig. 5 consumes the per-repeat best points and the top-100
+reward-ranked Pareto points; Fig. 6 consumes the averaged reward
+traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.evaluator import CodesignEvaluator
+from repro.core.reward import RewardConfig, RewardFunction
+from repro.core.scenarios import PAPER_SCENARIOS
+from repro.core.search_space import JointSearchSpace
+from repro.experiments.common import Scale, SpaceBundle, load_bundle
+from repro.search.combined import CombinedSearch
+from repro.search.phase import PhaseSearch
+from repro.search.runner import RepeatOutcome, run_repeats
+from repro.search.separate import SeparateSearch
+
+__all__ = ["SearchStudyResult", "run_search_study", "top_pareto_by_reward", "make_bundle_evaluator"]
+
+STRATEGIES = {
+    "combined": CombinedSearch,
+    "phase": PhaseSearch,
+    "separate": SeparateSearch,
+}
+
+
+def make_bundle_evaluator(
+    bundle: SpaceBundle, scenario: RewardConfig
+) -> CodesignEvaluator:
+    """Database evaluator with the bundle's precomputed latency table."""
+    evaluator = CodesignEvaluator.from_database(bundle.database, scenario)
+    evaluator.attach_latency_table(
+        bundle.latency_ms, bundle.row_of_hash(), bundle.space
+    )
+    return evaluator
+
+
+def top_pareto_by_reward(
+    bundle: SpaceBundle, scenario: RewardConfig, k: int = 100
+) -> list[dict]:
+    """Top-``k`` Pareto-optimal points under a scenario's reward.
+
+    The reference set Fig. 5 plots: Pareto points of the full space,
+    ranked by the experiment's reward function (infeasible Pareto
+    points are excluded, as in the paper).
+    """
+    from repro.core.pareto import product_space_pareto
+
+    front = product_space_pareto(bundle.accuracy, bundle.area_mm2, bundle.latency_ms)
+    reward_fn = RewardFunction(scenario)
+    rewards = reward_fn.reward_array(
+        front.area_mm2, front.latency_ms, front.accuracy
+    )
+    order = np.argsort(-np.nan_to_num(rewards, nan=-np.inf))
+    rows = []
+    for idx in order[:k]:
+        if np.isnan(rewards[idx]):
+            break
+        rows.append(
+            {
+                "reward": float(rewards[idx]),
+                "accuracy": float(front.accuracy[idx]),
+                "latency_ms": float(front.latency_ms[idx]),
+                "area_mm2": float(front.area_mm2[idx]),
+            }
+        )
+    return rows
+
+
+@dataclass
+class SearchStudyResult:
+    """All repeats for every (scenario, strategy) pair."""
+
+    outcomes: dict[str, dict[str, RepeatOutcome]]
+    pareto_top100: dict[str, list[dict]]
+    scale: Scale
+    extras: dict = field(default_factory=dict)
+
+    def best_points_table(self, scenario: str) -> list[tuple]:
+        """Fig. 5 rows: per-repeat best point of each strategy."""
+        rows = []
+        for strategy, outcome in self.outcomes[scenario].items():
+            for entry in outcome.best_entries():
+                m = entry.metrics
+                rows.append(
+                    (
+                        strategy,
+                        round(m.latency_ms, 2),
+                        round(m.accuracy, 2),
+                        round(m.area_mm2, 1),
+                        round(entry.reward, 4),
+                    )
+                )
+        return rows
+
+    def mean_final_rewards(self) -> dict[str, dict[str, float]]:
+        """Scenario -> strategy -> mean best reward over repeats."""
+        return {
+            scenario: {
+                strategy: outcome.mean_best_reward()
+                for strategy, outcome in by_strategy.items()
+            }
+            for scenario, by_strategy in self.outcomes.items()
+        }
+
+
+def run_search_study(
+    bundle: SpaceBundle | None = None,
+    scale: Scale | None = None,
+    scenarios: dict | None = None,
+    strategies: dict | None = None,
+    master_seed: int = 0,
+) -> SearchStudyResult:
+    """Run the full strategy x scenario grid."""
+    bundle = bundle or load_bundle()
+    scale = scale or Scale.from_env()
+    scenarios = scenarios or PAPER_SCENARIOS
+    strategies = strategies or STRATEGIES
+
+    search_space = JointSearchSpace(cell_encoding=bundle.cell_encoding)
+    outcomes: dict[str, dict[str, RepeatOutcome]] = {}
+    pareto_top100: dict[str, list[dict]] = {}
+    for scenario_name, scenario_factory in scenarios.items():
+        scenario = scenario_factory(bundle.bounds)
+        pareto_top100[scenario_name] = top_pareto_by_reward(bundle, scenario)
+        outcomes[scenario_name] = {}
+        evaluator = make_bundle_evaluator(bundle, scenario)
+        for strategy_name, strategy_cls in strategies.items():
+            outcome = run_repeats(
+                strategy_factory=lambda seed, cls=strategy_cls: cls(
+                    search_space, seed=seed
+                ),
+                evaluator_factory=lambda: evaluator.with_reward(scenario),
+                num_steps=scale.search_steps,
+                num_repeats=scale.num_repeats,
+                master_seed=master_seed,
+            )
+            outcomes[scenario_name][strategy_name] = outcome
+    return SearchStudyResult(
+        outcomes=outcomes, pareto_top100=pareto_top100, scale=scale
+    )

@@ -1,0 +1,53 @@
+"""Table I: estimated FPGA block areas for Zynq UltraScale+."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.resources import (
+    RELATIVE_AREA,
+    TILE_AREA_MM2,
+    ZYNQ_ULTRASCALE_PLUS,
+)
+from repro.utils.tables import format_markdown
+
+__all__ = ["Table1Result", "run_table1", "PAPER_TABLE1"]
+
+#: The paper's Table I for comparison in EXPERIMENTS.md.
+PAPER_TABLE1 = {
+    "clb": {"relative": 1.0, "mm2": 0.0044},
+    "bram36": {"relative": 6.0, "mm2": 0.026},
+    "dsp": {"relative": 10.0, "mm2": 0.044},
+    "total_relative": 64_922,
+    "total_mm2": 286.0,
+}
+
+
+@dataclass
+class Table1Result:
+    """Resource rows + device totals."""
+
+    rows: list[tuple]
+    total_relative: float
+    total_mm2: float
+
+    def to_markdown(self) -> str:
+        header = ["Resource", "Relative Area (CLB)", "Tile Area (mm2)"]
+        body = list(self.rows)
+        body.append(("Total", round(self.total_relative), round(self.total_mm2, 1)))
+        return format_markdown(header, body, digits=4)
+
+
+def run_table1() -> Table1Result:
+    """Regenerate Table I from the resource model."""
+    labels = {"clb": "CLB", "bram36": "BRAM - 36 Kbit", "dsp": "DSP"}
+    rows = [
+        (labels[name], RELATIVE_AREA[name], TILE_AREA_MM2[name])
+        for name in ("clb", "bram36", "dsp")
+    ]
+    device = ZYNQ_ULTRASCALE_PLUS
+    return Table1Result(
+        rows=rows,
+        total_relative=device.total_relative_area(),
+        total_mm2=device.total_silicon_area_mm2(),
+    )

@@ -1,0 +1,64 @@
+"""Section II-C validation experiments (the 1.6% / 85% checks).
+
+See :mod:`repro.accelerator.validation` for the synthetic-oracle
+caveat: offline, the oracle's noise level is *set from* the paper's
+reported errors, so these runs demonstrate the validation procedure
+and its statistics, not an independent re-measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.validation import (
+    ValidationReport,
+    validate_area_model,
+    validate_latency_model,
+)
+from repro.nasbench.compile import compile_network
+from repro.nasbench.known_cells import googlenet_cell
+from repro.nasbench.skeleton import CIFAR10_SKELETON
+from repro.utils.tables import format_markdown
+
+__all__ = ["ValidationResult", "run_validation", "PAPER_VALIDATION"]
+
+#: Paper-reported model-validation statistics.
+PAPER_VALIDATION = {"area_mean_error": 0.016, "latency_accuracy": 0.85}
+
+
+@dataclass
+class ValidationResult:
+    """Both validation reports."""
+
+    area: ValidationReport
+    latency: ValidationReport
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "area_mean_error": self.area.mean_error,
+            "latency_accuracy": self.latency.accuracy,
+        }
+
+    def to_markdown(self) -> str:
+        rows = [
+            (
+                "area model (10 compiles)",
+                f"{100 * self.area.mean_error:.1f}% mean error",
+                f"{100 * PAPER_VALIDATION['area_mean_error']:.1f}% mean error",
+            ),
+            (
+                "latency model (GoogLeNet-cell x 10 accelerators)",
+                f"{100 * self.latency.accuracy:.0f}% accuracy",
+                f"{100 * PAPER_VALIDATION['latency_accuracy']:.0f}% accuracy",
+            ),
+        ]
+        return format_markdown(["experiment", "ours", "paper"], rows)
+
+
+def run_validation(n_configs: int = 10, seed: int = 7) -> ValidationResult:
+    """Run both validation experiments as in the paper."""
+    ir = compile_network(googlenet_cell(), CIFAR10_SKELETON)
+    return ValidationResult(
+        area=validate_area_model(n_configs=n_configs, seed=seed),
+        latency=validate_latency_model(ir, n_configs=n_configs, seed=seed),
+    )

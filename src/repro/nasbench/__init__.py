@@ -1,0 +1,53 @@
+"""NASBench-101 CNN search space: specs, compilation, database, surrogate."""
+
+from repro.nasbench.compile import CompiledOp, NetworkIR, compile_cell_ops, compile_network
+from repro.nasbench.database import (
+    CellDatabase,
+    CellRecord,
+    enumerate_unique_cells,
+    sample_unique_cells,
+)
+from repro.nasbench.encoding import CellEncoding
+from repro.nasbench.known_cells import (
+    KNOWN_CELLS,
+    cod1_cell,
+    cod2_cell,
+    googlenet_cell,
+    resnet_cell,
+)
+from repro.nasbench.model_spec import MAX_EDGES, MAX_VERTICES, InvalidSpecError, ModelSpec
+from repro.nasbench.skeleton import (
+    CIFAR10_SKELETON,
+    CIFAR100_SKELETON,
+    SkeletonConfig,
+    compute_vertex_channels,
+)
+from repro.nasbench.surrogate import CellFeatures, Cifar10Surrogate, extract_features
+
+__all__ = [
+    "CompiledOp",
+    "NetworkIR",
+    "compile_cell_ops",
+    "compile_network",
+    "CellDatabase",
+    "CellRecord",
+    "enumerate_unique_cells",
+    "sample_unique_cells",
+    "CellEncoding",
+    "KNOWN_CELLS",
+    "cod1_cell",
+    "cod2_cell",
+    "googlenet_cell",
+    "resnet_cell",
+    "MAX_EDGES",
+    "MAX_VERTICES",
+    "InvalidSpecError",
+    "ModelSpec",
+    "CIFAR10_SKELETON",
+    "CIFAR100_SKELETON",
+    "SkeletonConfig",
+    "compute_vertex_channels",
+    "CellFeatures",
+    "Cifar10Surrogate",
+    "extract_features",
+]

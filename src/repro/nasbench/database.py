@@ -1,0 +1,204 @@
+"""Cell databases: the offline stand-in for NASBench-101's table.
+
+Two constructions are provided:
+
+* :meth:`CellDatabase.nasbench_micro` — the **exhaustive** space of all
+  unique cells with at most 5 vertices (deduplicated by the
+  isomorphism-invariant hash).  Because it is exhaustive, search and
+  enumeration cover exactly the same space, which is what makes the
+  Fig. 4/5/6 comparisons between discovered points and the true Pareto
+  frontier meaningful.
+* :meth:`CellDatabase.nasbench_lite` — micro plus a seeded sample of
+  unique 6/7-vertex cells, for larger-scale experiments.
+
+Every record stores the spec, its features and its surrogate CIFAR-10
+statistics, mirroring the fields the paper reads from NASBench.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nasbench.model_spec import MAX_VERTICES, ModelSpec
+from repro.nasbench.ops import INPUT, INTERIOR_OPS, OUTPUT
+from repro.nasbench.surrogate import CellFeatures, Cifar10Surrogate, extract_features
+from repro.utils.rng import make_rng
+
+__all__ = ["CellRecord", "CellDatabase", "enumerate_unique_cells", "sample_unique_cells"]
+
+
+@dataclass(frozen=True)
+class CellRecord:
+    """One database row: a unique cell and its precomputed statistics."""
+
+    spec: ModelSpec
+    spec_hash: str
+    features: CellFeatures
+    validation_accuracy: float
+    test_accuracy: float
+    training_seconds: float
+
+
+def _all_matrices(num_vertices: int):
+    """Yield every strictly-upper-triangular binary matrix."""
+    pairs = [(i, j) for i in range(num_vertices) for j in range(i + 1, num_vertices)]
+    for bits in itertools.product((0, 1), repeat=len(pairs)):
+        matrix = np.zeros((num_vertices, num_vertices), dtype=np.int8)
+        for (i, j), bit in zip(pairs, bits):
+            matrix[i, j] = bit
+        yield matrix
+
+
+def enumerate_unique_cells(max_vertices: int) -> list[ModelSpec]:
+    """Exhaustively enumerate unique valid cells with <= ``max_vertices``.
+
+    Feasible up to 5 vertices (tens of thousands of raw candidates);
+    raises for larger limits where sampling should be used instead.
+    """
+    if max_vertices > 5:
+        raise ValueError(
+            "exhaustive enumeration is only supported up to 5 vertices; "
+            "use sample_unique_cells for 6-7 vertex cells"
+        )
+    seen: dict[str, ModelSpec] = {}
+    for num_vertices in range(2, max_vertices + 1):
+        op_products = itertools.product(INTERIOR_OPS, repeat=num_vertices - 2)
+        op_choices = [(INPUT, *interior, OUTPUT) for interior in op_products]
+        for matrix in _all_matrices(num_vertices):
+            for ops in op_choices:
+                spec = ModelSpec(matrix, ops)
+                if not spec.valid:
+                    continue
+                seen.setdefault(spec.spec_hash(), spec)
+    return list(seen.values())
+
+
+def sample_unique_cells(
+    n: int,
+    seed: int | np.random.Generator | None = None,
+    min_vertices: int = 6,
+    max_vertices: int = MAX_VERTICES,
+    exclude_hashes: set[str] | None = None,
+    max_tries: int | None = None,
+) -> list[ModelSpec]:
+    """Sample ``n`` unique valid cells with the given vertex range."""
+    rng = make_rng(seed)
+    exclude = set(exclude_hashes or ())
+    found: dict[str, ModelSpec] = {}
+    tries = 0
+    budget = max_tries if max_tries is not None else max(200 * n, 10_000)
+    while len(found) < n and tries < budget:
+        tries += 1
+        num_vertices = int(rng.integers(min_vertices, max_vertices + 1))
+        pair_count = num_vertices * (num_vertices - 1) // 2
+        # Bias edge density toward valid (<=9 edge) graphs.
+        p_edge = min(0.9, 7.0 / pair_count)
+        matrix = np.zeros((num_vertices, num_vertices), dtype=np.int8)
+        for i in range(num_vertices):
+            for j in range(i + 1, num_vertices):
+                matrix[i, j] = 1 if rng.random() < p_edge else 0
+        interior = tuple(
+            INTERIOR_OPS[int(rng.integers(0, len(INTERIOR_OPS)))]
+            for _ in range(num_vertices - 2)
+        )
+        spec = ModelSpec(matrix, (INPUT, *interior, OUTPUT))
+        if not spec.valid or spec.num_vertices < min_vertices:
+            continue
+        h = spec.spec_hash()
+        if h in exclude or h in found:
+            continue
+        found[h] = spec
+    return list(found.values())
+
+
+@dataclass
+class CellDatabase:
+    """A fixed, queryable set of unique cells with surrogate statistics."""
+
+    records: list[CellRecord]
+    surrogate: Cifar10Surrogate
+    _by_hash: dict[str, CellRecord] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._by_hash = {r.spec_hash: r for r in self.records}
+        if len(self._by_hash) != len(self.records):
+            raise ValueError("database contains duplicate cells")
+
+    # --- constructors ---------------------------------------------------
+    @classmethod
+    def from_specs(
+        cls, specs: list[ModelSpec], surrogate: Cifar10Surrogate | None = None
+    ) -> "CellDatabase":
+        surrogate = surrogate or Cifar10Surrogate()
+        records = []
+        seen: set[str] = set()
+        for spec in specs:
+            if not spec.valid:
+                raise ValueError("database specs must be valid")
+            h = spec.spec_hash()
+            if h in seen:
+                continue
+            seen.add(h)
+            records.append(
+                CellRecord(
+                    spec=spec,
+                    spec_hash=h,
+                    features=extract_features(spec),
+                    validation_accuracy=surrogate.validation_accuracy(spec),
+                    test_accuracy=surrogate.test_accuracy(spec),
+                    training_seconds=surrogate.training_seconds(spec),
+                )
+            )
+        return cls(records, surrogate)
+
+    @classmethod
+    def nasbench_micro(
+        cls, surrogate: Cifar10Surrogate | None = None
+    ) -> "CellDatabase":
+        """Exhaustive <=5-vertex space (shared by search and Pareto)."""
+        return cls.from_specs(enumerate_unique_cells(5), surrogate)
+
+    @classmethod
+    def nasbench_lite(
+        cls,
+        extra_cells: int = 2000,
+        seed: int | np.random.Generator | None = None,
+        surrogate: Cifar10Surrogate | None = None,
+    ) -> "CellDatabase":
+        """Micro space plus ``extra_cells`` sampled 6/7-vertex cells."""
+        base = enumerate_unique_cells(5)
+        exclude = {s.spec_hash() for s in base}
+        extra = sample_unique_cells(extra_cells, seed, exclude_hashes=exclude)
+        return cls.from_specs(base + extra, surrogate)
+
+    # --- queries ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __contains__(self, spec: ModelSpec) -> bool:
+        return spec.valid and spec.spec_hash() in self._by_hash
+
+    def get(self, spec: ModelSpec) -> CellRecord | None:
+        """Record for ``spec`` or ``None`` when not in the database."""
+        if not spec.valid:
+            return None
+        return self._by_hash.get(spec.spec_hash())
+
+    def accuracies(self) -> np.ndarray:
+        """Vector of validation accuracies in record order."""
+        return np.array([r.validation_accuracy for r in self.records])
+
+    def stats(self) -> dict[str, float]:
+        acc = self.accuracies()
+        return {
+            "count": float(len(self.records)),
+            "acc_min": float(acc.min()),
+            "acc_mean": float(acc.mean()),
+            "acc_max": float(acc.max()),
+        }

@@ -1,0 +1,122 @@
+"""Controller action-space encoding for cell specs.
+
+The RL controller emits one categorical decision per token.  For a
+cell space with ``max_vertices`` vertices the token sequence is:
+
+* one binary decision per potential edge ``(i, j), i < j`` in row-major
+  order — ``C(max_vertices, 2)`` tokens;
+* one 3-way decision per interior vertex — ``max_vertices - 2`` tokens.
+
+Decoding never fails: specs that violate the search-space rules (too
+many edges, disconnected) simply come back with ``valid == False`` and
+the search assigns them the punishment reward, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.nasbench.model_spec import MAX_VERTICES, ModelSpec
+from repro.nasbench.ops import INPUT, INTERIOR_OPS, OP_INDEX, OUTPUT
+
+__all__ = ["CellEncoding"]
+
+
+@dataclass(frozen=True)
+class CellEncoding:
+    """Bijection between controller action vectors and cell specs."""
+
+    max_vertices: int = MAX_VERTICES
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.max_vertices <= MAX_VERTICES:
+            raise ValueError(
+                f"max_vertices must be in [2, {MAX_VERTICES}], got {self.max_vertices}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def edge_pairs(self) -> list[tuple[int, int]]:
+        """Potential edges in decoding order."""
+        n = self.max_vertices
+        return [(i, j) for i in range(n) for j in range(i + 1, n)]
+
+    @property
+    def num_edge_tokens(self) -> int:
+        return len(self.edge_pairs)
+
+    @property
+    def num_op_tokens(self) -> int:
+        return self.max_vertices - 2
+
+    @property
+    def num_tokens(self) -> int:
+        return self.num_edge_tokens + self.num_op_tokens
+
+    @property
+    def vocab_sizes(self) -> list[int]:
+        """Number of choices per token (2 for edges, 3 for ops)."""
+        return [2] * self.num_edge_tokens + [len(INTERIOR_OPS)] * self.num_op_tokens
+
+    @property
+    def space_size(self) -> int:
+        """Raw (pre-dedup) size of the action space."""
+        size = 1
+        for v in self.vocab_sizes:
+            size *= v
+        return size
+
+    # ------------------------------------------------------------------
+    def decode(self, actions: Sequence[int]) -> ModelSpec:
+        """Turn an action vector into a (possibly invalid) spec."""
+        actions = list(actions)
+        if len(actions) != self.num_tokens:
+            raise ValueError(
+                f"expected {self.num_tokens} actions, got {len(actions)}"
+            )
+        for a, vocab in zip(actions, self.vocab_sizes):
+            if not 0 <= a < vocab:
+                raise ValueError(f"action {a} out of range for vocab {vocab}")
+        n = self.max_vertices
+        matrix = np.zeros((n, n), dtype=np.int8)
+        for (i, j), bit in zip(self.edge_pairs, actions):
+            matrix[i, j] = bit
+        op_choices = actions[self.num_edge_tokens:]
+        ops = (INPUT, *(INTERIOR_OPS[c] for c in op_choices), OUTPUT)
+        return ModelSpec(matrix, ops)
+
+    def encode(self, spec: ModelSpec) -> list[int]:
+        """Action vector for ``spec`` (embedded in the first vertices).
+
+        The pruned spec's vertices map onto vertices
+        ``0..V-2`` plus the final output vertex; interior vertices
+        without a counterpart default to op 0 and stay disconnected, so
+        ``decode(encode(spec))`` prunes back to an isomorphic cell.
+        """
+        if not spec.valid:
+            raise ValueError("cannot encode an invalid spec")
+        v = spec.num_vertices
+        if v > self.max_vertices:
+            raise ValueError(
+                f"spec has {v} vertices but encoding allows {self.max_vertices}"
+            )
+        n = self.max_vertices
+        # Map spec vertex k -> encoded vertex (output goes last).
+        position = {k: k for k in range(v - 1)}
+        position[v - 1] = n - 1
+        edge_bits = {pair: 0 for pair in self.edge_pairs}
+        for i in range(v):
+            for j in range(i + 1, v):
+                if spec.matrix[i, j]:
+                    edge_bits[(position[i], position[j])] = 1
+        op_choices = [0] * self.num_op_tokens
+        for k in range(1, v - 1):
+            op_choices[position[k] - 1] = OP_INDEX[spec.ops[k]]
+        return [edge_bits[pair] for pair in self.edge_pairs] + op_choices
+
+    def random_actions(self, rng: np.random.Generator) -> list[int]:
+        """Uniformly random action vector."""
+        return [int(rng.integers(0, v)) for v in self.vocab_sizes]

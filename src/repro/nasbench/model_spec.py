@@ -1,0 +1,188 @@
+"""The NASBench-101 cell specification.
+
+A :class:`ModelSpec` is an upper-triangular adjacency matrix over at
+most :data:`MAX_VERTICES` vertices plus an operation label per vertex.
+Construction prunes vertices that are not on any input->output path
+(mirroring NASBench-101), after which the search-space validity rules
+apply: at most :data:`MAX_VERTICES` vertices, at most :data:`MAX_EDGES`
+edges, ``input``/``output`` labels at the endpoints, and interior
+labels drawn from :data:`repro.nasbench.ops.INTERIOR_OPS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.nasbench import graph_util
+from repro.nasbench.ops import INPUT, INTERIOR_OPS, OP_INDEX, OUTPUT
+
+__all__ = ["ModelSpec", "MAX_VERTICES", "MAX_EDGES", "InvalidSpecError"]
+
+#: NASBench-101 limits: cells have at most 7 vertices and 9 edges.
+MAX_VERTICES = 7
+MAX_EDGES = 9
+
+
+class InvalidSpecError(ValueError):
+    """Raised when a spec violates the search-space rules."""
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """An immutable, pruned cell specification.
+
+    Parameters
+    ----------
+    original_matrix, original_ops:
+        The spec as proposed (e.g. decoded from controller actions).
+    matrix, ops:
+        The pruned spec actually built/evaluated.  Populated during
+        ``__post_init__``; equal to the originals when nothing prunes.
+    valid:
+        False when pruning disconnects input from output or a rule is
+        violated; invalid specs are never compiled and receive the
+        punishment reward during search.
+    """
+
+    original_matrix: np.ndarray
+    original_ops: tuple[str, ...]
+    matrix: np.ndarray = field(init=False, repr=False)
+    ops: tuple[str, ...] = field(init=False)
+    valid: bool = field(init=False)
+    invalid_reason: str = field(init=False, default="")
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.original_matrix, dtype=np.int8)
+        object.__setattr__(self, "original_matrix", matrix)
+        object.__setattr__(self, "original_ops", tuple(self.original_ops))
+
+        reason = self._structural_problem(matrix, self.original_ops)
+        if reason is not None:
+            self._mark_invalid(matrix, reason)
+            return
+
+        pruned = graph_util.prune(matrix, list(self.original_ops))
+        if pruned is None:
+            self._mark_invalid(matrix, "no input->output path")
+            return
+        pruned_matrix, pruned_ops = pruned
+        if graph_util.num_edges(pruned_matrix) > MAX_EDGES:
+            self._mark_invalid(matrix, f"more than {MAX_EDGES} edges after pruning")
+            return
+        object.__setattr__(self, "matrix", pruned_matrix)
+        object.__setattr__(self, "ops", tuple(pruned_ops))
+        object.__setattr__(self, "valid", True)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _structural_problem(matrix: np.ndarray, ops: tuple[str, ...]) -> str | None:
+        n = matrix.shape[0]
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            return "adjacency matrix must be square"
+        if n < 2:
+            return "need at least input and output vertices"
+        if n > MAX_VERTICES:
+            return f"more than {MAX_VERTICES} vertices"
+        if len(ops) != n:
+            return "ops length must match vertex count"
+        if not graph_util.is_upper_triangular(matrix):
+            return "adjacency matrix must be strictly upper-triangular"
+        if not np.isin(matrix, (0, 1)).all():
+            return "adjacency matrix must be binary"
+        if ops[0] != INPUT:
+            return "first op must be 'input'"
+        if ops[-1] != OUTPUT:
+            return "last op must be 'output'"
+        for op in ops[1:-1]:
+            if op not in INTERIOR_OPS:
+                return f"unknown interior op {op!r}"
+        return None
+
+    def _mark_invalid(self, matrix: np.ndarray, reason: str) -> None:
+        object.__setattr__(self, "matrix", np.zeros((0, 0), dtype=np.int8))
+        object.__setattr__(self, "ops", ())
+        object.__setattr__(self, "valid", False)
+        object.__setattr__(self, "invalid_reason", reason)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Vertex count of the pruned cell (0 when invalid)."""
+        return self.matrix.shape[0] if self.valid else 0
+
+    @property
+    def num_edges(self) -> int:
+        """Edge count of the pruned cell (0 when invalid)."""
+        return graph_util.num_edges(self.matrix) if self.valid else 0
+
+    def op_counts(self) -> dict[str, int]:
+        """Count of each interior op in the pruned cell."""
+        counts = {op: 0 for op in INTERIOR_OPS}
+        for op in self.ops[1:-1]:
+            counts[op] += 1
+        return counts
+
+    def depth(self) -> int:
+        """Vertices on the longest input->output path (>=2 when valid)."""
+        if not self.valid:
+            return 0
+        return graph_util.longest_path_length(self.matrix)
+
+    def has_output_skip(self) -> bool:
+        """True when the input vertex connects directly to the output."""
+        return bool(self.valid and self.matrix[0, -1])
+
+    def spec_hash(self) -> str:
+        """Isomorphism-invariant fingerprint of the pruned cell.
+
+        Labels follow NASBench-101: ``-1`` for input, ``-2`` for output
+        and the canonical op index for interior vertices, so the hash
+        matches across any vertex reordering of the same cell.
+        """
+        if not self.valid:
+            raise InvalidSpecError(f"invalid spec has no hash: {self.invalid_reason}")
+        labeling = [-1] + [OP_INDEX[op] for op in self.ops[1:-1]] + [-2]
+        return graph_util.hash_module(self.matrix, labeling)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (original, unpruned spec)."""
+        return {
+            "matrix": self.original_matrix.astype(int).tolist(),
+            "ops": list(self.original_ops),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ModelSpec":
+        return cls(np.asarray(data["matrix"]), tuple(data["ops"]))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ModelSpec):
+            return NotImplemented
+        if self.valid != other.valid:
+            return False
+        if not self.valid:
+            return (
+                self.original_ops == other.original_ops
+                and np.array_equal(self.original_matrix, other.original_matrix)
+            )
+        return self.ops == other.ops and np.array_equal(self.matrix, other.matrix)
+
+    def __hash__(self) -> int:
+        if self.valid:
+            return hash((self.ops, self.matrix.tobytes()))
+        return hash((self.original_ops, self.original_matrix.tobytes()))
+
+    def __str__(self) -> str:
+        if not self.valid:
+            return f"ModelSpec(invalid: {self.invalid_reason})"
+        edges = [
+            (i, j)
+            for i in range(self.num_vertices)
+            for j in range(self.num_vertices)
+            if self.matrix[i, j]
+        ]
+        return f"ModelSpec(V={self.num_vertices}, E={edges}, ops={list(self.ops)})"

@@ -1,0 +1,93 @@
+"""Operation vocabulary of the NASBench-101 cell search space.
+
+A cell is a DAG whose interior vertices are labelled with one of three
+operations (``conv3x3-bn-relu``, ``conv1x1-bn-relu``, ``maxpool3x3``)
+and whose first/last vertices are the special ``input`` / ``output``
+markers.  When a cell is compiled into a concrete network (see
+:mod:`repro.nasbench.compile`) additional *derived* operations appear:
+1x1 projections on edges leaving the cell input, element-wise additions
+at vertices with fan-in > 1, and the channel concatenation at the cell
+output — exactly the automatic glue NASBench-101 inserts.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "INPUT",
+    "OUTPUT",
+    "CONV3X3",
+    "CONV1X1",
+    "MAXPOOL3X3",
+    "INTERIOR_OPS",
+    "OP_INDEX",
+    "KIND_STEM",
+    "KIND_CONV3X3",
+    "KIND_CONV1X1",
+    "KIND_PROJ1X1",
+    "KIND_MAXPOOL3X3",
+    "KIND_DOWNSAMPLE",
+    "KIND_ADD",
+    "KIND_CONCAT",
+    "KIND_GAP",
+    "KIND_DENSE",
+    "CONV_KINDS",
+    "POOL_KINDS",
+    "GLUE_KINDS",
+]
+
+# --- cell vertex labels (the searchable vocabulary) ---------------------
+INPUT = "input"
+OUTPUT = "output"
+CONV3X3 = "conv3x3-bn-relu"
+CONV1X1 = "conv1x1-bn-relu"
+MAXPOOL3X3 = "maxpool3x3"
+
+#: Operations allowed on interior vertices, in canonical order.
+INTERIOR_OPS = (CONV3X3, CONV1X1, MAXPOOL3X3)
+
+#: Canonical integer index of each interior op (used by encodings and
+#: by the isomorphism-invariant hash labelling).
+OP_INDEX = {op: i for i, op in enumerate(INTERIOR_OPS)}
+
+# --- compiled-op kinds (what the hardware model schedules) --------------
+KIND_STEM = "stem3x3"
+KIND_CONV3X3 = "conv3x3"
+KIND_CONV1X1 = "conv1x1"
+KIND_PROJ1X1 = "proj1x1"
+KIND_MAXPOOL3X3 = "maxpool3x3"
+KIND_DOWNSAMPLE = "maxpool2x2"
+KIND_ADD = "add"
+KIND_CONCAT = "concat"
+KIND_GAP = "global-avg-pool"
+KIND_DENSE = "dense"
+
+#: Kinds executed on a convolution engine.  3x3-shaped kernels go to the
+#: 3x3 engine, 1x1-shaped to the 1x1 engine when the accelerator splits
+#: its DSPs (``ratio_conv_engines < 1``).
+CONV_KINDS = frozenset({KIND_STEM, KIND_CONV3X3, KIND_CONV1X1, KIND_PROJ1X1})
+
+#: Kinds executed on the (optional) pooling engine.
+POOL_KINDS = frozenset({KIND_MAXPOOL3X3, KIND_DOWNSAMPLE})
+
+#: Kinds that always run on the host CPU (unsupported by the
+#: accelerator, as in CHaiDNN).
+GLUE_KINDS = frozenset({KIND_ADD, KIND_CONCAT, KIND_GAP, KIND_DENSE})
+
+
+def kernel_size(kind: str) -> int:
+    """Spatial kernel size of a compiled-op kind (1 for non-spatial)."""
+    if kind in (KIND_STEM, KIND_CONV3X3, KIND_MAXPOOL3X3):
+        return 3
+    if kind == KIND_DOWNSAMPLE:
+        return 2
+    return 1
+
+
+def is_conv3x3_shaped(kind: str) -> bool:
+    """True if the op runs on the 3x3 convolution engine."""
+    return kind in (KIND_STEM, KIND_CONV3X3)
+
+
+def is_conv1x1_shaped(kind: str) -> bool:
+    """True if the op runs on the 1x1 convolution engine."""
+    return kind in (KIND_CONV1X1, KIND_PROJ1X1)

@@ -1,0 +1,126 @@
+"""Network skeleton around a searched cell (NASBench-101, Fig. 2).
+
+The macro-architecture is fixed: a 3x3 convolution stem, three stacks
+of three cells, a 2x2 max-pool downsample between stacks (channels
+double after each downsample), then global average pooling and a fully
+connected classifier.  Only the cell's internals are searched.
+
+Also hosts :func:`compute_vertex_channels`, NASBench-101's channel
+inference: channels of vertices feeding the output split the cell's
+output channel count (the output concatenates them), and other interior
+vertices inherit the maximum channel count of their successors so that
+element-wise additions line up (bigger tensors are truncated on the
+edge, exactly as in the reference implementation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SkeletonConfig", "compute_vertex_channels", "CIFAR10_SKELETON", "CIFAR100_SKELETON"]
+
+
+@dataclass(frozen=True)
+class SkeletonConfig:
+    """Macro-architecture hyper-parameters (NASBench-101 defaults)."""
+
+    input_height: int = 32
+    input_width: int = 32
+    input_channels: int = 3
+    stem_channels: int = 128
+    num_stacks: int = 3
+    cells_per_stack: int = 3
+    num_classes: int = 10
+
+    def __post_init__(self) -> None:
+        for name in ("input_height", "input_width", "input_channels",
+                     "stem_channels", "num_stacks", "cells_per_stack",
+                     "num_classes"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be positive")
+        # Each downsample halves the spatial size; make sure it divides.
+        shrink = 2 ** (self.num_stacks - 1)
+        if self.input_height % shrink or self.input_width % shrink:
+            raise ValueError(
+                f"input {self.input_height}x{self.input_width} not divisible by "
+                f"the {self.num_stacks - 1} downsamples"
+            )
+
+    def stack_channels(self) -> list[int]:
+        """Cell output channels per stack (doubling after downsample)."""
+        return [self.stem_channels * (2**i) for i in range(self.num_stacks)]
+
+    def stack_spatial(self) -> list[tuple[int, int]]:
+        """(height, width) of feature maps per stack."""
+        return [
+            (self.input_height // (2**i), self.input_width // (2**i))
+            for i in range(self.num_stacks)
+        ]
+
+
+#: The skeleton used for all NASBench-101 CIFAR-10 experiments.
+CIFAR10_SKELETON = SkeletonConfig(num_classes=10)
+
+#: Same macro-architecture with a 100-way classifier (Section IV).
+CIFAR100_SKELETON = SkeletonConfig(num_classes=100)
+
+
+def compute_vertex_channels(
+    input_channels: int, output_channels: int, matrix: np.ndarray
+) -> list[int]:
+    """Channel count at each cell vertex (NASBench-101 algorithm).
+
+    ``vertex_channels[v]`` is the number of channels the op at vertex
+    ``v`` consumes and produces.  Vertices with an edge to the output
+    share ``output_channels`` as evenly as possible (the output vertex
+    concatenates them; the first ``output_channels % fan_in`` vertices
+    take one extra channel).  Remaining interior vertices take the max
+    of their successors' channels.  Edges from the input vertex are 1x1
+    projections and are therefore excluded from the split.
+    """
+    num_vertices = matrix.shape[0]
+    if num_vertices < 2:
+        raise ValueError("cell needs at least input and output vertices")
+    vertex_channels = [0] * num_vertices
+    vertex_channels[0] = int(input_channels)
+    vertex_channels[num_vertices - 1] = int(output_channels)
+    if num_vertices == 2:
+        # Input wired straight to output: a single projection.
+        return vertex_channels
+
+    # Fan-in of the output vertex from *interior* vertices only.
+    out_fan_in = int(np.sum(matrix[1:-1, num_vertices - 1]))
+    if out_fan_in == 0:
+        raise ValueError("output vertex has no interior predecessor")
+    interior = output_channels // out_fan_in
+    correction = output_channels % out_fan_in
+
+    for v in range(1, num_vertices - 1):
+        if matrix[v, num_vertices - 1]:
+            vertex_channels[v] = interior
+            if correction:
+                vertex_channels[v] += 1
+                correction -= 1
+
+    # Walk backwards so successors are resolved before predecessors.
+    for v in range(num_vertices - 3, 0, -1):
+        if not matrix[v, num_vertices - 1]:
+            for dst in range(v + 1, num_vertices - 1):
+                if matrix[v, dst]:
+                    vertex_channels[v] = max(vertex_channels[v], vertex_channels[dst])
+        if vertex_channels[v] == 0:
+            raise ValueError(f"vertex {v} has no path to output after pruning")
+
+    # Invariants from the reference implementation.
+    final_fan_in = 0
+    for v in range(1, num_vertices - 1):
+        if matrix[v, num_vertices - 1]:
+            final_fan_in += vertex_channels[v]
+        for dst in range(v + 1, num_vertices - 1):
+            if matrix[v, dst] and vertex_channels[v] < vertex_channels[dst]:
+                raise AssertionError("channels must never increase along interior edges")
+    if final_fan_in != output_channels:
+        raise AssertionError("concatenated channels must equal output channels")
+    return vertex_channels

@@ -1,0 +1,42 @@
+"""Numpy NN substrate: layers, IR-driven networks, training loop."""
+
+from repro.nn.augment import augment_batch
+from repro.nn.builder import build_network
+from repro.nn.conv import Conv2D
+from repro.nn.data import ImageDataset, synthetic_cifar
+from repro.nn.dense import Dense
+from repro.nn.layers import Add, Concat, Flatten, GlobalAvgPool, Layer, ReLU, Truncate
+from repro.nn.loss import SoftmaxCrossEntropy
+from repro.nn.network import IRNetwork
+from repro.nn.norm import BatchNorm2D
+from repro.nn.optim import SGDMomentum
+from repro.nn.pool import MaxPool2x2, MaxPool3x3Same
+from repro.nn.schedule import ConstantLR, CosineDecay
+from repro.nn.trainer import TrainConfig, Trainer, TrainHistory
+
+__all__ = [
+    "augment_batch",
+    "build_network",
+    "Conv2D",
+    "ImageDataset",
+    "synthetic_cifar",
+    "Dense",
+    "Add",
+    "Concat",
+    "Flatten",
+    "GlobalAvgPool",
+    "Layer",
+    "ReLU",
+    "Truncate",
+    "SoftmaxCrossEntropy",
+    "IRNetwork",
+    "BatchNorm2D",
+    "SGDMomentum",
+    "MaxPool2x2",
+    "MaxPool3x3Same",
+    "ConstantLR",
+    "CosineDecay",
+    "TrainConfig",
+    "Trainer",
+    "TrainHistory",
+]

@@ -1,0 +1,31 @@
+"""Standard CIFAR augmentation: pad + random crop, horizontal flip."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["augment_batch"]
+
+
+def augment_batch(
+    images: np.ndarray,
+    rng: np.random.Generator,
+    pad: int = 4,
+    flip_probability: float = 0.5,
+) -> np.ndarray:
+    """Paper Section IV-A: padding, random crop and flipping.
+
+    ``images`` is (B, C, H, W); returns a new array.
+    """
+    b, c, h, w = images.shape
+    padded = np.pad(
+        images, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant"
+    )
+    out = np.empty_like(images)
+    offsets_y = rng.integers(0, 2 * pad + 1, size=b)
+    offsets_x = rng.integers(0, 2 * pad + 1, size=b)
+    flips = rng.random(b) < flip_probability
+    for i in range(b):
+        crop = padded[i, :, offsets_y[i]: offsets_y[i] + h, offsets_x[i]: offsets_x[i] + w]
+        out[i] = crop[:, :, ::-1] if flips[i] else crop
+    return out

@@ -1,0 +1,27 @@
+"""Build a runnable numpy network from a cell spec + skeleton."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nasbench.compile import compile_network
+from repro.nasbench.model_spec import ModelSpec
+from repro.nasbench.skeleton import SkeletonConfig
+from repro.nn.network import IRNetwork
+from repro.utils.rng import make_rng
+
+__all__ = ["build_network"]
+
+
+def build_network(
+    spec: ModelSpec,
+    skeleton: SkeletonConfig,
+    seed: int | np.random.Generator | None = None,
+) -> IRNetwork:
+    """Instantiate the exact network the hardware model schedules.
+
+    Raises :class:`repro.nasbench.InvalidSpecError` for invalid specs,
+    mirroring the evaluator's treatment of unbuildable cells.
+    """
+    ir = compile_network(spec, skeleton)
+    return IRNetwork(ir, make_rng(seed))

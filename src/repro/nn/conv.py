@@ -1,0 +1,61 @@
+"""2D convolution via im2col (NCHW, 'same' padding, no bias).
+
+Biases are omitted because every convolution in the NASBench cell is
+followed by batch normalization, which absorbs them — matching the
+parameter count of :attr:`repro.nasbench.CompiledOp.params`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.tensorops import col2im, im2col, pad_same, unpad_same
+
+__all__ = ["Conv2D"]
+
+
+class Conv2D(Layer):
+    """Stride-1 'same' convolution (the only kind NASBench cells use)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        if kernel % 2 == 0:
+            raise ValueError("Conv2D supports odd kernels only (same padding)")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        fan_in = in_channels * kernel * kernel
+        # He initialization: the cells are ReLU networks.
+        std = np.sqrt(2.0 / fan_in)
+        self.params = {
+            "weight": rng.normal(0.0, std, size=(out_channels, fan_in)),
+        }
+        self.grads = {"weight": np.zeros_like(self.params["weight"])}
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected {self.in_channels} input channels, got {x.shape[1]}"
+            )
+        b, _, h, w = x.shape
+        x_padded = pad_same(x, self.kernel)
+        self._x_padded_shape = x_padded.shape
+        cols = im2col(x_padded, self.kernel)
+        self._cols = cols
+        out = np.einsum("fk,bkp->bfp", self.params["weight"], cols)
+        return out.reshape(b, self.out_channels, h, w)
+
+    def backward(self, dout: np.ndarray) -> list[np.ndarray]:
+        b, f, h, w = dout.shape
+        dout_flat = dout.reshape(b, f, h * w)
+        self.grads["weight"] += np.einsum("bfp,bkp->fk", dout_flat, self._cols)
+        dcols = np.einsum("fk,bfp->bkp", self.params["weight"], dout_flat)
+        dx_padded = col2im(dcols, self._x_padded_shape, self.kernel)
+        return [unpad_same(dx_padded, self.kernel)]

@@ -1,0 +1,33 @@
+"""Fully connected classifier head."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+__all__ = ["Dense"]
+
+
+class Dense(Layer):
+    """Affine layer: (B, in) -> (B, out)."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        bound = np.sqrt(1.0 / in_features)
+        self.params = {
+            "weight": rng.uniform(-bound, bound, size=(in_features, out_features)),
+            "bias": np.zeros(out_features),
+        }
+        self.grads = {k: np.zeros_like(v) for k, v in self.params.items()}
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.params["weight"] + self.params["bias"]
+
+    def backward(self, dout: np.ndarray) -> list[np.ndarray]:
+        self.grads["weight"] += self._x.T @ dout
+        self.grads["bias"] += dout.sum(axis=0)
+        return [dout @ self.params["weight"].T]

@@ -1,0 +1,139 @@
+"""Layer base class and the simple point-wise layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Layer", "ReLU", "Add", "Concat", "Truncate", "GlobalAvgPool", "Flatten"]
+
+
+class Layer:
+    """A differentiable node.
+
+    ``forward`` consumes one array per dependency and caches whatever
+    the backward pass needs; ``backward`` returns one gradient array
+    per input, in the same order.  Parameters/gradients are dicts of
+    numpy arrays; stateless layers leave them empty.
+    """
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+        self.training = True
+
+    def forward(self, *inputs: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dout: np.ndarray) -> list[np.ndarray]:
+        raise NotImplementedError
+
+    def zero_grads(self) -> None:
+        for key in self.grads:
+            self.grads[key][...] = 0.0
+
+    def num_params(self) -> int:
+        return sum(p.size for p in self.params.values())
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, dout: np.ndarray) -> list[np.ndarray]:
+        return [dout * self._mask]
+
+
+class Truncate(Layer):
+    """Channel truncation (NASBench's free interior-edge projection)."""
+
+    def __init__(self, channels: int) -> None:
+        super().__init__()
+        self.channels = channels
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[1] < self.channels:
+            raise ValueError(
+                f"cannot truncate {x.shape[1]} channels up to {self.channels}"
+            )
+        self._in_channels = x.shape[1]
+        return x[:, : self.channels]
+
+    def backward(self, dout: np.ndarray) -> list[np.ndarray]:
+        if self._in_channels == self.channels:
+            return [dout]
+        pad = np.zeros(
+            (dout.shape[0], self._in_channels - self.channels, *dout.shape[2:]),
+            dtype=dout.dtype,
+        )
+        return [np.concatenate([dout, pad], axis=1)]
+
+
+class Add(Layer):
+    """Element-wise sum with channel truncation of each input."""
+
+    def __init__(self, channels: int) -> None:
+        super().__init__()
+        self.channels = channels
+
+    def forward(self, *inputs: np.ndarray) -> np.ndarray:
+        self._in_channels = [x.shape[1] for x in inputs]
+        total = np.zeros_like(inputs[0][:, : self.channels])
+        for x in inputs:
+            total = total + x[:, : self.channels]
+        return total
+
+    def backward(self, dout: np.ndarray) -> list[np.ndarray]:
+        grads = []
+        for c_in in self._in_channels:
+            if c_in == self.channels:
+                grads.append(dout)
+            else:
+                pad = np.zeros(
+                    (dout.shape[0], c_in - self.channels, *dout.shape[2:]),
+                    dtype=dout.dtype,
+                )
+                grads.append(np.concatenate([dout, pad], axis=1))
+        return grads
+
+
+class Concat(Layer):
+    """Channel concatenation (the cell-output merge)."""
+
+    def forward(self, *inputs: np.ndarray) -> np.ndarray:
+        self._splits = [x.shape[1] for x in inputs]
+        return np.concatenate(inputs, axis=1)
+
+    def backward(self, dout: np.ndarray) -> list[np.ndarray]:
+        grads = []
+        start = 0
+        for c in self._splits:
+            grads.append(dout[:, start: start + c])
+            start += c
+        return grads
+
+
+class GlobalAvgPool(Layer):
+    """Mean over the spatial dimensions: (B, C, H, W) -> (B, C)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, dout: np.ndarray) -> list[np.ndarray]:
+        b, c, h, w = self._shape
+        dx = np.broadcast_to(dout[:, :, None, None], self._shape) / (h * w)
+        return [np.ascontiguousarray(dx)]
+
+
+class Flatten(Layer):
+    """(B, ...) -> (B, features)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, dout: np.ndarray) -> list[np.ndarray]:
+        return [dout.reshape(self._shape)]

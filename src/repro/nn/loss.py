@@ -1,0 +1,29 @@
+"""Softmax cross-entropy loss."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rl.functional import log_softmax, softmax
+
+__all__ = ["SoftmaxCrossEntropy"]
+
+
+class SoftmaxCrossEntropy:
+    """Mean cross-entropy over a batch of integer labels."""
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        self._probs = softmax(logits, axis=1)
+        self._labels = labels
+        log_probs = log_softmax(logits, axis=1)
+        return float(-log_probs[np.arange(len(labels)), labels].mean())
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss w.r.t. the logits."""
+        grad = self._probs.copy()
+        grad[np.arange(len(self._labels)), self._labels] -= 1.0
+        return grad / len(self._labels)
+
+    @staticmethod
+    def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+        return float((logits.argmax(axis=1) == labels).mean())

@@ -1,0 +1,132 @@
+"""A runnable network built directly from a compiled :class:`NetworkIR`.
+
+Each IR op becomes a node — a small pipeline of layers (e.g. truncate ->
+conv -> batch-norm -> relu).  The network therefore executes *exactly*
+the graph the hardware model schedules, with NASBench's truncation /
+projection / add / concat semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nasbench import ops as O
+from repro.nasbench.compile import NetworkIR
+from repro.nn.conv import Conv2D
+from repro.nn.dense import Dense
+from repro.nn.layers import Add, Concat, GlobalAvgPool, Layer, ReLU, Truncate
+from repro.nn.norm import BatchNorm2D
+from repro.nn.pool import MaxPool2x2, MaxPool3x3Same
+
+__all__ = ["IRNetwork"]
+
+
+class _Node:
+    """One IR op: an ordered pipeline of layers."""
+
+    def __init__(self, layers: list[Layer], multi_input: bool) -> None:
+        self.layers = layers
+        self.multi_input = multi_input
+
+    def forward(self, inputs: list[np.ndarray]) -> np.ndarray:
+        if self.multi_input:
+            out = self.layers[0].forward(*inputs)
+            rest = self.layers[1:]
+        else:
+            out = inputs[0]
+            rest = self.layers
+        for layer in rest:
+            out = layer.forward(out)
+        return out
+
+    def backward(self, dout: np.ndarray) -> list[np.ndarray]:
+        for layer in reversed(self.layers[1:] if self.multi_input else self.layers):
+            dout = layer.backward(dout)[0]
+        if self.multi_input:
+            return self.layers[0].backward(dout)
+        return [dout]
+
+
+def _conv_block(in_ch: int, out_ch: int, kernel: int, rng: np.random.Generator) -> list[Layer]:
+    return [
+        Truncate(in_ch),
+        Conv2D(in_ch, out_ch, kernel, rng),
+        BatchNorm2D(out_ch),
+        ReLU(),
+    ]
+
+
+class IRNetwork:
+    """Forward/backward over the IR's DAG."""
+
+    def __init__(self, ir: NetworkIR, rng: np.random.Generator) -> None:
+        self.ir = ir
+        self.nodes: list[_Node] = []
+        for op in ir.ops:
+            if op.kind in (O.KIND_STEM, O.KIND_CONV3X3):
+                node = _Node(_conv_block(op.in_channels, op.out_channels, 3, rng), False)
+            elif op.kind in (O.KIND_CONV1X1, O.KIND_PROJ1X1):
+                node = _Node(_conv_block(op.in_channels, op.out_channels, 1, rng), False)
+            elif op.kind == O.KIND_MAXPOOL3X3:
+                node = _Node([Truncate(op.in_channels), MaxPool3x3Same()], False)
+            elif op.kind == O.KIND_DOWNSAMPLE:
+                node = _Node([MaxPool2x2()], False)
+            elif op.kind == O.KIND_ADD:
+                node = _Node([Add(op.in_channels)], True)
+            elif op.kind == O.KIND_CONCAT:
+                node = _Node([Concat()], True)
+            elif op.kind == O.KIND_GAP:
+                node = _Node([GlobalAvgPool()], False)
+            elif op.kind == O.KIND_DENSE:
+                node = _Node([Dense(op.in_channels, op.out_channels, rng)], False)
+            else:  # pragma: no cover - compile emits only known kinds
+                raise ValueError(f"unknown op kind {op.kind}")
+            self.nodes.append(node)
+
+    # ------------------------------------------------------------------
+    def set_training(self, training: bool) -> None:
+        for node in self.nodes:
+            for layer in node.layers:
+                layer.training = training
+
+    def layers(self) -> Iterator[Layer]:
+        for node in self.nodes:
+            yield from node.layers
+
+    def num_params(self) -> int:
+        return sum(layer.num_params() for layer in self.layers())
+
+    def zero_grads(self) -> None:
+        for layer in self.layers():
+            layer.zero_grads()
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the network; ``x`` is (B, C, H, W); returns logits."""
+        outputs: list[np.ndarray | None] = [None] * len(self.nodes)
+        for op, node in zip(self.ir.ops, self.nodes):
+            inputs = [outputs[d] for d in op.deps] if op.deps else [x]
+            outputs[op.index] = node.forward(inputs)  # type: ignore[arg-type]
+        self._num_ops = len(self.nodes)
+        return outputs[-1]  # type: ignore[return-value]
+
+    def backward(self, dlogits: np.ndarray) -> np.ndarray:
+        """Backprop from the classifier; returns grad w.r.t. the input."""
+        douts: dict[int, np.ndarray] = {len(self.nodes) - 1: dlogits}
+        dinput: np.ndarray | None = None
+        for op, node in zip(reversed(self.ir.ops), reversed(self.nodes)):
+            dout = douts.pop(op.index, None)
+            if dout is None:
+                continue
+            dins = node.backward(dout)
+            if op.deps:
+                for dep, din in zip(op.deps, dins):
+                    if dep in douts:
+                        douts[dep] = douts[dep] + din
+                    else:
+                        douts[dep] = din
+            else:
+                dinput = dins[0] if dinput is None else dinput + dins[0]
+        return dinput  # type: ignore[return-value]

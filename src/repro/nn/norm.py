@@ -1,0 +1,70 @@
+"""Batch normalization over (B, H, W) for NCHW feature maps."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+__all__ = ["BatchNorm2D"]
+
+
+class BatchNorm2D(Layer):
+    """Standard batch norm with running statistics for evaluation."""
+
+    def __init__(self, channels: int, momentum: float = 0.9, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        self.params = {
+            "gamma": np.ones(channels),
+            "beta": np.zeros(channels),
+        }
+        self.grads = {
+            "gamma": np.zeros(channels),
+            "beta": np.zeros(channels),
+        }
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[1] != self.channels:
+            raise ValueError(f"expected {self.channels} channels, got {x.shape[1]}")
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        self._x_hat = (x - mean[None, :, None, None]) / np.sqrt(
+            var[None, :, None, None] + self.eps
+        )
+        self._var = var
+        self._n = x.shape[0] * x.shape[2] * x.shape[3]
+        return (
+            self.params["gamma"][None, :, None, None] * self._x_hat
+            + self.params["beta"][None, :, None, None]
+        )
+
+    def backward(self, dout: np.ndarray) -> list[np.ndarray]:
+        gamma = self.params["gamma"]
+        x_hat = self._x_hat
+        self.grads["gamma"] += (dout * x_hat).sum(axis=(0, 2, 3))
+        self.grads["beta"] += dout.sum(axis=(0, 2, 3))
+        dx_hat = dout * gamma[None, :, None, None]
+        if not self.training:
+            dx = dx_hat / np.sqrt(self._var[None, :, None, None] + self.eps)
+            return [dx]
+        n = self._n
+        inv_std = 1.0 / np.sqrt(self._var[None, :, None, None] + self.eps)
+        sum_dx_hat = dx_hat.sum(axis=(0, 2, 3), keepdims=True)
+        sum_dx_hat_xhat = (dx_hat * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+        dx = (inv_std / n) * (n * dx_hat - sum_dx_hat - x_hat * sum_dx_hat_xhat)
+        return [dx]

@@ -1,0 +1,52 @@
+"""SGD with momentum and decoupled weight decay for the NN stack."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.network import IRNetwork
+
+__all__ = ["SGDMomentum"]
+
+
+class SGDMomentum:
+    """The paper's training optimizer: SGD + momentum + weight decay.
+
+    Weight decay is applied to convolution/dense weights only (not to
+    batch-norm scales/shifts or biases), the standard convention.
+    """
+
+    def __init__(
+        self,
+        network: IRNetwork,
+        lr: float = 0.1,
+        momentum: float = 0.9,
+        weight_decay: float = 1e-4,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.network = network
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[int, dict[str, np.ndarray]] = {}
+
+    def step(self) -> None:
+        """Apply one update from accumulated gradients."""
+        for layer_id, layer in enumerate(self.network.layers()):
+            if not layer.params:
+                continue
+            vel = self._velocity.setdefault(layer_id, {})
+            for key, param in layer.params.items():
+                grad = layer.grads[key]
+                if self.weight_decay and key == "weight":
+                    grad = grad + self.weight_decay * param
+                v = vel.get(key)
+                if v is None:
+                    v = np.zeros_like(param)
+                v = self.momentum * v + grad
+                vel[key] = v
+                param -= self.lr * v
+
+    def zero_grads(self) -> None:
+        self.network.zero_grads()

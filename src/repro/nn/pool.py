@@ -1,0 +1,54 @@
+"""Max pooling: 3x3 stride-1 'same' (cell op) and 2x2 stride-2
+(skeleton downsample)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.tensorops import pad_same
+
+__all__ = ["MaxPool3x3Same", "MaxPool2x2"]
+
+
+class MaxPool3x3Same(Layer):
+    """3x3, stride 1, 'same' padding — the NASBench ``maxpool3x3`` op."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        padded = pad_same(x, 3, value=-np.inf)
+        windows = np.lib.stride_tricks.sliding_window_view(padded, (3, 3), axis=(2, 3))
+        # windows: (B, C, H, W, 3, 3)
+        flat = windows.reshape(*windows.shape[:4], 9)
+        self._argmax = flat.argmax(axis=-1)
+        self._x_shape = x.shape
+        return flat.max(axis=-1)
+
+    def backward(self, dout: np.ndarray) -> list[np.ndarray]:
+        b, c, h, w = self._x_shape
+        dx_padded = np.zeros((b, c, h + 2, w + 2), dtype=dout.dtype)
+        ki, kj = np.divmod(self._argmax, 3)
+        bi, ci, hi, wi = np.indices(dout.shape, sparse=False)
+        np.add.at(dx_padded, (bi, ci, hi + ki, wi + kj), dout)
+        return [dx_padded[:, :, 1:-1, 1:-1]]
+
+
+class MaxPool2x2(Layer):
+    """2x2, stride 2 — the skeleton's downsample between stacks."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        b, c, h, w = x.shape
+        if h % 2 or w % 2:
+            raise ValueError("MaxPool2x2 needs even spatial dimensions")
+        blocks = x.reshape(b, c, h // 2, 2, w // 2, 2).transpose(0, 1, 2, 4, 3, 5)
+        flat = blocks.reshape(b, c, h // 2, w // 2, 4)
+        self._argmax = flat.argmax(axis=-1)
+        self._x_shape = x.shape
+        return flat.max(axis=-1)
+
+    def backward(self, dout: np.ndarray) -> list[np.ndarray]:
+        b, c, h, w = self._x_shape
+        dx = np.zeros((b, c, h // 2, w // 2, 4), dtype=dout.dtype)
+        bi, ci, hi, wi = np.indices(dout.shape, sparse=False)
+        dx[bi, ci, hi, wi, self._argmax] = dout
+        dx = dx.reshape(b, c, h // 2, w // 2, 2, 2).transpose(0, 1, 2, 4, 3, 5)
+        return [dx.reshape(b, c, h, w)]

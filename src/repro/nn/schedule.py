@@ -1,0 +1,33 @@
+"""Learning-rate schedules (the paper trains with cosine decay)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CosineDecay", "ConstantLR"]
+
+
+class ConstantLR:
+    """Fixed learning rate."""
+
+    def __init__(self, lr: float) -> None:
+        self.lr = lr
+
+    def __call__(self, step: int) -> float:
+        return self.lr
+
+
+class CosineDecay:
+    """Cosine annealing from ``initial_lr`` to ``final_lr``."""
+
+    def __init__(self, initial_lr: float, total_steps: int, final_lr: float = 0.0) -> None:
+        if total_steps < 1:
+            raise ValueError("total_steps must be positive")
+        self.initial_lr = initial_lr
+        self.final_lr = final_lr
+        self.total_steps = total_steps
+
+    def __call__(self, step: int) -> float:
+        progress = min(max(step, 0), self.total_steps) / self.total_steps
+        cosine = 0.5 * (1.0 + np.cos(np.pi * progress))
+        return self.final_lr + (self.initial_lr - self.final_lr) * cosine

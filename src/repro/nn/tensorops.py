@@ -1,0 +1,57 @@
+"""Low-level tensor helpers for the numpy NN stack (NCHW layout)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["im2col", "col2im", "pad_same", "unpad_same"]
+
+
+def pad_same(x: np.ndarray, kernel: int, value: float = 0.0) -> np.ndarray:
+    """Zero-pad H/W so a stride-1 ``kernel`` conv preserves size."""
+    p = kernel // 2
+    if p == 0:
+        return x
+    return np.pad(
+        x, ((0, 0), (0, 0), (p, p), (p, p)), mode="constant", constant_values=value
+    )
+
+
+def unpad_same(dx: np.ndarray, kernel: int) -> np.ndarray:
+    """Inverse of :func:`pad_same` for gradients."""
+    p = kernel // 2
+    if p == 0:
+        return dx
+    return dx[:, :, p:-p, p:-p]
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int = 1) -> np.ndarray:
+    """Unfold padded ``x`` (B, C, H, W) into (B, C*k*k, OH*OW) columns."""
+    b, c, h, w = x.shape
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kernel, kernel), axis=(2, 3))
+    # windows: (B, C, H-k+1, W-k+1, k, k) -> strided view
+    windows = windows[:, :, ::stride, ::stride, :, :]
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(b, c * kernel * kernel, oh * ow)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int = 1,
+) -> np.ndarray:
+    """Fold (B, C*k*k, OH*OW) columns back into gradients of ``x``."""
+    b, c, h, w = x_shape
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+    dx = np.zeros(x_shape, dtype=cols.dtype)
+    cols = cols.reshape(b, c, kernel, kernel, oh, ow)
+    for ki in range(kernel):
+        for kj in range(kernel):
+            dx[:, :, ki: ki + stride * oh: stride, kj: kj + stride * ow: stride] += (
+                cols[:, :, ki, kj]
+            )
+    return dx

@@ -1,0 +1,107 @@
+"""Training loop for IR networks (the paper's per-sample inner loop).
+
+Matches Section IV-A's recipe in miniature: SGD with momentum, initial
+learning rate 0.1 with cosine decay, weight decay 1e-4, and standard
+augmentation — scaled down to synthetic data and small skeletons so a
+full train fits in seconds of CPU time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.augment import augment_batch
+from repro.nn.data import ImageDataset
+from repro.nn.loss import SoftmaxCrossEntropy
+from repro.nn.network import IRNetwork
+from repro.nn.optim import SGDMomentum
+from repro.nn.schedule import ConstantLR, CosineDecay
+from repro.utils.rng import make_rng
+
+__all__ = ["TrainConfig", "TrainHistory", "Trainer"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyper-parameters mirroring the paper's recipe (Section IV-A)."""
+
+    epochs: int = 4
+    batch_size: int = 32
+    learning_rate: float = 0.1
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    cosine_decay: bool = True
+    augment: bool = True
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch statistics."""
+
+    train_loss: list[float] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    test_accuracy: list[float] = field(default_factory=list)
+
+
+class Trainer:
+    """Train an :class:`IRNetwork` on an :class:`ImageDataset`."""
+
+    def __init__(
+        self,
+        network: IRNetwork,
+        config: TrainConfig | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.network = network
+        self.config = config or TrainConfig()
+        self.rng = make_rng(seed)
+        self.loss = SoftmaxCrossEntropy()
+        self.optimizer = SGDMomentum(
+            network,
+            lr=self.config.learning_rate,
+            momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+        )
+
+    def fit(self, train: ImageDataset, test: ImageDataset | None = None) -> TrainHistory:
+        cfg = self.config
+        steps_per_epoch = max(1, (len(train) + cfg.batch_size - 1) // cfg.batch_size)
+        schedule = (
+            CosineDecay(cfg.learning_rate, cfg.epochs * steps_per_epoch)
+            if cfg.cosine_decay
+            else ConstantLR(cfg.learning_rate)
+        )
+        history = TrainHistory()
+        step = 0
+        for _ in range(cfg.epochs):
+            self.network.set_training(True)
+            losses = []
+            accuracies = []
+            for images, labels in train.batches(cfg.batch_size, self.rng):
+                if cfg.augment:
+                    images = augment_batch(images, self.rng)
+                self.optimizer.lr = schedule(step)
+                self.optimizer.zero_grads()
+                logits = self.network.forward(images)
+                losses.append(self.loss.forward(logits, labels))
+                accuracies.append(self.loss.accuracy(logits, labels))
+                self.network.backward(self.loss.backward())
+                self.optimizer.step()
+                step += 1
+            history.train_loss.append(float(np.mean(losses)))
+            history.train_accuracy.append(float(np.mean(accuracies)))
+            if test is not None:
+                history.test_accuracy.append(self.evaluate(test))
+        return history
+
+    def evaluate(self, dataset: ImageDataset, batch_size: int = 64) -> float:
+        """Accuracy (fraction) on ``dataset`` in evaluation mode."""
+        self.network.set_training(False)
+        correct = 0
+        for images, labels in dataset.batches(batch_size):
+            logits = self.network.forward(images)
+            correct += int((logits.argmax(axis=1) == labels).sum())
+        self.network.set_training(True)
+        return correct / len(dataset)

@@ -1,0 +1,31 @@
+"""Numpy RL stack: LSTM controller, sequential policy, REINFORCE."""
+
+from repro.rl.functional import entropy, log_softmax, one_hot, sigmoid, softmax, xavier_uniform
+from repro.rl.gradcheck import max_relative_error, numeric_gradients, policy_loss
+from repro.rl.lstm import LSTMCache, LSTMCell, LSTMState
+from repro.rl.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.rl.policy import PolicySample, SequencePolicy
+from repro.rl.reinforce import ReinforceConfig, ReinforceTrainer
+
+__all__ = [
+    "entropy",
+    "log_softmax",
+    "one_hot",
+    "sigmoid",
+    "softmax",
+    "xavier_uniform",
+    "max_relative_error",
+    "numeric_gradients",
+    "policy_loss",
+    "LSTMCache",
+    "LSTMCell",
+    "LSTMState",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "clip_grad_norm",
+    "PolicySample",
+    "SequencePolicy",
+    "ReinforceConfig",
+    "ReinforceTrainer",
+]

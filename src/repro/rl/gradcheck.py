@@ -1,0 +1,90 @@
+"""Finite-difference gradient checking for the numpy RL stack.
+
+The REINFORCE loss for a *fixed* action sequence is a deterministic
+differentiable function of the policy parameters:
+
+``L(theta) = -(advantage * log pi_theta(a) + beta * H_theta(a))``
+
+so analytic gradients from :meth:`SequencePolicy.backward` can be
+verified against central differences.  Used by the property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rl.functional import entropy, log_softmax, softmax
+from repro.rl.lstm import LSTMState
+from repro.rl.policy import SequencePolicy
+
+__all__ = ["policy_loss", "numeric_gradients", "max_relative_error"]
+
+
+def policy_loss(
+    policy: SequencePolicy,
+    actions: list[int],
+    advantage: float,
+    entropy_beta: float = 0.0,
+    token_mask: list[bool] | None = None,
+) -> float:
+    """The scalar REINFORCE loss for a fixed action sequence."""
+    state = LSTMState.zeros(1, policy.hidden_size)
+    prev: int | None = None
+    log_prob = 0.0
+    total_entropy = 0.0
+    for t, action in enumerate(actions):
+        x = policy._step_input(t, prev)
+        state, _ = policy.cell.forward(x, state)
+        logits = state.h @ policy.params[f"head_w{t}"] + policy.params[f"head_b{t}"]
+        frozen = token_mask is not None and not token_mask[t]
+        if not frozen:
+            log_prob += float(log_softmax(logits[0])[action])
+            total_entropy += float(entropy(softmax(logits[0])))
+        prev = action
+    return -(advantage * log_prob + entropy_beta * total_entropy)
+
+
+def numeric_gradients(
+    policy: SequencePolicy,
+    actions: list[int],
+    advantage: float,
+    entropy_beta: float = 0.0,
+    token_mask: list[bool] | None = None,
+    epsilon: float = 1e-5,
+    max_entries_per_param: int = 8,
+    rng: np.random.Generator | None = None,
+) -> dict[str, dict[tuple, float]]:
+    """Central-difference gradients on a random subset of entries."""
+    rng = rng or np.random.default_rng(0)
+    params = policy.all_params()
+    out: dict[str, dict[tuple, float]] = {}
+    for name, array in params.items():
+        flat_indices = rng.choice(
+            array.size, size=min(max_entries_per_param, array.size), replace=False
+        )
+        entries: dict[tuple, float] = {}
+        for flat in flat_indices:
+            idx = np.unravel_index(int(flat), array.shape)
+            original = array[idx]
+            array[idx] = original + epsilon
+            plus = policy_loss(policy, actions, advantage, entropy_beta, token_mask)
+            array[idx] = original - epsilon
+            minus = policy_loss(policy, actions, advantage, entropy_beta, token_mask)
+            array[idx] = original
+            entries[idx] = (plus - minus) / (2 * epsilon)
+        out[name] = entries
+    return out
+
+
+def max_relative_error(
+    analytic: dict[str, np.ndarray],
+    numeric: dict[str, dict[tuple, float]],
+) -> float:
+    """Worst relative error over all checked entries."""
+    worst = 0.0
+    for name, entries in numeric.items():
+        for idx, num in entries.items():
+            ana = float(analytic[name][idx])
+            denom = max(abs(ana), abs(num), 1e-8)
+            worst = max(worst, abs(ana - num) / denom)
+    return worst

@@ -1,0 +1,93 @@
+"""Optimizers over flat parameter dictionaries (numpy)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
+
+
+def clip_grad_norm(grads: dict[str, np.ndarray], max_norm: float) -> float:
+    """Scale gradients in place so the global L2 norm <= ``max_norm``.
+
+    Returns the pre-clip norm.
+    """
+    total = float(np.sqrt(sum(float(np.sum(g**2)) for g in grads.values())))
+    if max_norm > 0 and total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for g in grads.values():
+            g *= scale
+    return total
+
+
+class Optimizer:
+    """Base: turns gradients into parameter updates (deltas)."""
+
+    def compute_updates(self, grads: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, lr: float = 0.1, momentum: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def compute_updates(self, grads: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        updates = {}
+        for key, grad in grads.items():
+            if self.momentum > 0:
+                vel = self._velocity.get(key)
+                if vel is None:
+                    vel = np.zeros_like(grad)
+                vel = self.momentum * vel + grad
+                self._velocity[key] = vel
+                updates[key] = -self.lr * vel
+            else:
+                updates[key] = -self.lr * grad
+        return updates
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def compute_updates(self, grads: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        self._t += 1
+        updates = {}
+        for key, grad in grads.items():
+            m = self._m.get(key)
+            v = self._v.get(key)
+            if m is None:
+                m = np.zeros_like(grad)
+                v = np.zeros_like(grad)
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad**2
+            self._m[key] = m
+            self._v[key] = v
+            m_hat = m / (1 - self.beta1**self._t)
+            v_hat = v / (1 - self.beta2**self._t)
+            updates[key] = -self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        return updates

@@ -1,0 +1,203 @@
+"""The sequential controller policy (Zoph & Le style, numpy).
+
+One categorical decision per token: the shared LSTM cell consumes the
+embedding of the previous decision and a per-token linear head turns
+the hidden state into logits over that token's vocabulary.  Sampling
+returns everything REINFORCE needs: actions, log-probability, entropy,
+and the forward caches for the manual backward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rl.functional import entropy, log_softmax, softmax, xavier_uniform
+from repro.rl.lstm import LSTMCache, LSTMCell, LSTMState
+
+__all__ = ["PolicySample", "SequencePolicy"]
+
+
+@dataclass
+class PolicySample:
+    """One sampled action sequence plus backprop bookkeeping."""
+
+    actions: list[int]
+    log_prob: float
+    entropy: float
+    caches: list[LSTMCache] = field(repr=False, default_factory=list)
+    hiddens: list[np.ndarray] = field(repr=False, default_factory=list)
+    probs: list[np.ndarray] = field(repr=False, default_factory=list)
+
+
+class SequencePolicy:
+    """LSTM + per-token heads over a mixed-vocabulary action sequence."""
+
+    def __init__(
+        self,
+        vocab_sizes: list[int],
+        hidden_size: int = 64,
+        embedding_size: int = 32,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if not vocab_sizes:
+            raise ValueError("policy needs at least one token")
+        rng = np.random.default_rng(seed) if not isinstance(seed, np.random.Generator) else seed
+        self.vocab_sizes = list(vocab_sizes)
+        self.hidden_size = hidden_size
+        self.embedding_size = embedding_size
+        self.cell = LSTMCell(embedding_size, hidden_size, rng)
+        self.params: dict[str, np.ndarray] = {}
+        # Learned start-of-sequence input.
+        self.params["start"] = 0.1 * rng.standard_normal(embedding_size)
+        for t, vocab in enumerate(self.vocab_sizes):
+            self.params[f"head_w{t}"] = xavier_uniform(rng, (hidden_size, vocab))
+            self.params[f"head_b{t}"] = np.zeros(vocab)
+            if t < len(self.vocab_sizes) - 1:
+                # Embedding of token t's decision feeds step t+1.
+                self.params[f"emb{t}"] = 0.1 * rng.standard_normal(
+                    (vocab, embedding_size)
+                )
+
+    # ------------------------------------------------------------------
+    def all_params(self) -> dict[str, np.ndarray]:
+        """Flat view over every trainable array (LSTM included)."""
+        merged = {f"lstm_{k}": v for k, v in self.cell.params.items()}
+        merged.update(self.params)
+        return merged
+
+    def num_parameters(self) -> int:
+        return sum(v.size for v in self.all_params().values())
+
+    def zero_grads(self) -> dict[str, np.ndarray]:
+        return {k: np.zeros_like(v) for k, v in self.all_params().items()}
+
+    # ------------------------------------------------------------------
+    def _step_input(self, t: int, prev_action: int | None) -> np.ndarray:
+        if t == 0:
+            return self.params["start"][None, :]
+        return self.params[f"emb{t - 1}"][prev_action][None, :]
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        greedy: bool = False,
+        token_mask: list[bool] | None = None,
+        frozen_actions: list[int] | None = None,
+    ) -> PolicySample:
+        """Sample an action sequence.
+
+        ``token_mask``/``frozen_actions`` support the phase and
+        separate strategies: masked tokens take the frozen action and
+        contribute neither log-probability nor entropy (their policy is
+        not updated for them).
+        """
+        if token_mask is not None and frozen_actions is None:
+            raise ValueError("token_mask requires frozen_actions")
+        state = LSTMState.zeros(1, self.hidden_size)
+        actions: list[int] = []
+        caches: list[LSTMCache] = []
+        hiddens: list[np.ndarray] = []
+        probs: list[np.ndarray] = []
+        log_prob = 0.0
+        total_entropy = 0.0
+        prev_action: int | None = None
+        for t, vocab in enumerate(self.vocab_sizes):
+            x = self._step_input(t, prev_action)
+            state, cache = self.cell.forward(x, state)
+            caches.append(cache)
+            hiddens.append(state.h.copy())
+            logits = state.h @ self.params[f"head_w{t}"] + self.params[f"head_b{t}"]
+            p = softmax(logits[0])
+            probs.append(p)
+            frozen = token_mask is not None and not token_mask[t]
+            if frozen:
+                action = int(frozen_actions[t])  # type: ignore[index]
+            elif greedy:
+                action = int(np.argmax(p))
+            else:
+                action = int(rng.choice(vocab, p=p))
+            if not frozen:
+                log_prob += float(log_softmax(logits[0])[action])
+                total_entropy += float(entropy(p))
+            actions.append(action)
+            prev_action = action
+        return PolicySample(
+            actions=actions,
+            log_prob=log_prob,
+            entropy=total_entropy,
+            caches=caches,
+            hiddens=hiddens,
+            probs=probs,
+        )
+
+    # ------------------------------------------------------------------
+    def backward(
+        self,
+        sample: PolicySample,
+        advantage: float,
+        entropy_beta: float = 0.0,
+        token_mask: list[bool] | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Gradients of ``-(advantage * log_prob + beta * entropy)``.
+
+        Minimizing that loss is REINFORCE ascent on
+        ``advantage * log pi`` (plus optional entropy regularization).
+        Masked tokens contribute no loss, matching :meth:`sample`.
+        """
+        grads = self.zero_grads()
+        n = len(self.vocab_sizes)
+        dh_next = np.zeros((1, self.hidden_size))
+        dc_next = np.zeros((1, self.hidden_size))
+        for t in range(n - 1, -1, -1):
+            p = sample.probs[t]
+            action = sample.actions[t]
+            vocab = self.vocab_sizes[t]
+            frozen = token_mask is not None and not token_mask[t]
+            dlogits = np.zeros(vocab)
+            if not frozen:
+                # d(-adv * log p[a]) / dlogits = adv * (p - onehot)
+                dlogits = advantage * p.copy()
+                dlogits[action] -= advantage
+                if entropy_beta > 0.0:
+                    # d(-beta * H) / dlogits = beta * p * (log p + H)
+                    log_p = np.log(np.clip(p, 1e-12, 1.0))
+                    h_val = -float(np.sum(p * log_p))
+                    dlogits += entropy_beta * p * (log_p + h_val)
+            dlogits = dlogits[None, :]
+            grads[f"head_w{t}"] += sample.hiddens[t].T @ dlogits
+            grads[f"head_b{t}"] += dlogits[0]
+            dh = dlogits @ self.params[f"head_w{t}"].T + dh_next
+            lstm_grads = {
+                k.removeprefix("lstm_"): grads[k]
+                for k in ("lstm_wx", "lstm_wh", "lstm_b")
+            }
+            dx, dh_prev, dc_prev = self.cell.backward(
+                dh, dc_next, sample.caches[t], lstm_grads
+            )
+            if t == 0:
+                grads["start"] += dx[0]
+            else:
+                grads[f"emb{t - 1}"][sample.actions[t - 1]] += dx[0]
+            dh_next, dc_next = dh_prev, dc_prev
+        return grads
+
+    def apply_update(self, updates: dict[str, np.ndarray]) -> None:
+        """In-place add ``updates`` to parameters (optimizer output)."""
+        merged = self.all_params()
+        for key, delta in updates.items():
+            merged[key] += delta
+
+    def action_log_prob(self, actions: list[int]) -> float:
+        """Log-probability of a fixed action sequence (evaluation aid)."""
+        state = LSTMState.zeros(1, self.hidden_size)
+        prev: int | None = None
+        total = 0.0
+        for t, action in enumerate(actions):
+            x = self._step_input(t, prev)
+            state, _ = self.cell.forward(x, state)
+            logits = state.h @ self.params[f"head_w{t}"] + self.params[f"head_b{t}"]
+            total += float(log_softmax(logits[0])[action])
+            prev = action
+        return total

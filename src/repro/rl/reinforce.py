@@ -1,0 +1,79 @@
+"""REINFORCE with an exponential-moving-average baseline.
+
+The paper updates the policy with
+``grad_theta pi_theta(s_t) * E(s_t)`` via REINFORCE and SGD (Section
+II-A).  A standard EMA baseline subtracts the running reward mean to
+reduce gradient variance without changing the expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rl.optim import Adam, Optimizer, clip_grad_norm
+from repro.rl.policy import PolicySample, SequencePolicy
+
+__all__ = ["ReinforceConfig", "ReinforceTrainer"]
+
+
+@dataclass(frozen=True)
+class ReinforceConfig:
+    """Hyper-parameters of the REINFORCE update."""
+
+    learning_rate: float = 2e-2
+    baseline_momentum: float = 0.95
+    entropy_beta: float = 5e-2
+    grad_clip: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.baseline_momentum < 1.0:
+            raise ValueError("baseline_momentum must be in [0, 1)")
+        if self.entropy_beta < 0:
+            raise ValueError("entropy_beta must be non-negative")
+
+
+class ReinforceTrainer:
+    """Couples a :class:`SequencePolicy` with the REINFORCE update."""
+
+    def __init__(
+        self,
+        policy: SequencePolicy,
+        config: ReinforceConfig | None = None,
+        optimizer: Optimizer | None = None,
+    ) -> None:
+        self.policy = policy
+        self.config = config or ReinforceConfig()
+        self.optimizer = optimizer or Adam(lr=self.config.learning_rate)
+        self.baseline: float | None = None
+        self.num_updates = 0
+
+    def sample(self, rng: np.random.Generator, **kwargs) -> PolicySample:
+        """Draw one action sequence from the current policy."""
+        return self.policy.sample(rng, **kwargs)
+
+    def update(
+        self,
+        sample: PolicySample,
+        reward: float,
+        token_mask: list[bool] | None = None,
+    ) -> float:
+        """One policy-gradient step; returns the advantage used."""
+        if self.baseline is None:
+            self.baseline = reward
+        advantage = reward - self.baseline
+        self.baseline = (
+            self.config.baseline_momentum * self.baseline
+            + (1.0 - self.config.baseline_momentum) * reward
+        )
+        grads = self.policy.backward(
+            sample,
+            advantage,
+            entropy_beta=self.config.entropy_beta,
+            token_mask=token_mask,
+        )
+        clip_grad_norm(grads, self.config.grad_clip)
+        self.policy.apply_update(self.optimizer.compute_updates(grads))
+        self.num_updates += 1
+        return advantage

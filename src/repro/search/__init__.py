@@ -1,0 +1,30 @@
+"""Search strategies: combined, phase, separate, random, threshold schedule."""
+
+from repro.search.base import SearchResult, SearchStrategy
+from repro.search.combined import CombinedSearch
+from repro.search.evolution import EvolutionSearch
+from repro.search.phase import PhaseSearch
+from repro.search.random_search import RandomSearch
+from repro.search.runner import RepeatOutcome, mean_reward_trace, run_repeats
+from repro.search.separate import SeparateSearch
+from repro.search.threshold_schedule import (
+    ThresholdRung,
+    ThresholdScheduleSearch,
+    default_rungs,
+)
+
+__all__ = [
+    "SearchResult",
+    "SearchStrategy",
+    "CombinedSearch",
+    "EvolutionSearch",
+    "PhaseSearch",
+    "RandomSearch",
+    "RepeatOutcome",
+    "mean_reward_trace",
+    "run_repeats",
+    "SeparateSearch",
+    "ThresholdRung",
+    "ThresholdScheduleSearch",
+    "default_rungs",
+]

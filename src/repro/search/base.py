@@ -1,0 +1,62 @@
+"""Search-strategy interface and shared result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.archive import ArchiveEntry, SearchArchive
+from repro.core.evaluator import CodesignEvaluator
+from repro.core.search_space import JointSearchSpace
+from repro.utils.rng import make_rng
+
+__all__ = ["SearchResult", "SearchStrategy"]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search run."""
+
+    strategy: str
+    scenario: str
+    archive: SearchArchive
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def best(self) -> ArchiveEntry | None:
+        return self.archive.best()
+
+    def top_k(self, k: int) -> list[ArchiveEntry]:
+        return self.archive.top_k(k)
+
+    def reward_trace(self) -> np.ndarray:
+        return self.archive.reward_trace()
+
+    def best_so_far_trace(self) -> np.ndarray:
+        return self.archive.best_so_far_trace()
+
+
+class SearchStrategy:
+    """Base class: subclasses implement :meth:`run`."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        search_space: JointSearchSpace | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.search_space = search_space or JointSearchSpace()
+        self.rng = make_rng(seed)
+
+    def run(self, evaluator: CodesignEvaluator, num_steps: int) -> SearchResult:
+        raise NotImplementedError
+
+    def _result(self, archive: SearchArchive, evaluator: CodesignEvaluator, **extras) -> SearchResult:
+        return SearchResult(
+            strategy=self.name,
+            scenario=evaluator.reward_fn.config.name,
+            archive=archive,
+            extras=extras,
+        )

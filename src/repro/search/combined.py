@@ -1,0 +1,55 @@
+"""Combined search (paper Section III-B1).
+
+One controller over the concatenated CNN+HW token sequence applies
+REINFORCE directly to the joint space of Eq. 1 — both the CNN and the
+accelerator can change at every step, which makes this strategy the
+fastest to adapt (and, per the paper, the best choice when the search
+is unconstrained and for the CIFAR-100 flow).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.archive import SearchArchive
+from repro.core.evaluator import CodesignEvaluator
+from repro.core.search_space import JointSearchSpace
+from repro.rl.policy import SequencePolicy
+from repro.rl.reinforce import ReinforceConfig, ReinforceTrainer
+from repro.search.base import SearchResult, SearchStrategy
+
+__all__ = ["CombinedSearch"]
+
+
+class CombinedSearch(SearchStrategy):
+    """Single joint policy, updated every step."""
+
+    name = "combined"
+
+    def __init__(
+        self,
+        search_space: JointSearchSpace | None = None,
+        seed: int | np.random.Generator | None = None,
+        reinforce_config: ReinforceConfig | None = None,
+        hidden_size: int = 64,
+        embedding_size: int = 32,
+    ) -> None:
+        super().__init__(search_space, seed)
+        policy_seed = int(self.rng.integers(0, 2**63 - 1))
+        self.policy = SequencePolicy(
+            self.search_space.vocab_sizes,
+            hidden_size=hidden_size,
+            embedding_size=embedding_size,
+            seed=policy_seed,
+        )
+        self.trainer = ReinforceTrainer(self.policy, reinforce_config)
+
+    def run(self, evaluator: CodesignEvaluator, num_steps: int) -> SearchResult:
+        archive = SearchArchive()
+        for _ in range(num_steps):
+            sample = self.trainer.sample(self.rng)
+            spec, config = self.search_space.decode(sample.actions)
+            result = evaluator.evaluate(spec, config)
+            self.trainer.update(sample, result.reward.value)
+            archive.record(result, phase="combined")
+        return self._result(archive, evaluator)

@@ -1,0 +1,24 @@
+"""Uniform random search — the ablation baseline for the RL controller."""
+
+from __future__ import annotations
+
+from repro.core.archive import SearchArchive
+from repro.core.evaluator import CodesignEvaluator
+from repro.search.base import SearchResult, SearchStrategy
+
+__all__ = ["RandomSearch"]
+
+
+class RandomSearch(SearchStrategy):
+    """Samples every token uniformly at each step."""
+
+    name = "random"
+
+    def run(self, evaluator: CodesignEvaluator, num_steps: int) -> SearchResult:
+        archive = SearchArchive()
+        for _ in range(num_steps):
+            actions = self.search_space.random_actions(self.rng)
+            spec, config = self.search_space.decode(actions)
+            result = evaluator.evaluate(spec, config)
+            archive.record(result, phase="random")
+        return self._result(archive, evaluator)

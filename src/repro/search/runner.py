@@ -1,0 +1,103 @@
+"""Repeat-experiment harness (Fig. 5 / Fig. 6 style).
+
+The paper repeats every (strategy, scenario) experiment 10 times and
+reports the top result per repeat (Fig. 5) and the step-wise reward
+averaged over repeats (Fig. 6).  :func:`run_repeats` drives that, with
+independent per-repeat seeds derived from one master seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.archive import ArchiveEntry
+from repro.core.evaluator import CodesignEvaluator
+from repro.search.base import SearchResult, SearchStrategy
+from repro.utils.rng import hash_seed
+
+__all__ = ["RepeatOutcome", "run_repeats", "mean_reward_trace"]
+
+StrategyFactory = Callable[[int], SearchStrategy]
+EvaluatorFactory = Callable[[], CodesignEvaluator]
+
+
+@dataclass
+class RepeatOutcome:
+    """All repeats of one (strategy, scenario) experiment."""
+
+    strategy: str
+    scenario: str
+    results: list[SearchResult] = field(default_factory=list)
+
+    def best_entries(self) -> list[ArchiveEntry]:
+        """Best feasible entry of each repeat (max 1 point per repeat)."""
+        return [r.best for r in self.results if r.best is not None]
+
+    def top_rewards(self) -> np.ndarray:
+        return np.array([e.reward for e in self.best_entries()])
+
+    def hit_rate(self) -> float:
+        """Fraction of repeats that found any feasible point."""
+        if not self.results:
+            return 0.0
+        return len(self.best_entries()) / len(self.results)
+
+    def mean_best_reward(self) -> float:
+        rewards = self.top_rewards()
+        return float(rewards.mean()) if len(rewards) else float("nan")
+
+
+def run_repeats(
+    strategy_factory: StrategyFactory,
+    evaluator_factory: EvaluatorFactory,
+    num_steps: int,
+    num_repeats: int = 10,
+    master_seed: int = 0,
+) -> RepeatOutcome:
+    """Run ``num_repeats`` independent searches.
+
+    ``strategy_factory(seed)`` builds a fresh strategy per repeat;
+    ``evaluator_factory()`` builds (or shares) the evaluator — sharing
+    one evaluator across repeats is safe and reuses the metric caches.
+    """
+    results: list[SearchResult] = []
+    for repeat in range(num_repeats):
+        seed = hash_seed("repeat", master_seed, repeat)
+        strategy = strategy_factory(seed)
+        evaluator = evaluator_factory()
+        results.append(strategy.run(evaluator, num_steps))
+    if not results:
+        raise ValueError("num_repeats must be positive")
+    return RepeatOutcome(
+        strategy=results[0].strategy,
+        scenario=results[0].scenario,
+        results=results,
+    )
+
+
+def mean_reward_trace(
+    outcome: RepeatOutcome, window: int = 100, best_so_far: bool = False
+) -> np.ndarray:
+    """Step-wise reward averaged over repeats (Fig. 6's curves).
+
+    Traces are truncated to the shortest repeat, averaged across
+    repeats, then smoothed with a trailing ``window``-step mean.  With
+    ``best_so_far`` the running-max trace is averaged instead.
+    """
+    traces = [
+        r.best_so_far_trace() if best_so_far else r.reward_trace()
+        for r in outcome.results
+    ]
+    length = min(len(t) for t in traces)
+    stacked = np.vstack([t[:length] for t in traces])
+    mean = np.nanmean(stacked, axis=0)
+    if window <= 1:
+        return mean
+    smoothed = np.empty_like(mean)
+    for i in range(len(mean)):
+        lo = max(0, i - window + 1)
+        smoothed[i] = np.nanmean(mean[lo: i + 1])
+    return smoothed

@@ -1,0 +1,138 @@
+"""Threshold-scheduled codesign search (paper Section IV-A).
+
+The CIFAR-100 flow combines latency and area into perf/area
+(img/s/cm2), constrains it to a threshold, and maximizes accuracy.  The
+threshold rises over the run — (2, 8, 16, 30, 40) in the paper — with a
+target number of *valid* (feasible) points per rung, starting at 300
+and growing to 1000 at the last rung ("this gradual increase makes it
+easier for the RL controller to learn the structure of high-accuracy
+CNNs").  The controller is the combined strategy's joint policy; the
+evaluator is re-armed with the next rung's reward while keeping all of
+its latency/area/accuracy caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.archive import ArchiveEntry, SearchArchive
+from repro.core.evaluator import CodesignEvaluator
+from repro.core.reward import MetricBounds
+from repro.core.scenarios import CIFAR100_THRESHOLD_SCHEDULE, cifar100_threshold
+from repro.core.search_space import JointSearchSpace
+from repro.rl.policy import SequencePolicy
+from repro.rl.reinforce import ReinforceConfig, ReinforceTrainer
+from repro.search.base import SearchResult, SearchStrategy
+
+__all__ = ["ThresholdRung", "ThresholdScheduleSearch", "default_rungs"]
+
+
+@dataclass(frozen=True)
+class ThresholdRung:
+    """One rung of the schedule: threshold + valid-point target."""
+
+    threshold: float
+    target_valid_points: int
+    max_steps: int
+
+    def __post_init__(self) -> None:
+        if self.target_valid_points < 1:
+            raise ValueError("target_valid_points must be positive")
+        if self.max_steps < self.target_valid_points:
+            raise ValueError("max_steps must cover the valid-point target")
+
+
+def default_rungs(
+    thresholds: tuple[float, ...] = CIFAR100_THRESHOLD_SCHEDULE,
+    targets: tuple[int, ...] = (300, 400, 500, 600, 1000),
+    step_multiplier: int = 4,
+) -> list[ThresholdRung]:
+    """The paper's schedule: ~2300+ valid points over five rungs."""
+    if len(thresholds) != len(targets):
+        raise ValueError("thresholds and targets must align")
+    return [
+        ThresholdRung(th, n, max_steps=step_multiplier * n)
+        for th, n in zip(thresholds, targets)
+    ]
+
+
+class ThresholdScheduleSearch(SearchStrategy):
+    """Combined-strategy search over a rising perf/area threshold."""
+
+    name = "threshold-schedule"
+
+    def __init__(
+        self,
+        search_space: JointSearchSpace | None = None,
+        seed: int | np.random.Generator | None = None,
+        reinforce_config: ReinforceConfig | None = None,
+        rungs: list[ThresholdRung] | None = None,
+        bounds: MetricBounds | None = None,
+        hidden_size: int = 64,
+        embedding_size: int = 32,
+    ) -> None:
+        super().__init__(search_space, seed)
+        self.rungs = rungs or default_rungs()
+        self.bounds = bounds or MetricBounds()
+        policy_seed = int(self.rng.integers(0, 2**63 - 1))
+        self.policy = SequencePolicy(
+            self.search_space.vocab_sizes, hidden_size, embedding_size, policy_seed
+        )
+        self.trainer = ReinforceTrainer(self.policy, reinforce_config)
+
+    def run(self, evaluator: CodesignEvaluator, num_steps: int | None = None) -> SearchResult:
+        """Run the whole schedule (``num_steps`` caps the total if set).
+
+        Returns a result whose ``extras`` carry per-rung archives and
+        top-10 lists (the rows Fig. 7 plots).
+        """
+        archive = SearchArchive()
+        per_rung: dict[float, SearchArchive] = {}
+        total_steps = 0
+        for rung in self.rungs:
+            scenario = cifar100_threshold(rung.threshold, self.bounds)
+            rung_eval = evaluator.with_reward(scenario)
+            rung_archive = SearchArchive()
+            valid_points = 0
+            steps = 0
+            while valid_points < rung.target_valid_points and steps < rung.max_steps:
+                if num_steps is not None and total_steps >= num_steps:
+                    break
+                sample = self.trainer.sample(self.rng)
+                spec, config = self.search_space.decode(sample.actions)
+                result = rung_eval.evaluate(spec, config)
+                self.trainer.update(sample, result.reward.value)
+                entry = archive.record(result, phase=f"th-{rung.threshold:g}")
+                rung_archive.entries.append(entry)
+                if result.feasible:
+                    valid_points += 1
+                steps += 1
+                total_steps += 1
+            per_rung[rung.threshold] = rung_archive
+            if num_steps is not None and total_steps >= num_steps:
+                break
+        top10 = {
+            threshold: rung_archive.top_k(10)
+            for threshold, rung_archive in per_rung.items()
+        }
+        result = SearchResult(
+            strategy=self.name,
+            scenario="cifar100-threshold-schedule",
+            archive=archive,
+            extras={"per_rung": per_rung, "top10": top10},
+        )
+        return result
+
+    @staticmethod
+    def best_over_rungs(result: SearchResult) -> ArchiveEntry | None:
+        """Highest-accuracy feasible point across all rungs."""
+        best: ArchiveEntry | None = None
+        for rung_archive in result.extras["per_rung"].values():
+            for entry in rung_archive.feasible_entries():
+                if entry.metrics is None:
+                    continue
+                if best is None or entry.metrics.accuracy > best.metrics.accuracy:
+                    best = entry
+        return best

@@ -1,0 +1,16 @@
+"""Training oracles: surrogate CIFAR-100 trainer, real numpy trainer, cache."""
+
+from repro.training.cache import CachedTrainer
+from repro.training.numpy_trainer import TOY_SKELETON, NumpyTrainerOracle
+from repro.training.oracle import TrainingOracle, TrainOutcome
+from repro.training.surrogate_trainer import CIFAR100_ANCHORS, SurrogateCifar100Trainer
+
+__all__ = [
+    "CachedTrainer",
+    "TOY_SKELETON",
+    "NumpyTrainerOracle",
+    "TrainingOracle",
+    "TrainOutcome",
+    "CIFAR100_ANCHORS",
+    "SurrogateCifar100Trainer",
+]

@@ -1,0 +1,49 @@
+"""Training-result cache with a GPU-hour ledger.
+
+Wraps any :class:`TrainingOracle` so repeated proposals of the same
+cell are free — the paper's searches revisit cells constantly, and only
+the first visit pays the training cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nasbench.model_spec import ModelSpec
+from repro.training.oracle import TrainingOracle, TrainOutcome
+
+__all__ = ["CachedTrainer"]
+
+
+@dataclass
+class CachedTrainer:
+    """Memoizing wrapper around a training oracle."""
+
+    oracle: TrainingOracle
+    _cache: dict[str, TrainOutcome] = field(default_factory=dict, init=False)
+    hits: int = field(default=0, init=False)
+    misses: int = field(default=0, init=False)
+
+    def train_and_score(self, spec: ModelSpec) -> TrainOutcome:
+        key = spec.spec_hash()
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        outcome = self.oracle.train_and_score(spec)
+        self._cache[key] = outcome
+        return outcome
+
+    def accuracy_fn(self, spec: ModelSpec) -> float | None:
+        """Adapter for :class:`repro.core.CodesignEvaluator`."""
+        if not spec.valid:
+            return None
+        return self.train_and_score(spec).accuracy
+
+    @property
+    def unique_cells_trained(self) -> int:
+        return len(self._cache)
+
+    def total_gpu_hours(self) -> float:
+        return sum(outcome.gpu_hours for outcome in self._cache.values())

@@ -1,0 +1,92 @@
+"""A *real* training oracle: builds and trains the cell's network.
+
+This is the honest, slow path — every call instantiates the spec's
+network with :func:`repro.nn.build_network` and runs SGD on a synthetic
+dataset, exactly the pipeline the paper runs per sampled cell (at toy
+scale: a shrunken skeleton and a synthetic CIFAR stand-in).  Used by
+integration tests and the ``train_numpy_cnn`` example to demonstrate
+that the search loop runs unchanged over a genuine trainer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from repro.nasbench.model_spec import ModelSpec
+from repro.nasbench.skeleton import SkeletonConfig
+from repro.nn.builder import build_network
+from repro.nn.data import ImageDataset, synthetic_cifar
+from repro.nn.trainer import TrainConfig, Trainer
+from repro.training.oracle import TrainOutcome
+from repro.utils.rng import hash_seed
+
+__all__ = ["NumpyTrainerOracle", "TOY_SKELETON"]
+
+#: A shrunken skeleton that trains in seconds on CPU.
+TOY_SKELETON = SkeletonConfig(
+    input_height=16,
+    input_width=16,
+    input_channels=3,
+    stem_channels=8,
+    num_stacks=2,
+    cells_per_stack=1,
+    num_classes=4,
+)
+
+
+@dataclass
+class NumpyTrainerOracle:
+    """Train-and-score with the numpy NN stack on synthetic data."""
+
+    skeleton: SkeletonConfig = TOY_SKELETON
+    train_config: TrainConfig = field(
+        default_factory=lambda: TrainConfig(
+            epochs=3, batch_size=32, learning_rate=0.05, augment=False
+        )
+    )
+    n_train: int = 256
+    n_test: int = 64
+    seed: int = 0
+    _data: tuple[ImageDataset, ImageDataset] | None = field(default=None, init=False)
+    total_train_seconds: float = field(default=0.0, init=False)
+    num_trainings: int = field(default=0, init=False)
+
+    def _datasets(self) -> tuple[ImageDataset, ImageDataset]:
+        if self._data is None:
+            self._data = synthetic_cifar(
+                n_train=self.n_train,
+                n_test=self.n_test,
+                n_classes=self.skeleton.num_classes,
+                size=self.skeleton.input_height,
+                channels=self.skeleton.input_channels,
+                seed=hash_seed("numpy-trainer-data", self.seed),
+            )
+        return self._data
+
+    def train_and_score(self, spec: ModelSpec) -> TrainOutcome:
+        """Build, train, and test the network for ``spec``."""
+        if not spec.valid:
+            raise ValueError("cannot train an invalid spec")
+        train, test = self._datasets()
+        start = perf_counter()
+        network = build_network(
+            spec, self.skeleton, seed=hash_seed("init", self.seed, spec.spec_hash())
+        )
+        trainer = Trainer(
+            network,
+            self.train_config,
+            seed=hash_seed("fit", self.seed, spec.spec_hash()),
+        )
+        trainer.fit(train)
+        accuracy = 100.0 * trainer.evaluate(test)
+        elapsed = perf_counter() - start
+        self.total_train_seconds += elapsed
+        self.num_trainings += 1
+        return TrainOutcome(accuracy=accuracy, gpu_hours=elapsed / 3600.0)
+
+    def accuracy_fn(self, spec: ModelSpec) -> float | None:
+        """Adapter for :class:`repro.core.CodesignEvaluator`."""
+        if not spec.valid:
+            return None
+        return self.train_and_score(spec).accuracy

@@ -1,0 +1,50 @@
+"""JSON (de)serialization helpers for library objects.
+
+Dataclass-based specs and configs throughout the library expose
+``to_dict`` / ``from_dict``; this module supplies the shared plumbing
+for writing those dicts to disk with numpy-safe encoding.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["to_jsonable", "dump_json", "load_json"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into plain JSON-serializable types."""
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(x) for x in obj.tolist()]
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set)):
+        return [to_jsonable(x) for x in obj]
+    if hasattr(obj, "to_dict"):
+        return to_jsonable(obj.to_dict())
+    raise TypeError(f"cannot serialize object of type {type(obj).__name__}")
+
+
+def dump_json(obj: Any, path: str | Path, indent: int = 2) -> Path:
+    """Serialize ``obj`` to JSON at ``path`` and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(obj), indent=indent, sort_keys=True))
+    return path
+
+
+def load_json(path: str | Path) -> Any:
+    """Load JSON from ``path``."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,94 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness prints the same rows the paper's tables and
+figures report.  Rendering is kept dependency-free: GitHub-flavoured
+markdown tables and aligned ASCII tables, plus CSV writing.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+__all__ = ["format_markdown", "format_ascii", "write_csv", "format_float"]
+
+
+def format_float(value: object, digits: int = 3) -> str:
+    """Format a numeric cell; passthrough for non-numeric cells."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.{digits}f}"
+
+
+def _stringify(rows: Iterable[Sequence[object]], digits: int) -> list[list[str]]:
+    return [[format_float(cell, digits) for cell in row] for row in rows]
+
+
+def format_markdown(
+    header: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    digits: int = 3,
+) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    body = _stringify(rows, digits)
+    widths = [len(h) for h in header]
+    for row in body:
+        if len(row) != len(header):
+            raise ValueError(f"row width {len(row)} != header width {len(header)}")
+        widths = [max(w, len(c)) for w, c in zip(widths, row)]
+    lines = [
+        "| " + " | ".join(h.ljust(w) for h, w in zip(header, widths)) + " |",
+        "|" + "|".join("-" * (w + 2) for w in widths) + "|",
+    ]
+    for row in body:
+        lines.append("| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |")
+    return "\n".join(lines)
+
+
+def format_ascii(
+    header: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    digits: int = 3,
+) -> str:
+    """Render an aligned plain-ASCII table (no pipes), for terminals."""
+    body = _stringify(rows, digits)
+    widths = [len(h) for h in header]
+    for row in body:
+        if len(row) != len(header):
+            raise ValueError(f"row width {len(row)} != header width {len(header)}")
+        widths = [max(w, len(c)) for w, c in zip(widths, row)]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def write_csv(
+    path: str | Path,
+    header: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> Path:
+    """Write rows to ``path`` as CSV and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(header))
+        for row in rows:
+            writer.writerow(list(row))
+    return path
+
+
+def csv_string(header: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as a CSV string (used by tests and examples)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(list(header))
+    for row in rows:
+        writer.writerow(list(row))
+    return buf.getvalue()

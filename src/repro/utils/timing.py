@@ -1,0 +1,41 @@
+"""Small timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "timed"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    >>> sw = Stopwatch()
+    >>> with sw.lap("search"):
+    ...     pass
+    >>> "search" in sw.laps
+    True
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def lap(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.laps[name] = self.laps.get(name, 0.0) + time.perf_counter() - start
+
+    def total(self) -> float:
+        return sum(self.laps.values())
+
+
+@contextmanager
+def timed():
+    """Context manager yielding a callable that returns elapsed seconds."""
+    start = time.perf_counter()
+    yield lambda: time.perf_counter() - start

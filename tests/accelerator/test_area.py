@@ -1,0 +1,85 @@
+"""Tests for the component area model."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.area import AreaModel
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.resources import ZYNQ_ULTRASCALE_PLUS
+from repro.accelerator.space import AcceleratorSpace
+from tests.conftest import sample_configs
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AreaModel()
+
+
+class TestMonotonicity:
+    def test_more_pixel_par_more_area(self, model):
+        small = AcceleratorConfig(pixel_par=4)
+        big = AcceleratorConfig(pixel_par=64)
+        assert model.area_mm2(big) > model.area_mm2(small)
+
+    def test_more_filter_par_more_area(self, model):
+        assert model.area_mm2(AcceleratorConfig(filter_par=16)) > model.area_mm2(
+            AcceleratorConfig(filter_par=8)
+        )
+
+    def test_pool_engine_costs_area(self, model):
+        with_pool = AcceleratorConfig(pool_enable=True)
+        without = AcceleratorConfig(pool_enable=False)
+        assert model.area_mm2(with_pool) > model.area_mm2(without)
+
+    def test_bigger_buffers_cost_area(self, model):
+        big = AcceleratorConfig(input_buffer_depth=8192)
+        small = AcceleratorConfig(input_buffer_depth=1024)
+        assert model.area_mm2(big) > model.area_mm2(small)
+
+    def test_wider_memory_costs_area(self, model):
+        assert model.area_mm2(
+            AcceleratorConfig(mem_interface_width=512)
+        ) > model.area_mm2(AcceleratorConfig(mem_interface_width=256))
+
+
+class TestRange:
+    def test_space_range_matches_paper_scale(self, model):
+        """Fig. 4's colour scale spans roughly 60-200 mm2."""
+        areas = [model.area_mm2(c) for c in sample_configs(300, seed=1)]
+        assert 50 < min(areas) < 70
+        assert 150 < max(areas) < 215
+
+    def test_every_config_fits_the_device(self, model):
+        for config in sample_configs(200, seed=2):
+            assert ZYNQ_ULTRASCALE_PLUS.fits(model.resources(config)), config.short_name()
+
+    def test_dsp_usage_matches_split(self, model):
+        config = AcceleratorConfig(filter_par=16, pixel_par=64, ratio_conv_engines=0.5)
+        resources = model.conv_engines(config)
+        assert resources.dsp == config.total_conv_dsp
+
+
+class TestBreakdown:
+    def test_components_sum_to_total(self, model):
+        config = AcceleratorConfig(pool_enable=True)
+        breakdown = model.breakdown(config)
+        assert sum(breakdown.values()) == pytest.approx(model.area_mm2(config))
+
+    def test_engines_dominate_large_configs(self, model):
+        config = AcceleratorConfig(filter_par=16, pixel_par=64)
+        breakdown = model.breakdown(config)
+        assert breakdown["conv_engines"] == max(breakdown.values())
+
+    def test_pooling_zero_when_disabled(self, model):
+        assert model.breakdown(AcceleratorConfig(pool_enable=False))["pooling_engine"] == 0.0
+
+    def test_dual_engine_area_close_to_single(self, model):
+        """Splitting the DSP budget redistributes area, not doubles it:
+        the second engine adds control overhead but 1x1 lanes drop the
+        3x3 sliding-window logic, so totals stay within a few percent.
+        """
+        dual = AcceleratorConfig(ratio_conv_engines=0.5)
+        single = AcceleratorConfig(ratio_conv_engines=1.0)
+        ratio = model.area_mm2(dual) / model.area_mm2(single)
+        assert 0.95 < ratio < 1.1
+        assert model.conv_engines(dual).dsp == model.conv_engines(single).dsp

@@ -1,0 +1,80 @@
+"""Tests for AcceleratorConfig."""
+
+import pytest
+
+from repro.accelerator.config import PARAMETER_VALUES, AcceleratorConfig
+
+
+class TestValidation:
+    def test_default_is_valid(self):
+        AcceleratorConfig()
+
+    @pytest.mark.parametrize("name", sorted(PARAMETER_VALUES))
+    def test_rejects_out_of_domain(self, name):
+        kwargs = {name: -1}
+        with pytest.raises(ValueError):
+            AcceleratorConfig(**kwargs)
+
+    def test_domain_sizes_multiply_to_8640(self):
+        total = 1
+        for values in PARAMETER_VALUES.values():
+            total *= len(values)
+        assert total == 8640
+
+
+class TestDspSplit:
+    def test_general_engine_takes_all(self):
+        config = AcceleratorConfig(ratio_conv_engines=1.0, filter_par=16, pixel_par=32)
+        dsp_3x3, dsp_1x1 = config.dsp_split()
+        assert dsp_3x3 == 16 * 32
+        assert dsp_1x1 == 0
+        assert not config.has_dual_engines
+
+    def test_split_sums_to_total(self):
+        for ratio in PARAMETER_VALUES["ratio_conv_engines"]:
+            config = AcceleratorConfig(ratio_conv_engines=ratio, filter_par=16, pixel_par=64)
+            dsp_3x3, dsp_1x1 = config.dsp_split()
+            assert dsp_3x3 + dsp_1x1 == config.total_conv_dsp
+
+    def test_ratio_is_1x1_share(self):
+        config = AcceleratorConfig(ratio_conv_engines=0.25, filter_par=16, pixel_par=64)
+        dsp_3x3, dsp_1x1 = config.dsp_split()
+        assert dsp_1x1 / config.total_conv_dsp == pytest.approx(0.25, abs=0.05)
+        assert dsp_3x3 > dsp_1x1
+
+    def test_neither_engine_degenerates(self):
+        for ratio in (0.75, 0.67, 0.5, 0.33, 0.25):
+            for pixel_par in PARAMETER_VALUES["pixel_par"]:
+                config = AcceleratorConfig(
+                    ratio_conv_engines=ratio, filter_par=8, pixel_par=pixel_par
+                )
+                dsp_3x3, dsp_1x1 = config.dsp_split()
+                assert dsp_3x3 >= config.filter_par
+                assert dsp_1x1 >= config.filter_par
+
+    def test_split_quantized_to_lanes(self):
+        config = AcceleratorConfig(ratio_conv_engines=0.33, filter_par=16, pixel_par=32)
+        dsp_3x3, dsp_1x1 = config.dsp_split()
+        assert dsp_3x3 % 16 == 0
+        assert dsp_1x1 % 16 == 0
+
+
+class TestMisc:
+    def test_buffer_bytes(self):
+        config = AcceleratorConfig(
+            input_buffer_depth=2048, weight_buffer_depth=1024,
+            output_buffer_depth=4096, filter_par=8, pixel_par=16,
+        )
+        capacity = config.buffer_bytes()
+        assert capacity["input"] == 2048 * 16
+        assert capacity["weight"] == 1024 * 8
+        assert capacity["output"] == 4096 * 16
+
+    def test_dict_round_trip(self):
+        config = AcceleratorConfig(pixel_par=8, pool_enable=True)
+        assert AcceleratorConfig.from_dict(config.to_dict()) == config
+
+    def test_short_name_distinct(self):
+        a = AcceleratorConfig(pixel_par=8)
+        b = AcceleratorConfig(pixel_par=16)
+        assert a.short_name() != b.short_name()

@@ -1,0 +1,118 @@
+"""Tests for the analytical latency model."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.latency import LatencyModel, config_columns
+from repro.nasbench.compile import compile_network
+from repro.nasbench.known_cells import googlenet_cell, resnet_cell
+from repro.nasbench.skeleton import CIFAR10_SKELETON
+from repro.nasbench import ops as O
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LatencyModel()
+
+
+@pytest.fixture(scope="module")
+def ops():
+    by_kind = {}
+    for cell in (googlenet_cell(), resnet_cell()):
+        ir = compile_network(cell, CIFAR10_SKELETON)
+        for op in ir.ops:
+            by_kind.setdefault(op.kind, op)
+    return by_kind
+
+
+class TestConvDurations:
+    def test_positive(self, model, ops):
+        for kind in (O.KIND_STEM, O.KIND_CONV3X3, O.KIND_CONV1X1, O.KIND_PROJ1X1):
+            assert model.op_duration(ops[kind], AcceleratorConfig()) > 0
+
+    def test_bigger_engine_is_faster(self, model, ops):
+        small = AcceleratorConfig(filter_par=8, pixel_par=4)
+        big = AcceleratorConfig(filter_par=16, pixel_par=64)
+        op = ops[O.KIND_CONV3X3]
+        assert model.op_duration(op, big) < model.op_duration(op, small)
+
+    def test_1x1_op_uses_1x1_engine_when_dual(self, model, ops):
+        op = ops[O.KIND_CONV1X1]
+        # With ratio=0.25 the 1x1 engine owns only a quarter of the
+        # DSPs, so the op slows vs the single general engine.
+        single = AcceleratorConfig(ratio_conv_engines=1.0, pixel_par=64)
+        dual = AcceleratorConfig(ratio_conv_engines=0.25, pixel_par=64)
+        assert model.op_duration(op, dual) > model.op_duration(op, single)
+
+    def test_3x3_op_keeps_most_throughput_when_dual(self, model, ops):
+        op = ops[O.KIND_CONV3X3]
+        single = AcceleratorConfig(ratio_conv_engines=1.0, pixel_par=64)
+        dual = AcceleratorConfig(ratio_conv_engines=0.25, pixel_par=64)
+        slowdown = model.op_duration(op, dual) / model.op_duration(op, single)
+        assert 1.0 <= slowdown < 1.6
+
+    def test_overhead_floor(self, model, ops):
+        duration = model.op_duration(ops[O.KIND_CONV1X1], AcceleratorConfig(pixel_par=64))
+        assert duration >= model.params.accel_op_overhead_s
+
+
+class TestMemoryEffects:
+    def test_wider_memory_never_slower(self, model, ops):
+        for kind, op in ops.items():
+            narrow = AcceleratorConfig(mem_interface_width=256)
+            wide = AcceleratorConfig(mem_interface_width=512)
+            assert model.op_duration(op, wide) <= model.op_duration(op, narrow) + 1e-12
+
+    def test_small_weight_buffer_can_slow_memory_bound_op(self, model):
+        ir = compile_network(resnet_cell(), CIFAR10_SKELETON)
+        # Pick the largest-weight conv (512ch at 8x8: 2.4MB of weights).
+        op = max(ir.ops, key=lambda o: o.weight_bytes)
+        small = AcceleratorConfig(
+            weight_buffer_depth=1024, filter_par=8, pixel_par=4, mem_interface_width=256
+        )
+        big = AcceleratorConfig(
+            weight_buffer_depth=4096, filter_par=8, pixel_par=4, mem_interface_width=256
+        )
+        assert model.op_duration(op, small) >= model.op_duration(op, big)
+
+    def test_bandwidth_formula(self, model):
+        cols = config_columns(AcceleratorConfig(mem_interface_width=256))
+        bw = model.memory_bandwidth_bytes_per_s(cols)[0]
+        expected = 32 * model.params.axi_clock_hz * model.params.mem_efficiency
+        assert bw == pytest.approx(expected)
+
+
+class TestPoolAndCpu:
+    def test_pool_engine_faster_than_cpu(self, model, ops):
+        op = ops[O.KIND_MAXPOOL3X3]
+        on = AcceleratorConfig(pool_enable=True, pixel_par=64)
+        off = AcceleratorConfig(pool_enable=False, pixel_par=64)
+        assert model.op_duration(op, on) < model.op_duration(op, off)
+
+    def test_cpu_ops_config_independent(self, model, ops):
+        op = ops[O.KIND_ADD]
+        a = model.op_duration(op, AcceleratorConfig(pixel_par=4))
+        b = model.op_duration(op, AcceleratorConfig(pixel_par=64, mem_interface_width=512))
+        assert a == b
+
+    def test_dense_runs_on_cpu(self, model, ops):
+        op = ops[O.KIND_DENSE]
+        duration = model.op_duration(op, AcceleratorConfig())
+        expected = op.macs / model.params.cpu_macs_per_s + model.params.cpu_op_overhead_s
+        assert duration == pytest.approx(expected)
+
+
+class TestVectorization:
+    def test_vector_matches_scalar(self, model, ops, hw_space, rng):
+        indices = [int(i) for i in rng.integers(0, hw_space.size, 8)]
+        configs = [hw_space.config_at(i) for i in indices]
+        cols = config_columns(configs)
+        for op in ops.values():
+            vector = model.durations(op, cols)
+            for k, config in enumerate(configs):
+                assert vector[k] == pytest.approx(model.op_duration(op, config), rel=1e-12)
+
+    def test_config_columns_from_single(self):
+        cols = config_columns(AcceleratorConfig())
+        assert all(len(v) == 1 for v in cols.values())

@@ -1,0 +1,65 @@
+"""Tests for the latency lookup table."""
+
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.lut import LatencyLUT, config_key, signature_key
+from repro.accelerator.scheduler import schedule_network
+from repro.nasbench.compile import compile_network
+from repro.nasbench.known_cells import googlenet_cell, resnet_cell
+from repro.nasbench.skeleton import CIFAR10_SKELETON
+
+
+@pytest.fixture
+def ir():
+    return compile_network(googlenet_cell(), CIFAR10_SKELETON)
+
+
+class TestLUT:
+    def test_get_matches_model(self, ir, default_config):
+        lut = LatencyLUT()
+        op = ir.ops[0]
+        assert lut.get(op, default_config) == lut.model.op_duration(op, default_config)
+
+    def test_memoizes(self, ir, default_config):
+        lut = LatencyLUT()
+        lut.get(ir.ops[0], default_config)
+        entries = lut.num_entries
+        lut.get(ir.ops[0], default_config)
+        assert lut.num_entries == entries
+
+    def test_network_durations_align(self, ir, default_config):
+        lut = LatencyLUT()
+        durations = lut.network_durations(ir, default_config)
+        assert len(durations) == len(ir.ops)
+        direct = schedule_network(ir, default_config)
+        via_lut = schedule_network(ir, default_config, durations=durations)
+        assert via_lut.latency_s == pytest.approx(direct.latency_s)
+
+    def test_build_covers_unique_signatures(self, ir, default_config):
+        lut = LatencyLUT().build([ir], [default_config])
+        assert lut.num_entries == len(ir.unique_signatures())
+        assert len(lut.unique_op_signatures()) == len(ir.unique_signatures())
+
+    def test_signature_sharing_across_cells(self, default_config):
+        """Stem/downsample/classifier signatures repeat across cells."""
+        lut = LatencyLUT()
+        ir_a = compile_network(resnet_cell(), CIFAR10_SKELETON)
+        ir_b = compile_network(googlenet_cell(), CIFAR10_SKELETON)
+        lut.build([ir_a], [default_config])
+        before = lut.num_entries
+        lut.build([ir_b], [default_config])
+        added = lut.num_entries - before
+        assert added < len(ir_b.unique_signatures())
+
+    def test_save_load_round_trip(self, ir, default_config, tmp_path):
+        lut = LatencyLUT().build([ir], [default_config])
+        path = lut.save(tmp_path / "lut.json")
+        loaded = LatencyLUT.load(path)
+        assert loaded.num_entries == lut.num_entries
+        op = ir.ops[3]
+        assert loaded.get(op, default_config) == pytest.approx(lut.get(op, default_config))
+
+    def test_keys_hashable(self, ir, default_config):
+        assert isinstance(hash(signature_key(ir.ops[0])), int)
+        assert isinstance(hash(config_key(default_config)), int)

@@ -1,0 +1,54 @@
+"""Tests for the Table I resource/area accounting."""
+
+import pytest
+
+from repro.accelerator.resources import (
+    RELATIVE_AREA,
+    TILE_AREA_MM2,
+    ZYNQ_ULTRASCALE_PLUS,
+    ResourceVector,
+)
+
+
+class TestTable1Constants:
+    def test_relative_areas(self):
+        assert RELATIVE_AREA == {"clb": 1.0, "bram36": 6.0, "dsp": 10.0}
+
+    def test_tile_areas(self):
+        assert TILE_AREA_MM2 == {"clb": 0.0044, "bram36": 0.026, "dsp": 0.044}
+
+    def test_device_totals_match_paper(self):
+        # Paper: 64,922 CLB-equivalents and 286 mm2.
+        assert ZYNQ_ULTRASCALE_PLUS.total_relative_area() == pytest.approx(64_922, rel=0.002)
+        assert ZYNQ_ULTRASCALE_PLUS.total_silicon_area_mm2() == pytest.approx(286, rel=0.005)
+
+
+class TestResourceVector:
+    def test_add(self):
+        v = ResourceVector(1, 2, 3) + ResourceVector(10, 20, 30)
+        assert (v.clb, v.bram36, v.dsp) == (11, 22, 33)
+
+    def test_scale(self):
+        v = ResourceVector(2, 4, 6).scale(0.5)
+        assert (v.clb, v.bram36, v.dsp) == (1, 2, 3)
+
+    def test_relative_area(self):
+        assert ResourceVector(1, 1, 1).relative_area() == 17.0
+
+    def test_silicon_area(self):
+        v = ResourceVector(clb=1000)
+        assert v.silicon_area_mm2() == pytest.approx(4.4)
+
+    def test_to_dict(self):
+        assert ResourceVector(1, 2, 3).to_dict() == {"clb": 1, "bram36": 2, "dsp": 3}
+
+
+class TestDevice:
+    def test_fits(self):
+        assert ZYNQ_ULTRASCALE_PLUS.fits(ResourceVector(1000, 100, 100))
+        assert not ZYNQ_ULTRASCALE_PLUS.fits(ResourceVector(dsp=99_999))
+
+    def test_utilization(self):
+        util = ZYNQ_ULTRASCALE_PLUS.utilization(ResourceVector(dsp=1260))
+        assert util["dsp"] == pytest.approx(0.5)
+        assert util["clb"] == 0.0

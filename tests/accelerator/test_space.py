@@ -1,0 +1,78 @@
+"""Tests for the 8640-point accelerator space."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerator.space import AcceleratorSpace
+
+
+class TestSize:
+    def test_size_is_8640(self, hw_space):
+        assert hw_space.size == 8640
+
+    def test_vocab_sizes(self, hw_space):
+        assert hw_space.vocab_sizes == [2, 5, 6, 4, 3, 3, 2, 2]
+        assert hw_space.num_tokens == 8
+
+
+class TestIndexing:
+    def test_out_of_range_raises(self, hw_space):
+        with pytest.raises(IndexError):
+            hw_space.config_at(8640)
+        with pytest.raises(IndexError):
+            hw_space.config_at(-1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 8639))
+    def test_bijection(self, index):
+        space = AcceleratorSpace()
+        assert space.index_of(space.config_at(index)) == index
+
+    def test_first_and_last(self, hw_space):
+        first = hw_space.config_at(0)
+        assert first.filter_par == 8
+        last = hw_space.config_at(hw_space.size - 1)
+        assert last.pool_enable is True
+
+
+class TestDecode:
+    def test_decode_encode_round_trip(self, hw_space, rng):
+        for _ in range(10):
+            actions = [int(rng.integers(0, v)) for v in hw_space.vocab_sizes]
+            config = hw_space.decode(actions)
+            assert hw_space.encode(config) == actions
+
+    def test_wrong_length(self, hw_space):
+        with pytest.raises(ValueError):
+            hw_space.decode([0, 0])
+
+    def test_out_of_vocab(self, hw_space):
+        actions = [0] * hw_space.num_tokens
+        actions[0] = 5
+        with pytest.raises(ValueError):
+            hw_space.decode(actions)
+
+
+class TestColumns:
+    def test_columns_align_with_config_at(self, hw_space, rng):
+        cols = hw_space.columns()
+        for i in map(int, rng.integers(0, hw_space.size, 25)):
+            config = hw_space.config_at(i)
+            for name, values in cols.items():
+                assert values[i] == getattr(config, name), (i, name)
+
+    def test_column_lengths(self, hw_space):
+        cols = hw_space.columns()
+        assert all(len(v) == hw_space.size for v in cols.values())
+
+    def test_random_config_valid(self, hw_space, rng):
+        config = hw_space.random_config(rng)
+        assert 0 <= hw_space.index_of(config) < hw_space.size
+
+    def test_iteration_matches_indexing(self, hw_space):
+        import itertools
+
+        for i, config in enumerate(itertools.islice(iter(hw_space), 20)):
+            assert config == hw_space.config_at(i)

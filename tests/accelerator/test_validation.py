@@ -1,0 +1,56 @@
+"""Tests for the model-validation harness (Section II-C checks)."""
+
+import pytest
+
+from repro.accelerator.validation import (
+    SyntheticOracle,
+    ValidationReport,
+    validate_area_model,
+    validate_latency_model,
+)
+from repro.accelerator.area import AreaModel
+from repro.accelerator.config import AcceleratorConfig
+from repro.nasbench.compile import compile_network
+from repro.nasbench.known_cells import googlenet_cell
+from repro.nasbench.skeleton import CIFAR10_SKELETON
+
+
+class TestOracle:
+    def test_deterministic(self):
+        oracle = SyntheticOracle(seed=1)
+        model = AreaModel()
+        config = AcceleratorConfig()
+        assert oracle.compiled_area_mm2(config, model) == oracle.compiled_area_mm2(config, model)
+
+    def test_noise_differs_by_config(self):
+        oracle = SyntheticOracle(seed=1)
+        model = AreaModel()
+        a = AcceleratorConfig(pixel_par=4)
+        b = AcceleratorConfig(pixel_par=8)
+        ratio_a = oracle.compiled_area_mm2(a, model) / model.area_mm2(a)
+        ratio_b = oracle.compiled_area_mm2(b, model) / model.area_mm2(b)
+        assert ratio_a != ratio_b
+
+
+class TestReport:
+    def test_error_math(self):
+        report = ValidationReport(predicted=[1.0, 2.0], measured=[1.1, 1.9])
+        assert report.mean_error == pytest.approx((0.1 / 1.1 + 0.1 / 1.9) / 2)
+        assert report.accuracy == pytest.approx(1.0 - report.mean_error)
+
+
+class TestExperiments:
+    def test_area_validation_near_paper(self):
+        report = validate_area_model(n_configs=10, seed=7)
+        assert len(report.predicted) == 10
+        assert report.mean_error < 0.06  # paper: 1.6%
+
+    def test_latency_validation_near_paper(self):
+        ir = compile_network(googlenet_cell(), CIFAR10_SKELETON)
+        report = validate_latency_model(ir, n_configs=10, seed=7)
+        assert 0.7 < report.accuracy <= 1.0  # paper: 85%
+
+    def test_seed_changes_sampled_configs(self):
+        a = validate_area_model(n_configs=5, seed=1)
+        b = validate_area_model(n_configs=5, seed=2)
+        assert a.predicted != b.predicted

@@ -1,0 +1,112 @@
+"""Tests for the search archive."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.core.archive import SearchArchive
+from repro.core.evaluator import CodesignEvaluator
+from repro.core.scenarios import one_constraint, unconstrained
+from repro.nasbench.known_cells import googlenet_cell, resnet_cell
+from repro.nasbench.model_spec import ModelSpec
+from repro.nasbench.ops import CONV3X3, INPUT, OUTPUT
+
+
+@pytest.fixture
+def evaluator():
+    return CodesignEvaluator.from_surrogate(unconstrained())
+
+
+def record_pair(archive, evaluator, spec, config, phase=""):
+    return archive.record(evaluator.evaluate(spec, config), phase=phase)
+
+
+class TestRecording:
+    def test_steps_number_sequentially(self, evaluator, default_config):
+        archive = SearchArchive()
+        record_pair(archive, evaluator, resnet_cell(), default_config)
+        record_pair(archive, evaluator, googlenet_cell(), default_config)
+        assert [e.step for e in archive.entries] == [0, 1]
+        assert len(archive) == 2
+
+    def test_counts(self, evaluator, default_config):
+        archive = SearchArchive()
+        record_pair(archive, evaluator, resnet_cell(), default_config)
+        bad = ModelSpec(np.zeros((3, 3), dtype=int), (INPUT, CONV3X3, OUTPUT))
+        record_pair(archive, evaluator, bad, default_config)
+        assert archive.num_valid == 1
+        assert archive.num_feasible == 1
+
+    def test_phase_tag(self, evaluator, default_config):
+        archive = SearchArchive()
+        entry = record_pair(archive, evaluator, resnet_cell(), default_config, phase="cnn-0")
+        assert entry.phase == "cnn-0"
+
+
+class TestBestAndTopK:
+    def test_best_is_max_reward(self, evaluator):
+        archive = SearchArchive()
+        a = record_pair(archive, evaluator, resnet_cell(), AcceleratorConfig(pixel_par=4))
+        b = record_pair(archive, evaluator, resnet_cell(), AcceleratorConfig(pixel_par=64))
+        assert archive.best().reward == max(a.reward, b.reward)
+
+    def test_best_none_when_all_infeasible(self, default_config):
+        evaluator = CodesignEvaluator.from_surrogate(one_constraint())
+        archive = SearchArchive()
+        # ResNet on the smallest engine blows the 100ms constraint.
+        record_pair(archive, evaluator, resnet_cell(),
+                    AcceleratorConfig(filter_par=8, pixel_par=4))
+        assert archive.best() is None
+
+    def test_top_k_dedupes_pairs(self, evaluator, default_config):
+        archive = SearchArchive()
+        for _ in range(3):
+            record_pair(archive, evaluator, resnet_cell(), default_config)
+        record_pair(archive, evaluator, googlenet_cell(), default_config)
+        top = archive.top_k(10)
+        assert len(top) == 2
+
+    def test_top_k_without_dedupe(self, evaluator, default_config):
+        archive = SearchArchive()
+        for _ in range(3):
+            record_pair(archive, evaluator, resnet_cell(), default_config)
+        assert len(archive.top_k(10, dedupe=False)) == 3
+
+    def test_top_k_sorted(self, evaluator):
+        archive = SearchArchive()
+        for pp in (4, 16, 64):
+            record_pair(archive, evaluator, resnet_cell(), AcceleratorConfig(pixel_par=pp))
+        rewards = [e.reward for e in archive.top_k(3)]
+        assert rewards == sorted(rewards, reverse=True)
+
+
+class TestTraces:
+    def test_reward_trace_length(self, evaluator, default_config):
+        archive = SearchArchive()
+        record_pair(archive, evaluator, resnet_cell(), default_config)
+        assert archive.reward_trace().shape == (1,)
+
+    def test_best_so_far_monotone(self, evaluator):
+        archive = SearchArchive()
+        for pp in (4, 64, 16):
+            record_pair(archive, evaluator, resnet_cell(), AcceleratorConfig(pixel_par=pp))
+        trace = archive.best_so_far_trace()
+        assert np.all(np.diff(trace[~np.isnan(trace)]) >= 0)
+
+    def test_nan_before_first_feasible(self, default_config):
+        evaluator = CodesignEvaluator.from_surrogate(one_constraint())
+        archive = SearchArchive()
+        record_pair(archive, evaluator, resnet_cell(),
+                    AcceleratorConfig(filter_par=8, pixel_par=4))
+        record_pair(archive, evaluator, resnet_cell(),
+                    AcceleratorConfig(filter_par=16, pixel_par=64))
+        trace = archive.best_so_far_trace()
+        assert np.isnan(trace[0])
+        assert not np.isnan(trace[1])
+
+    def test_distinct_pairs(self, evaluator, default_config):
+        archive = SearchArchive()
+        record_pair(archive, evaluator, resnet_cell(), default_config)
+        record_pair(archive, evaluator, resnet_cell(), default_config)
+        record_pair(archive, evaluator, googlenet_cell(), default_config)
+        assert archive.distinct_pairs() == 2

@@ -1,0 +1,112 @@
+"""Tests for the codesign evaluator E(s)."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.core.evaluator import CodesignEvaluator
+from repro.core.reward import MetricBounds, RewardConfig
+from repro.core.scenarios import unconstrained
+from repro.nasbench.database import CellDatabase, enumerate_unique_cells, sample_unique_cells
+from repro.nasbench.known_cells import resnet_cell
+from repro.nasbench.model_spec import ModelSpec
+from repro.nasbench.ops import CONV3X3, INPUT, OUTPUT
+from repro.nasbench.surrogate import Cifar10Surrogate
+
+
+@pytest.fixture(scope="module")
+def db():
+    return CellDatabase.from_specs(enumerate_unique_cells(4))
+
+
+@pytest.fixture
+def db_evaluator(db):
+    return CodesignEvaluator.from_database(db, unconstrained())
+
+
+class TestEvaluation:
+    def test_valid_pair(self, db_evaluator, default_config):
+        result = db_evaluator.evaluate(resnet_cell(), default_config)
+        assert result.valid and result.feasible
+        assert result.metrics.accuracy > 85
+        assert result.metrics.latency_s > 0
+
+    def test_invalid_spec_punished(self, db_evaluator, default_config):
+        bad = ModelSpec(np.zeros((3, 3), dtype=int), (INPUT, CONV3X3, OUTPUT))
+        result = db_evaluator.evaluate(bad, default_config)
+        assert not result.valid
+        assert result.metrics is None
+        assert result.reward.value < 0
+
+    def test_outside_database_punished(self, db_evaluator, default_config):
+        outside = sample_unique_cells(1, seed=0)[0]  # 6-7 vertices
+        result = db_evaluator.evaluate(outside, default_config)
+        assert not result.valid
+        assert result.reward.value < 0
+
+    def test_surrogate_evaluator_accepts_any_valid(self, default_config):
+        evaluator = CodesignEvaluator.from_surrogate(unconstrained())
+        outside = sample_unique_cells(1, seed=0)[0]
+        result = evaluator.evaluate(outside, default_config)
+        assert result.valid
+
+    def test_accuracy_matches_database(self, db, db_evaluator):
+        record = db.records[0]
+        assert db_evaluator.accuracy(record.spec) == record.validation_accuracy
+
+
+class TestCaching:
+    def test_latency_cached(self, db_evaluator, default_config):
+        spec = resnet_cell()
+        first = db_evaluator.latency_s(spec, default_config)
+        assert len(db_evaluator._latency_cache) == 1
+        assert db_evaluator.latency_s(spec, default_config) == first
+        assert len(db_evaluator._latency_cache) == 1
+
+    def test_evaluation_counter(self, db_evaluator, default_config):
+        db_evaluator.evaluate(resnet_cell(), default_config)
+        db_evaluator.evaluate(resnet_cell(), default_config)
+        assert db_evaluator.num_evaluations == 2
+
+    def test_with_reward_shares_caches(self, db_evaluator, default_config):
+        db_evaluator.evaluate(resnet_cell(), default_config)
+        clone = db_evaluator.with_reward(
+            RewardConfig(weights=(0, 0, 1), bounds=MetricBounds())
+        )
+        assert clone._latency_cache is db_evaluator._latency_cache
+        result = clone.evaluate(resnet_cell(), default_config)
+        assert result.valid
+
+    def test_with_reward_changes_reward_only(self, db_evaluator, default_config):
+        base = db_evaluator.evaluate(resnet_cell(), default_config)
+        clone = db_evaluator.with_reward(
+            RewardConfig(weights=(0, 0, 1), bounds=db_evaluator.reward_fn.config.bounds)
+        )
+        other = clone.evaluate(resnet_cell(), default_config)
+        assert other.metrics.latency_s == base.metrics.latency_s
+        assert other.reward.value != base.reward.value
+
+
+class TestLatencyTable:
+    def test_fast_path_matches_fallback(self, micro4_bundle):
+        bundle = micro4_bundle
+        scenario = unconstrained(bundle.bounds)
+        fast = CodesignEvaluator.from_database(bundle.database, scenario)
+        fast.attach_latency_table(bundle.latency_ms, bundle.row_of_hash(), bundle.space)
+        slow = CodesignEvaluator.from_database(bundle.database, scenario)
+        spec = bundle.database.records[3].spec
+        gen = np.random.default_rng(0)
+        for i in map(int, gen.integers(0, bundle.space.size, 5)):
+            config = bundle.space.config_at(i)
+            assert fast.latency_s(spec, config) == pytest.approx(
+                slow.latency_s(spec, config), rel=1e-6
+            )
+
+    def test_unknown_cell_falls_back(self, micro4_bundle, default_config):
+        bundle = micro4_bundle
+        evaluator = CodesignEvaluator.from_surrogate(unconstrained(bundle.bounds))
+        evaluator.attach_latency_table(
+            bundle.latency_ms, bundle.row_of_hash(), bundle.space
+        )
+        outside = sample_unique_cells(1, seed=1)[0]
+        assert evaluator.latency_s(outside, default_config) > 0

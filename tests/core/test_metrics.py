@@ -1,0 +1,45 @@
+"""Tests for metrics and the perf/area arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import METRIC_NAMES, Metrics, perf_per_area
+
+
+class TestPerfPerArea:
+    def test_reproduces_table2_resnet_row(self):
+        """Paper Table II: 42.0 ms on 186 mm2 -> 12.8 img/s/cm2."""
+        assert perf_per_area(0.042, 186.0) == pytest.approx(12.8, abs=0.05)
+
+    def test_reproduces_table2_googlenet_row(self):
+        """Paper Table II: 19.3 ms on 132 mm2 -> 39.3 img/s/cm2."""
+        assert perf_per_area(0.0193, 132.0) == pytest.approx(39.3, abs=0.1)
+
+    def test_vectorized(self):
+        out = perf_per_area(np.array([0.042, 0.0193]), np.array([186.0, 132.0]))
+        assert out.shape == (2,)
+
+
+class TestMetrics:
+    def test_properties(self):
+        m = Metrics(accuracy=93.0, latency_s=0.02, area_mm2=100.0)
+        assert m.latency_ms == 20.0
+        assert m.perf_per_area == pytest.approx(50.0)
+
+    def test_objective_vector_signs(self):
+        m = Metrics(accuracy=93.0, latency_s=0.02, area_mm2=100.0)
+        vec = m.objective_vector()
+        assert vec[0] == -100.0
+        assert vec[1] == -20.0
+        assert vec[2] == 93.0
+        assert len(vec) == len(METRIC_NAMES)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Metrics(accuracy=90.0, latency_s=0.0, area_mm2=100.0)
+        with pytest.raises(ValueError):
+            Metrics(accuracy=90.0, latency_s=0.01, area_mm2=-1.0)
+
+    def test_to_dict_keys(self):
+        d = Metrics(accuracy=90.0, latency_s=0.01, area_mm2=80.0).to_dict()
+        assert set(d) == {"accuracy", "latency_ms", "area_mm2", "perf_per_area"}

@@ -1,0 +1,145 @@
+"""Tests for the MOO reward (Eq. 3) and punishment Rv."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import Metrics
+from repro.core.reward import (
+    Constraints,
+    MetricBounds,
+    RewardConfig,
+    RewardFunction,
+)
+
+BOUNDS = MetricBounds(area_mm2=(50, 200), latency_ms=(10, 400), accuracy=(85, 95))
+
+
+def metrics(acc=90.0, lat_ms=100.0, area=100.0):
+    return Metrics(accuracy=acc, latency_s=lat_ms / 1e3, area_mm2=area)
+
+
+class TestNormalization:
+    def test_midpoints(self):
+        n = BOUNDS.normalize(metrics(acc=90.0, lat_ms=205.0, area=125.0))
+        assert n[0] == pytest.approx(0.5)
+        assert n[1] == pytest.approx(0.5)
+        assert n[2] == pytest.approx(0.5)
+
+    def test_costs_invert(self):
+        best = BOUNDS.normalize(metrics(lat_ms=10.0, area=50.0, acc=95.0))
+        assert np.allclose(best, 1.0)
+
+    def test_clipping(self):
+        n = BOUNDS.normalize(metrics(lat_ms=1000.0, area=500.0, acc=50.0))
+        assert np.allclose(n, 0.0)
+
+    def test_from_arrays(self):
+        b = MetricBounds.from_arrays(
+            np.array([60.0, 180.0]), np.array([20.0, 300.0]), np.array([88.0, 94.0])
+        )
+        assert b.area_mm2 == (60.0, 180.0)
+        assert b.latency_ms == (20.0, 300.0)
+        assert b.accuracy == (88.0, 94.0)
+
+
+class TestConstraints:
+    def test_no_constraints_always_satisfied(self):
+        assert Constraints().satisfied(metrics())
+
+    def test_each_kind_of_violation(self):
+        c = Constraints(
+            max_area_mm2=90.0,
+            max_latency_ms=50.0,
+            min_accuracy=92.0,
+            min_perf_per_area=100.0,
+        )
+        v = c.violations(metrics(acc=90.0, lat_ms=100.0, area=100.0))
+        assert set(v) == {"area", "latency", "accuracy", "perf_per_area"}
+        assert all(x > 0 for x in v.values())
+
+    def test_violation_magnitude_scales(self):
+        c = Constraints(max_latency_ms=100.0)
+        small = c.violations(metrics(lat_ms=110.0))["latency"]
+        large = c.violations(metrics(lat_ms=200.0))["latency"]
+        assert large > small
+
+    def test_boundary_is_feasible(self):
+        c = Constraints(max_latency_ms=100.0)
+        assert c.satisfied(metrics(lat_ms=100.0))
+
+
+class TestRewardFunction:
+    def test_weighted_sum(self):
+        cfg = RewardConfig(weights=(0.1, 0.8, 0.1), bounds=BOUNDS)
+        result = RewardFunction(cfg)(metrics(acc=90.0, lat_ms=205.0, area=125.0))
+        assert result.feasible and result.valid
+        assert result.value == pytest.approx(0.5)
+
+    def test_infeasible_gets_punishment(self):
+        cfg = RewardConfig(
+            weights=(0, 1, 0),
+            constraints=Constraints(max_latency_ms=50.0),
+            bounds=BOUNDS,
+        )
+        result = RewardFunction(cfg)(metrics(lat_ms=100.0))
+        assert not result.feasible
+        assert result.valid
+        assert result.value < 0
+        assert "latency" in result.violations
+
+    def test_punishment_scales_with_distance(self):
+        cfg = RewardConfig(constraints=Constraints(max_latency_ms=50.0), bounds=BOUNDS)
+        fn = RewardFunction(cfg)
+        near = fn(metrics(lat_ms=55.0)).value
+        far = fn(metrics(lat_ms=300.0)).value
+        assert far < near < 0
+
+    def test_punishment_capped(self):
+        cfg = RewardConfig(constraints=Constraints(max_latency_ms=1.0), bounds=BOUNDS)
+        assert RewardFunction(cfg)(metrics(lat_ms=400.0)).value >= -1.0
+
+    def test_invalid_spec_maximal_punishment(self):
+        cfg = RewardConfig(bounds=BOUNDS, punishment_scale=0.7)
+        result = RewardFunction(cfg)(None)
+        assert not result.valid
+        assert result.value == pytest.approx(-0.7)
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            RewardConfig(weights=(0.5, 0.5))
+        with pytest.raises(ValueError):
+            RewardConfig(weights=(-0.1, 0.6, 0.5))
+
+
+class TestRewardArray:
+    def test_matches_scalar_on_feasible(self):
+        cfg = RewardConfig(weights=(0.2, 0.3, 0.5), bounds=BOUNDS)
+        fn = RewardFunction(cfg)
+        m = metrics(acc=91.0, lat_ms=120.0, area=140.0)
+        array = fn.reward_array(
+            np.array([m.area_mm2]), np.array([m.latency_ms]), np.array([m.accuracy])
+        )
+        assert array[0] == pytest.approx(fn(m).value)
+
+    def test_nan_on_infeasible(self):
+        cfg = RewardConfig(constraints=Constraints(min_accuracy=92.0), bounds=BOUNDS)
+        fn = RewardFunction(cfg)
+        array = fn.reward_array(
+            np.array([100.0, 100.0]),
+            np.array([50.0, 50.0]),
+            np.array([91.0, 93.0]),
+        )
+        assert np.isnan(array[0])
+        assert not np.isnan(array[1])
+
+    def test_perf_per_area_constraint(self):
+        cfg = RewardConfig(
+            constraints=Constraints(min_perf_per_area=50.0), bounds=BOUNDS
+        )
+        fn = RewardFunction(cfg)
+        # 20ms on 100mm2 -> 50 img/s/cm2 (boundary feasible).
+        array = fn.reward_array(
+            np.array([100.0, 100.0]), np.array([20.0, 40.0]), np.array([90.0, 90.0])
+        )
+        assert not np.isnan(array[0])
+        assert np.isnan(array[1])

@@ -1,0 +1,44 @@
+"""Tests for the paper's reward scenarios."""
+
+import pytest
+
+from repro.core.scenarios import (
+    CIFAR100_THRESHOLD_SCHEDULE,
+    PAPER_SCENARIOS,
+    cifar100_threshold,
+    one_constraint,
+    two_constraints,
+    unconstrained,
+)
+
+
+class TestScenarioDefinitions:
+    def test_unconstrained_weights(self):
+        cfg = unconstrained()
+        assert cfg.weights == (0.1, 0.8, 0.1)
+        assert cfg.constraints.max_latency_ms is None
+
+    def test_one_constraint(self):
+        cfg = one_constraint()
+        assert cfg.weights == (0.1, 0.0, 0.9)
+        assert cfg.constraints.max_latency_ms == 100.0
+
+    def test_two_constraints(self):
+        cfg = two_constraints()
+        assert cfg.weights == (0.0, 1.0, 0.0)
+        assert cfg.constraints.max_area_mm2 == 100.0
+        assert cfg.constraints.min_accuracy == 92.0
+
+    def test_registry_complete(self):
+        assert set(PAPER_SCENARIOS) == {"unconstrained", "1-constraint", "2-constraints"}
+        for factory in PAPER_SCENARIOS.values():
+            factory()
+
+    def test_threshold_schedule_matches_paper(self):
+        assert CIFAR100_THRESHOLD_SCHEDULE == (2.0, 8.0, 16.0, 30.0, 40.0)
+
+    def test_cifar100_scenario(self):
+        cfg = cifar100_threshold(16.0)
+        assert cfg.constraints.min_perf_per_area == 16.0
+        assert cfg.weights == (0.0, 0.0, 1.0)
+        assert "16" in cfg.name

@@ -1,0 +1,51 @@
+"""Tests for the joint CNN x HW search space."""
+
+import pytest
+
+from repro.core.search_space import JointSearchSpace
+from repro.nasbench.encoding import CellEncoding
+from repro.nasbench.known_cells import resnet_cell
+
+
+class TestShape:
+    def test_full_space_tokens(self):
+        space = JointSearchSpace()
+        assert space.num_cnn_tokens == 26
+        assert space.num_hw_tokens == 8
+        assert space.num_tokens == 34
+        assert len(space.vocab_sizes) == 34
+
+    def test_micro_space(self):
+        space = JointSearchSpace(cell_encoding=CellEncoding(max_vertices=5))
+        assert space.num_cnn_tokens == 13
+
+    def test_raw_size(self):
+        space = JointSearchSpace(cell_encoding=CellEncoding(max_vertices=5))
+        assert space.raw_size() == (2**10 * 3**3) * 8640
+
+
+class TestDecode:
+    def test_split(self, rng):
+        space = JointSearchSpace()
+        actions = space.random_actions(rng)
+        cnn, hw = space.split(actions)
+        assert len(cnn) == 26 and len(hw) == 8
+
+    def test_split_wrong_length(self):
+        with pytest.raises(ValueError):
+            JointSearchSpace().split([0, 1])
+
+    def test_decode_types(self, rng):
+        space = JointSearchSpace()
+        spec, config = space.decode(space.random_actions(rng))
+        assert hasattr(spec, "valid")
+        assert hasattr(config, "pixel_par")
+
+    def test_encode_round_trip(self, rng):
+        space = JointSearchSpace()
+        spec = resnet_cell()
+        config = space.accelerator_space.config_at(1234)
+        actions = space.encode(spec, config)
+        spec2, config2 = space.decode(actions)
+        assert spec2.spec_hash() == spec.spec_hash()
+        assert config2 == config

@@ -1,0 +1,88 @@
+"""Tests for the reference cells (Fig. 8 and Section IV baselines)."""
+
+from repro.nasbench import ops as O
+from repro.nasbench.compile import compile_network
+from repro.nasbench.known_cells import (
+    KNOWN_CELLS,
+    cod1_cell,
+    cod2_cell,
+    googlenet_cell,
+    resnet_cell,
+)
+from repro.nasbench.ops import CONV1X1, CONV3X3, MAXPOOL3X3
+from repro.nasbench.skeleton import CIFAR10_SKELETON
+
+
+class TestAllCells:
+    def test_all_valid(self, known_cell):
+        assert known_cell.valid
+
+    def test_hashes_distinct(self):
+        hashes = {f().spec_hash() for f in KNOWN_CELLS.values()}
+        assert len(hashes) == len(KNOWN_CELLS)
+
+    def test_all_compile(self, known_cell):
+        ir = compile_network(known_cell, CIFAR10_SKELETON)
+        assert ir.total_macs > 0
+
+
+class TestResNet:
+    def test_structure(self):
+        spec = resnet_cell()
+        assert spec.num_vertices == 4
+        assert spec.op_counts()[CONV3X3] == 2
+        assert spec.has_output_skip()
+
+    def test_skip_becomes_projection_add(self):
+        ir = compile_network(resnet_cell(), CIFAR10_SKELETON)
+        counts = ir.count_kinds()
+        assert counts[O.KIND_ADD] == 9  # one per cell
+
+
+class TestGoogLeNet:
+    def test_structure(self):
+        spec = googlenet_cell()
+        assert spec.num_vertices == 7
+        counts = spec.op_counts()
+        assert counts[CONV1X1] == 3
+        assert counts[CONV3X3] == 1
+        assert counts[MAXPOOL3X3] == 1
+
+    def test_three_branches_concat(self):
+        ir = compile_network(googlenet_cell(), CIFAR10_SKELETON)
+        concats = [op for op in ir.ops if op.kind == O.KIND_CONCAT]
+        assert len(concats) == 9
+        assert all(len(op.deps) == 3 for op in concats)
+
+
+class TestCodCells:
+    def test_cod1_matches_figure_inventory(self):
+        spec = cod1_cell()
+        counts = spec.op_counts()
+        assert counts[CONV3X3] == 2
+        assert counts[CONV1X1] == 1
+        assert spec.has_output_skip()
+        ir = compile_network(spec, CIFAR10_SKELETON)
+        kinds = ir.count_kinds()
+        # Two element-wise adds inside each cell plus concat at output.
+        assert kinds[O.KIND_ADD] == 3 * 9
+        assert kinds[O.KIND_CONCAT] == 9
+
+    def test_cod2_matches_figure_inventory(self):
+        spec = cod2_cell()
+        counts = spec.op_counts()
+        assert counts[MAXPOOL3X3] == 1
+        assert counts[CONV3X3] == 1
+        ir = compile_network(spec, CIFAR10_SKELETON)
+        kinds = ir.count_kinds()
+        # Two input projections per cell (one feeding the pool, one
+        # merged with the pool result before the conv3x3).
+        assert kinds[O.KIND_PROJ1X1] == 2 * 9
+        assert kinds[O.KIND_MAXPOOL3X3] == 9
+
+    def test_cod1_mac_mix_favors_3x3(self):
+        """The basis of the ratio_conv_engines=1x1-share reading."""
+        ir = compile_network(cod2_cell(), CIFAR10_SKELETON)
+        macs_3x3 = sum(op.macs for op in ir.ops if O.is_conv3x3_shaped(op.kind))
+        macs_1x1 = sum(op.macs for op in ir.ops if O.is_conv1x1_shaped(op.kind))
+        assert macs_3x3 > 2 * macs_1x1

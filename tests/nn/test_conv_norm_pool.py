@@ -1,0 +1,158 @@
+"""Tests for Conv2D / BatchNorm2D / pooling with gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.conv import Conv2D
+from repro.nn.norm import BatchNorm2D
+from repro.nn.pool import MaxPool2x2, MaxPool3x3Same
+
+
+def naive_conv_same(x, weight, k):
+    b, c, h, w = x.shape
+    f = weight.shape[0]
+    kernel = weight.reshape(f, c, k, k)
+    p = k // 2
+    padded = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)))
+    out = np.zeros((b, f, h, w))
+    for bi in range(b):
+        for fi in range(f):
+            for i in range(h):
+                for j in range(w):
+                    patch = padded[bi, :, i: i + k, j: j + k]
+                    out[bi, fi, i, j] = np.sum(patch * kernel[fi])
+    return out
+
+
+class TestConv2D:
+    def test_matches_naive(self, rng):
+        conv = Conv2D(2, 3, 3, rng)
+        x = rng.normal(size=(2, 2, 5, 5))
+        assert np.allclose(conv.forward(x), naive_conv_same(x, conv.params["weight"], 3))
+
+    def test_1x1_is_channel_mix(self, rng):
+        conv = Conv2D(3, 2, 1, rng)
+        x = rng.normal(size=(1, 3, 4, 4))
+        out = conv.forward(x)
+        w = conv.params["weight"]
+        expected = np.einsum("fc,bchw->bfhw", w, x)
+        assert np.allclose(out, expected)
+
+    def test_rejects_even_kernel(self, rng):
+        with pytest.raises(ValueError):
+            Conv2D(2, 2, 2, rng)
+
+    def test_rejects_wrong_channels(self, rng):
+        conv = Conv2D(2, 3, 3, rng)
+        with pytest.raises(ValueError):
+            conv.forward(np.zeros((1, 5, 4, 4)))
+
+    def test_gradients(self, rng):
+        conv = Conv2D(2, 2, 3, rng)
+        x = rng.normal(size=(1, 2, 4, 4))
+        dout = rng.normal(size=(1, 2, 4, 4))
+        conv.forward(x)
+        conv.zero_grads()
+        (dx,) = conv.backward(dout)
+        eps = 1e-6
+        # weight gradient
+        flat = conv.params["weight"].reshape(-1)
+        gflat = conv.grads["weight"].reshape(-1)
+        for idx in rng.choice(flat.size, size=5, replace=False):
+            orig = flat[idx]
+            flat[idx] = orig + eps
+            plus = float(np.sum(conv.forward(x) * dout))
+            flat[idx] = orig - eps
+            minus = float(np.sum(conv.forward(x) * dout))
+            flat[idx] = orig
+            assert (plus - minus) / (2 * eps) == pytest.approx(gflat[idx], rel=1e-4, abs=1e-7)
+        # input gradient
+        xflat = x.reshape(-1)
+        dxflat = dx.reshape(-1)
+        for idx in rng.choice(xflat.size, size=5, replace=False):
+            orig = xflat[idx]
+            xflat[idx] = orig + eps
+            plus = float(np.sum(conv.forward(x) * dout))
+            xflat[idx] = orig - eps
+            minus = float(np.sum(conv.forward(x) * dout))
+            xflat[idx] = orig
+            assert (plus - minus) / (2 * eps) == pytest.approx(dxflat[idx], rel=1e-4, abs=1e-7)
+
+
+class TestBatchNorm:
+    def test_normalizes_in_train_mode(self, rng):
+        bn = BatchNorm2D(3)
+        x = rng.normal(loc=5.0, scale=2.0, size=(8, 3, 4, 4))
+        out = bn.forward(x)
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+        assert np.allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2D(2)
+        for _ in range(50):
+            bn.forward(rng.normal(loc=3.0, size=(16, 2, 2, 2)))
+        bn.training = False
+        out = bn.forward(np.full((4, 2, 2, 2), 3.0))
+        assert np.allclose(out, 0.0, atol=0.3)
+
+    def test_gradients(self, rng):
+        bn = BatchNorm2D(2)
+        x = rng.normal(size=(4, 2, 3, 3))
+        dout = rng.normal(size=(4, 2, 3, 3))
+        bn.forward(x)
+        bn.zero_grads()
+        (dx,) = bn.backward(dout)
+        eps = 1e-6
+        xflat = x.reshape(-1)
+        dxflat = dx.reshape(-1)
+        for idx in rng.choice(xflat.size, size=6, replace=False):
+            orig = xflat[idx]
+            xflat[idx] = orig + eps
+            plus = float(np.sum(bn.forward(x) * dout))
+            xflat[idx] = orig - eps
+            minus = float(np.sum(bn.forward(x) * dout))
+            xflat[idx] = orig
+            assert (plus - minus) / (2 * eps) == pytest.approx(dxflat[idx], rel=1e-3, abs=1e-6)
+
+    def test_rejects_wrong_channels(self, rng):
+        with pytest.raises(ValueError):
+            BatchNorm2D(3).forward(np.zeros((1, 2, 2, 2)))
+
+
+class TestPools:
+    def test_maxpool3x3_shape_preserved(self, rng):
+        x = rng.normal(size=(2, 3, 5, 5))
+        assert MaxPool3x3Same().forward(x).shape == x.shape
+
+    def test_maxpool3x3_values(self):
+        x = np.zeros((1, 1, 3, 3))
+        x[0, 0, 1, 1] = 7.0
+        out = MaxPool3x3Same().forward(x)
+        assert np.all(out == 7.0)  # the centre dominates every window
+
+    def test_maxpool3x3_gradient_routes_to_argmax(self):
+        pool = MaxPool3x3Same()
+        x = np.zeros((1, 1, 3, 3))
+        x[0, 0, 1, 1] = 7.0
+        pool.forward(x)
+        (dx,) = pool.backward(np.ones((1, 1, 3, 3)))
+        assert dx[0, 0, 1, 1] == 9.0
+        assert dx.sum() == 9.0
+
+    def test_maxpool2x2_downsamples(self, rng):
+        x = rng.normal(size=(1, 2, 6, 6))
+        out = MaxPool2x2().forward(x)
+        assert out.shape == (1, 2, 3, 3)
+        assert out[0, 0, 0, 0] == x[0, 0, :2, :2].max()
+
+    def test_maxpool2x2_rejects_odd(self, rng):
+        with pytest.raises(ValueError):
+            MaxPool2x2().forward(rng.normal(size=(1, 1, 5, 5)))
+
+    def test_maxpool2x2_gradient(self, rng):
+        pool = MaxPool2x2()
+        x = rng.normal(size=(1, 1, 4, 4))
+        out = pool.forward(x)
+        (dx,) = pool.backward(np.ones_like(out))
+        assert dx.sum() == out.size
+        assert np.count_nonzero(dx) == out.size

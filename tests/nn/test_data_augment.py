@@ -1,0 +1,96 @@
+"""Tests for the synthetic dataset and augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.nn.augment import augment_batch
+from repro.nn.data import ImageDataset, synthetic_cifar
+from repro.nn.dense import Dense
+from repro.nn.loss import SoftmaxCrossEntropy
+
+
+class TestDataset:
+    def test_shapes(self):
+        train, test = synthetic_cifar(n_train=64, n_test=16, n_classes=5, size=16)
+        assert train.images.shape == (64, 3, 16, 16)
+        assert test.labels.shape == (16,)
+        assert set(np.unique(train.labels)) <= set(range(5))
+
+    def test_deterministic(self):
+        a, _ = synthetic_cifar(n_train=8, n_test=4, seed=3)
+        b, _ = synthetic_cifar(n_train=8, n_test=4, seed=3)
+        assert np.array_equal(a.images, b.images)
+
+    def test_classes_are_separable(self):
+        """Same-class samples are closer than cross-class samples."""
+        train, _ = synthetic_cifar(n_train=200, n_test=4, n_classes=2, size=8, seed=0)
+        cls0 = train.images[train.labels == 0]
+        cls1 = train.images[train.labels == 1]
+        within = np.linalg.norm(cls0[0] - cls0[1])
+        across = np.linalg.norm(cls0[0] - cls1[0])
+        assert across > within
+
+    def test_batches_cover_everything(self, rng):
+        ds = ImageDataset(np.zeros((10, 1, 2, 2)), np.arange(10))
+        seen = []
+        for images, labels in ds.batches(3, rng):
+            seen.extend(labels.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ImageDataset(np.zeros((3, 1, 2, 2)), np.zeros(4, dtype=int))
+
+
+class TestAugment:
+    def test_shape_preserved(self, rng):
+        x = rng.normal(size=(4, 3, 16, 16))
+        assert augment_batch(x, rng).shape == x.shape
+
+    def test_deterministic_given_rng(self):
+        x = np.random.default_rng(0).normal(size=(4, 3, 8, 8))
+        a = augment_batch(x, np.random.default_rng(1))
+        b = augment_batch(x, np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+    def test_content_comes_from_padded_source(self, rng):
+        """Every augmented pixel is either zero (pad) or an original pixel."""
+        x = rng.normal(size=(2, 1, 8, 8))
+        out = augment_batch(x, rng, pad=2)
+        original = set(np.round(x.reshape(-1), 9)) | {0.0}
+        assert set(np.round(out.reshape(-1), 9)) <= original
+
+
+class TestLossAndDense:
+    def test_dense_gradcheck(self, rng):
+        dense = Dense(4, 3, rng)
+        loss = SoftmaxCrossEntropy()
+        x = rng.normal(size=(5, 4))
+        y = np.array([0, 1, 2, 1, 0])
+
+        def f():
+            return loss.forward(dense.forward(x), y)
+
+        dense.zero_grads()
+        f()
+        dense.backward(loss.backward())
+        eps = 1e-6
+        flat = dense.params["weight"].reshape(-1)
+        g = dense.grads["weight"].reshape(-1)
+        for idx in rng.choice(flat.size, size=4, replace=False):
+            orig = flat[idx]
+            flat[idx] = orig + eps
+            plus = f()
+            flat[idx] = orig - eps
+            minus = f()
+            flat[idx] = orig
+            assert (plus - minus) / (2 * eps) == pytest.approx(g[idx], rel=1e-4, abs=1e-8)
+
+    def test_ce_loss_of_uniform_logits(self):
+        loss = SoftmaxCrossEntropy()
+        value = loss.forward(np.zeros((2, 4)), np.array([0, 3]))
+        assert value == pytest.approx(np.log(4))
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert SoftmaxCrossEntropy.accuracy(logits, np.array([0, 0])) == 0.5

@@ -1,0 +1,108 @@
+"""Tests for point-wise layers with numeric gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Add, Concat, GlobalAvgPool, ReLU, Truncate
+
+
+def numeric_input_grad(layer, inputs, input_index, dout, eps=1e-6):
+    """Central differences of sum(forward * dout) w.r.t. one input."""
+    x = inputs[input_index]
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for idx in range(flat.size):
+        orig = flat[idx]
+        flat[idx] = orig + eps
+        plus = float(np.sum(layer.forward(*inputs) * dout))
+        flat[idx] = orig - eps
+        minus = float(np.sum(layer.forward(*inputs) * dout))
+        flat[idx] = orig
+        gflat[idx] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestReLU:
+    def test_forward(self):
+        out = ReLU().forward(np.array([[-1.0, 2.0]]))
+        assert list(out[0]) == [0.0, 2.0]
+
+    def test_backward_masks(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 2.0]]))
+        (dx,) = layer.backward(np.array([[5.0, 5.0]]))
+        assert list(dx[0]) == [0.0, 5.0]
+
+
+class TestTruncate:
+    def test_slices_channels(self, rng):
+        x = rng.normal(size=(2, 6, 3, 3))
+        out = Truncate(4).forward(x)
+        assert out.shape == (2, 4, 3, 3)
+        assert np.array_equal(out, x[:, :4])
+
+    def test_backward_zero_pads(self, rng):
+        layer = Truncate(2)
+        x = rng.normal(size=(1, 4, 2, 2))
+        layer.forward(x)
+        (dx,) = layer.backward(np.ones((1, 2, 2, 2)))
+        assert dx.shape == x.shape
+        assert np.all(dx[:, 2:] == 0)
+
+    def test_cannot_grow(self, rng):
+        with pytest.raises(ValueError):
+            Truncate(8).forward(rng.normal(size=(1, 4, 2, 2)))
+
+
+class TestAdd:
+    def test_sums_with_truncation(self, rng):
+        layer = Add(channels=3)
+        a = rng.normal(size=(1, 3, 2, 2))
+        b = rng.normal(size=(1, 5, 2, 2))
+        out = layer.forward(a, b)
+        assert np.allclose(out, a + b[:, :3])
+
+    def test_backward_numeric(self, rng):
+        layer = Add(channels=2)
+        a = rng.normal(size=(1, 2, 2, 2))
+        b = rng.normal(size=(1, 3, 2, 2))
+        dout = rng.normal(size=(1, 2, 2, 2))
+        layer.forward(a, b)
+        grads = layer.backward(dout)
+        for k, x in enumerate((a, b)):
+            numeric = numeric_input_grad(layer, [a, b], k, dout)
+            assert np.allclose(grads[k], numeric, atol=1e-6)
+
+
+class TestConcat:
+    def test_forward_channel_sum(self, rng):
+        a = rng.normal(size=(1, 2, 2, 2))
+        b = rng.normal(size=(1, 3, 2, 2))
+        assert Concat().forward(a, b).shape == (1, 5, 2, 2)
+
+    def test_backward_splits(self, rng):
+        layer = Concat()
+        a = rng.normal(size=(1, 2, 2, 2))
+        b = rng.normal(size=(1, 3, 2, 2))
+        layer.forward(a, b)
+        dout = rng.normal(size=(1, 5, 2, 2))
+        da, db = layer.backward(dout)
+        assert np.array_equal(da, dout[:, :2])
+        assert np.array_equal(db, dout[:, 2:])
+
+
+class TestGlobalAvgPool:
+    def test_forward(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = GlobalAvgPool().forward(x)
+        assert out.shape == (2, 3)
+        assert np.allclose(out, x.mean(axis=(2, 3)))
+
+    def test_backward_uniform(self, rng):
+        layer = GlobalAvgPool()
+        x = rng.normal(size=(1, 2, 2, 2))
+        layer.forward(x)
+        (dx,) = layer.backward(np.array([[4.0, 8.0]]))
+        assert np.allclose(dx[0, 0], 1.0)
+        assert np.allclose(dx[0, 1], 2.0)

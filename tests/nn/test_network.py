@@ -1,0 +1,130 @@
+"""Tests for IR-driven networks: builder fidelity and training."""
+
+import numpy as np
+import pytest
+
+from repro.nasbench.compile import compile_network
+from repro.nasbench.known_cells import KNOWN_CELLS
+from repro.nn.builder import build_network
+from repro.nn.data import synthetic_cifar
+from repro.nn.loss import SoftmaxCrossEntropy
+from repro.nn.schedule import ConstantLR, CosineDecay
+from repro.nn.trainer import TrainConfig, Trainer
+
+
+class TestBuilder:
+    def test_param_count_matches_ir(self, known_cell, tiny_skeleton):
+        net = build_network(known_cell, tiny_skeleton, seed=0)
+        ir = compile_network(known_cell, tiny_skeleton)
+        assert net.num_params() == ir.total_params
+
+    def test_forward_shape(self, known_cell, tiny_skeleton, rng):
+        net = build_network(known_cell, tiny_skeleton, seed=0)
+        x = rng.normal(size=(2, 2, 8, 8))
+        assert net.forward(x).shape == (2, 3)
+
+    def test_backward_runs(self, known_cell, tiny_skeleton, rng):
+        net = build_network(known_cell, tiny_skeleton, seed=0)
+        x = rng.normal(size=(2, 2, 8, 8))
+        net.forward(x)
+        dinput = net.backward(np.ones((2, 3)) * 0.1)
+        assert dinput.shape == x.shape
+
+    def test_invalid_spec_raises(self, tiny_skeleton):
+        from repro.nasbench.model_spec import InvalidSpecError, ModelSpec
+        from repro.nasbench.ops import CONV3X3, INPUT, OUTPUT
+
+        bad = ModelSpec(np.zeros((3, 3), dtype=int), (INPUT, CONV3X3, OUTPUT))
+        with pytest.raises(InvalidSpecError):
+            build_network(bad, tiny_skeleton)
+
+    def test_seed_determinism(self, tiny_skeleton, rng):
+        spec = KNOWN_CELLS["resnet"]()
+        x = rng.normal(size=(1, 2, 8, 8))
+        a = build_network(spec, tiny_skeleton, seed=7).forward(x)
+        b = build_network(spec, tiny_skeleton, seed=7).forward(x)
+        assert np.array_equal(a, b)
+
+    def test_full_network_gradient_check(self, tiny_skeleton, rng):
+        net = build_network(KNOWN_CELLS["cod2"](), tiny_skeleton, seed=1)
+        loss = SoftmaxCrossEntropy()
+        x = rng.normal(size=(2, 2, 8, 8))
+        y = np.array([0, 2])
+        net.set_training(True)
+        net.zero_grads()
+        loss.forward(net.forward(x), y)
+        net.backward(loss.backward())
+        eps = 1e-5
+        checked = 0
+        for layer in net.layers():
+            for key, p in layer.params.items():
+                flat = p.reshape(-1)
+                g = layer.grads[key].reshape(-1)
+                idx = int(rng.integers(0, flat.size))
+                orig = flat[idx]
+                flat[idx] = orig + eps
+                plus = loss.forward(net.forward(x), y)
+                flat[idx] = orig - eps
+                minus = loss.forward(net.forward(x), y)
+                flat[idx] = orig
+                numeric = (plus - minus) / (2 * eps)
+                assert numeric == pytest.approx(g[idx], rel=1e-2, abs=1e-6)
+                checked += 1
+        assert checked > 5
+
+
+class TestTraining:
+    def test_loss_decreases(self, tiny_skeleton):
+        train, _ = synthetic_cifar(
+            n_train=96, n_test=16, n_classes=3, size=8, channels=2, seed=0
+        )
+        net = build_network(KNOWN_CELLS["resnet"](), tiny_skeleton, seed=0)
+        trainer = Trainer(
+            net,
+            TrainConfig(epochs=4, batch_size=16, learning_rate=0.05, augment=False),
+            seed=1,
+        )
+        history = trainer.fit(train)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_beats_chance_on_synthetic(self, tiny_skeleton):
+        train, test = synthetic_cifar(
+            n_train=192, n_test=48, n_classes=3, size=8, channels=2, seed=2
+        )
+        net = build_network(KNOWN_CELLS["resnet"](), tiny_skeleton, seed=0)
+        trainer = Trainer(
+            net,
+            TrainConfig(epochs=5, batch_size=16, learning_rate=0.05, augment=False),
+            seed=1,
+        )
+        trainer.fit(train)
+        assert trainer.evaluate(test) > 0.5  # chance = 1/3
+
+    def test_evaluate_restores_training_mode(self, tiny_skeleton):
+        train, test = synthetic_cifar(
+            n_train=32, n_test=16, n_classes=3, size=8, channels=2, seed=0
+        )
+        net = build_network(KNOWN_CELLS["resnet"](), tiny_skeleton, seed=0)
+        trainer = Trainer(net, TrainConfig(epochs=1, augment=False), seed=0)
+        trainer.evaluate(test)
+        assert all(layer.training for layer in net.layers())
+
+
+class TestSchedules:
+    def test_cosine_endpoints(self):
+        schedule = CosineDecay(0.1, total_steps=100)
+        assert schedule(0) == pytest.approx(0.1)
+        assert schedule(100) == pytest.approx(0.0, abs=1e-12)
+        assert schedule(50) == pytest.approx(0.05)
+
+    def test_cosine_monotone_decreasing(self):
+        schedule = CosineDecay(0.1, total_steps=50)
+        values = [schedule(i) for i in range(51)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_constant(self):
+        assert ConstantLR(0.01)(123) == 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosineDecay(0.1, total_steps=0)

@@ -1,0 +1,52 @@
+"""Tests for im2col/col2im and padding."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensorops import col2im, im2col, pad_same, unpad_same
+
+
+class TestPadding:
+    def test_pad_same_preserves_after_k3(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        assert pad_same(x, 3).shape == (2, 3, 10, 10)
+
+    def test_pad_value(self):
+        x = np.ones((1, 1, 2, 2))
+        padded = pad_same(x, 3, value=-np.inf)
+        assert padded[0, 0, 0, 0] == -np.inf
+
+    def test_unpad_inverse(self, rng):
+        x = rng.normal(size=(1, 2, 6, 6))
+        assert np.array_equal(unpad_same(pad_same(x, 3), 3), x)
+
+    def test_k1_noop(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        assert pad_same(x, 1) is x
+
+
+class TestIm2Col:
+    def test_shape(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols = im2col(x, 3)
+        assert cols.shape == (2, 27, 16)
+
+    def test_values_match_naive(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        cols = im2col(x, 3)
+        # Column (i, j) holds the 3x3 patch at output position (i, j).
+        patch = x[0, :, 0:3, 0:3].reshape(-1)
+        assert np.allclose(cols[0, :, 0], patch)
+
+    def test_stride(self, rng):
+        x = rng.normal(size=(1, 1, 6, 6))
+        cols = im2col(x, 2, stride=2)
+        assert cols.shape == (1, 4, 9)
+
+    def test_adjoint_property(self, rng):
+        """col2im is the transpose of im2col: <im2col(x), y> == <x, col2im(y)>."""
+        x = rng.normal(size=(1, 2, 5, 5))
+        y = rng.normal(size=(1, 2 * 9, 9))
+        lhs = float(np.sum(im2col(x, 3) * y))
+        rhs = float(np.sum(x * col2im(y, x.shape, 3)))
+        assert lhs == pytest.approx(rhs)

@@ -1,0 +1,49 @@
+"""Finite-difference verification of the policy gradients."""
+
+import numpy as np
+import pytest
+
+from repro.rl.gradcheck import max_relative_error, numeric_gradients, policy_loss
+from repro.rl.policy import SequencePolicy
+
+
+@pytest.fixture
+def policy():
+    return SequencePolicy([2, 2, 3, 5], hidden_size=12, embedding_size=6, seed=3)
+
+
+class TestGradients:
+    def test_plain_reinforce(self, policy, rng):
+        sample = policy.sample(rng)
+        grads = policy.backward(sample, advantage=0.8)
+        numeric = numeric_gradients(policy, sample.actions, 0.8, rng=rng)
+        assert max_relative_error(grads, numeric) < 1e-4
+
+    def test_negative_advantage(self, policy, rng):
+        sample = policy.sample(rng)
+        grads = policy.backward(sample, advantage=-1.3)
+        numeric = numeric_gradients(policy, sample.actions, -1.3, rng=rng)
+        assert max_relative_error(grads, numeric) < 1e-4
+
+    def test_with_entropy(self, policy, rng):
+        sample = policy.sample(rng)
+        grads = policy.backward(sample, advantage=0.4, entropy_beta=0.05)
+        numeric = numeric_gradients(policy, sample.actions, 0.4, 0.05, rng=rng)
+        assert max_relative_error(grads, numeric) < 1e-4
+
+    def test_with_mask(self, policy, rng):
+        mask = [True, False, True, False]
+        sample = policy.sample(rng, token_mask=mask, frozen_actions=[0, 1, 0, 2])
+        grads = policy.backward(sample, advantage=0.6, token_mask=mask)
+        numeric = numeric_gradients(policy, sample.actions, 0.6, 0.0, mask, rng=rng)
+        assert max_relative_error(grads, numeric) < 1e-4
+
+    def test_loss_value_consistent_with_sample(self, policy, rng):
+        sample = policy.sample(rng)
+        loss = policy_loss(policy, sample.actions, advantage=1.0)
+        assert loss == pytest.approx(-sample.log_prob)
+
+    def test_zero_advantage_no_reinforce_gradient(self, policy, rng):
+        sample = policy.sample(rng)
+        grads = policy.backward(sample, advantage=0.0)
+        assert all(np.allclose(g, 0.0) for g in grads.values())

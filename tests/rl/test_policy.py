@@ -1,0 +1,83 @@
+"""Tests for the sequential controller policy."""
+
+import numpy as np
+import pytest
+
+from repro.rl.policy import SequencePolicy
+
+
+@pytest.fixture
+def policy():
+    return SequencePolicy([2, 3, 4], hidden_size=16, embedding_size=8, seed=0)
+
+
+class TestSampling:
+    def test_actions_within_vocab(self, policy, rng):
+        for _ in range(20):
+            sample = policy.sample(rng)
+            assert all(0 <= a < v for a, v in zip(sample.actions, policy.vocab_sizes))
+
+    def test_log_prob_matches_action_log_prob(self, policy, rng):
+        sample = policy.sample(rng)
+        assert policy.action_log_prob(sample.actions) == pytest.approx(sample.log_prob)
+
+    def test_deterministic_given_rng(self, policy):
+        a = policy.sample(np.random.default_rng(5)).actions
+        b = policy.sample(np.random.default_rng(5)).actions
+        assert a == b
+
+    def test_greedy_picks_argmax(self, policy, rng):
+        sample = policy.sample(rng, greedy=True)
+        for t, action in enumerate(sample.actions):
+            assert action == int(np.argmax(sample.probs[t]))
+
+    def test_entropy_positive(self, policy, rng):
+        assert policy.sample(rng).entropy > 0
+
+    def test_greedy_is_deterministic(self, policy, rng):
+        a = policy.sample(rng, greedy=True).actions
+        b = policy.sample(rng, greedy=True).actions
+        assert a == b
+
+
+class TestMasking:
+    def test_frozen_tokens_take_given_actions(self, policy, rng):
+        mask = [True, False, True]
+        frozen = [0, 2, 0]
+        sample = policy.sample(rng, token_mask=mask, frozen_actions=frozen)
+        assert sample.actions[1] == 2
+
+    def test_frozen_tokens_excluded_from_log_prob(self, policy, rng):
+        all_free = policy.sample(np.random.default_rng(1))
+        mask = [False] * 3
+        frozen = all_free.actions
+        sample = policy.sample(rng, token_mask=mask, frozen_actions=frozen)
+        assert sample.log_prob == 0.0
+        assert sample.entropy == 0.0
+
+    def test_mask_requires_frozen(self, policy, rng):
+        with pytest.raises(ValueError):
+            policy.sample(rng, token_mask=[True, True, True])
+
+
+class TestParams:
+    def test_param_count_positive(self, policy):
+        assert policy.num_parameters() > 0
+
+    def test_all_params_includes_lstm(self, policy):
+        keys = set(policy.all_params())
+        assert {"lstm_wx", "lstm_wh", "lstm_b", "start"} <= keys
+        assert "head_w0" in keys and "emb0" in keys
+
+    def test_last_token_has_no_embedding(self, policy):
+        assert "emb2" not in policy.all_params()
+
+    def test_apply_update_changes_params(self, policy, rng):
+        before = policy.params["head_w0"].copy()
+        updates = {"head_w0": np.ones_like(before)}
+        policy.apply_update(updates)
+        assert np.allclose(policy.params["head_w0"], before + 1.0)
+
+    def test_empty_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            SequencePolicy([])

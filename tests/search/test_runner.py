@@ -1,0 +1,68 @@
+"""Tests for the repeat-experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.scenarios import unconstrained
+from repro.core.search_space import JointSearchSpace
+from repro.experiments.search_study import make_bundle_evaluator
+from repro.search.random_search import RandomSearch
+from repro.search.runner import mean_reward_trace, run_repeats
+
+
+@pytest.fixture
+def outcome(micro4_bundle):
+    scenario = unconstrained(micro4_bundle.bounds)
+    space = JointSearchSpace(cell_encoding=micro4_bundle.cell_encoding)
+    return run_repeats(
+        strategy_factory=lambda seed: RandomSearch(space, seed=seed),
+        evaluator_factory=lambda: make_bundle_evaluator(micro4_bundle, scenario),
+        num_steps=30,
+        num_repeats=3,
+        master_seed=0,
+    )
+
+
+class TestRunRepeats:
+    def test_result_count(self, outcome):
+        assert len(outcome.results) == 3
+
+    def test_repeats_use_different_seeds(self, outcome):
+        traces = [r.reward_trace() for r in outcome.results]
+        assert not np.array_equal(traces[0], traces[1])
+
+    def test_best_entries_at_most_one_per_repeat(self, outcome):
+        assert len(outcome.best_entries()) <= 3
+
+    def test_hit_rate_in_unit_interval(self, outcome):
+        assert 0.0 <= outcome.hit_rate() <= 1.0
+
+    def test_mean_best_reward_finite(self, outcome):
+        assert np.isfinite(outcome.mean_best_reward())
+
+    def test_zero_repeats_rejected(self, micro4_bundle):
+        scenario = unconstrained(micro4_bundle.bounds)
+        space = JointSearchSpace(cell_encoding=micro4_bundle.cell_encoding)
+        with pytest.raises(ValueError):
+            run_repeats(
+                strategy_factory=lambda seed: RandomSearch(space, seed=seed),
+                evaluator_factory=lambda: make_bundle_evaluator(micro4_bundle, scenario),
+                num_steps=5,
+                num_repeats=0,
+            )
+
+
+class TestMeanTrace:
+    def test_length_matches_steps(self, outcome):
+        trace = mean_reward_trace(outcome, window=5)
+        assert len(trace) == 30
+
+    def test_smoothing_reduces_variance(self, outcome):
+        raw = mean_reward_trace(outcome, window=1)
+        smooth = mean_reward_trace(outcome, window=10)
+        assert np.nanstd(np.diff(smooth)) <= np.nanstd(np.diff(raw)) + 1e-12
+
+    def test_best_so_far_variant_monotone(self, outcome):
+        trace = mean_reward_trace(outcome, window=1, best_so_far=True)
+        valid = trace[~np.isnan(trace)]
+        assert np.all(np.diff(valid) >= -1e-12)

@@ -1,0 +1,34 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "BRAM" in out and "Total" in out
+
+    def test_run_validation_writes_file(self, tmp_path, capsys):
+        out_file = tmp_path / "v.md"
+        assert main(["run", "validation", "--out", str(out_file)]) == 0
+        assert "mean error" in out_file.read_text()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_scale_flag_accepted(self, capsys):
+        assert main(["run", "table1", "--scale", "smoke"]) == 0

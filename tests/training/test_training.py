@@ -1,0 +1,115 @@
+"""Tests for the training oracles (surrogate + real numpy trainer)."""
+
+import numpy as np
+import pytest
+
+from repro.nasbench.known_cells import KNOWN_CELLS, googlenet_cell, resnet_cell
+from repro.nasbench.model_spec import ModelSpec
+from repro.nasbench.ops import CONV3X3, INPUT, OUTPUT
+from repro.training.cache import CachedTrainer
+from repro.training.numpy_trainer import TOY_SKELETON, NumpyTrainerOracle
+from repro.training.oracle import TrainOutcome
+from repro.training.surrogate_trainer import CIFAR100_ANCHORS, SurrogateCifar100Trainer
+
+
+class TestSurrogateTrainer:
+    def test_anchors_pinned_exactly(self):
+        trainer = SurrogateCifar100Trainer()
+        for name, target in CIFAR100_ANCHORS.items():
+            assert trainer.mean_accuracy(KNOWN_CELLS[name]()) == pytest.approx(target)
+
+    def test_anchor_order_matches_paper(self):
+        trainer = SurrogateCifar100Trainer()
+        cod1 = trainer.mean_accuracy(KNOWN_CELLS["cod1"]())
+        resnet = trainer.mean_accuracy(resnet_cell())
+        googlenet = trainer.mean_accuracy(googlenet_cell())
+        cod2 = trainer.mean_accuracy(KNOWN_CELLS["cod2"]())
+        assert cod1 > resnet > cod2 > googlenet
+
+    def test_training_is_deterministic_per_cell(self):
+        trainer = SurrogateCifar100Trainer(seed=5)
+        a = trainer.train_and_score(resnet_cell()).accuracy
+        b = trainer.train_and_score(resnet_cell()).accuracy
+        assert a == b
+
+    def test_noise_differs_across_seeds(self):
+        a = SurrogateCifar100Trainer(seed=1).train_and_score(resnet_cell()).accuracy
+        b = SurrogateCifar100Trainer(seed=2).train_and_score(resnet_cell()).accuracy
+        assert a != b
+
+    def test_gpu_hours_ledger(self):
+        trainer = SurrogateCifar100Trainer()
+        trainer.train_and_score(resnet_cell())
+        trainer.train_and_score(googlenet_cell())
+        assert trainer.num_trainings == 2
+        assert trainer.total_gpu_hours > 0
+        assert trainer.wall_clock_hours(48) == pytest.approx(trainer.total_gpu_hours / 48)
+
+    def test_accuracy_within_bounds(self):
+        trainer = SurrogateCifar100Trainer()
+        acc = trainer.train_and_score(KNOWN_CELLS["cod1"]()).accuracy
+        assert trainer.floor <= acc <= trainer.ceiling
+
+    def test_invalid_spec_rejected(self):
+        trainer = SurrogateCifar100Trainer()
+        bad = ModelSpec(np.zeros((3, 3), dtype=int), (INPUT, CONV3X3, OUTPUT))
+        with pytest.raises(ValueError):
+            trainer.train_and_score(bad)
+        assert trainer.accuracy_fn(bad) is None
+
+    def test_wall_clock_validation(self):
+        with pytest.raises(ValueError):
+            SurrogateCifar100Trainer().wall_clock_hours(0)
+
+
+class TestNumpyTrainer:
+    def test_real_training_beats_chance(self):
+        oracle = NumpyTrainerOracle(seed=0)
+        outcome = oracle.train_and_score(resnet_cell())
+        chance = 100.0 / TOY_SKELETON.num_classes
+        assert outcome.accuracy > chance + 10
+        assert outcome.gpu_hours > 0
+        assert oracle.num_trainings == 1
+
+    def test_deterministic(self):
+        a = NumpyTrainerOracle(seed=3).train_and_score(KNOWN_CELLS["cod2"]()).accuracy
+        b = NumpyTrainerOracle(seed=3).train_and_score(KNOWN_CELLS["cod2"]()).accuracy
+        assert a == b
+
+    def test_invalid_spec_rejected(self):
+        oracle = NumpyTrainerOracle()
+        bad = ModelSpec(np.zeros((3, 3), dtype=int), (INPUT, CONV3X3, OUTPUT))
+        with pytest.raises(ValueError):
+            oracle.train_and_score(bad)
+
+
+class TestCache:
+    def test_hit_avoids_retraining(self):
+        inner = SurrogateCifar100Trainer()
+        cached = CachedTrainer(inner)
+        cached.train_and_score(resnet_cell())
+        cached.train_and_score(resnet_cell())
+        assert inner.num_trainings == 1
+        assert cached.hits == 1
+        assert cached.misses == 1
+        assert cached.unique_cells_trained == 1
+
+    def test_total_gpu_hours_counts_unique_only(self):
+        cached = CachedTrainer(SurrogateCifar100Trainer())
+        cached.train_and_score(resnet_cell())
+        cached.train_and_score(resnet_cell())
+        cached.train_and_score(googlenet_cell())
+        assert cached.total_gpu_hours() == pytest.approx(cached.oracle.total_gpu_hours)
+
+    def test_accuracy_fn_none_for_invalid(self):
+        cached = CachedTrainer(SurrogateCifar100Trainer())
+        bad = ModelSpec(np.zeros((3, 3), dtype=int), (INPUT, CONV3X3, OUTPUT))
+        assert cached.accuracy_fn(bad) is None
+
+
+class TestOutcome:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainOutcome(accuracy=120.0, gpu_hours=1.0)
+        with pytest.raises(ValueError):
+            TrainOutcome(accuracy=50.0, gpu_hours=-1.0)

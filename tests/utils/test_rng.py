@@ -1,0 +1,57 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import DEFAULT_SEED, hash_seed, make_rng, spawn
+
+
+class TestMakeRng:
+    def test_none_uses_default_seed(self):
+        a = make_rng(None).integers(0, 1 << 30, size=5)
+        b = np.random.default_rng(DEFAULT_SEED).integers(0, 1 << 30, size=5)
+        assert np.array_equal(a, b)
+
+    def test_int_seed_is_deterministic(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert make_rng(gen) is gen
+
+
+class TestHashSeed:
+    def test_stable_across_calls(self):
+        assert hash_seed("a", 1, 2.5) == hash_seed("a", 1, 2.5)
+
+    def test_distinguishes_parts(self):
+        assert hash_seed("a", "b") != hash_seed("ab")
+        assert hash_seed("a", 1) != hash_seed("a", 2)
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= hash_seed("anything", 123) < 2**64
+
+    def test_order_matters(self):
+        assert hash_seed("x", "y") != hash_seed("y", "x")
+
+
+class TestSpawn:
+    def test_children_are_independent(self):
+        children = spawn(make_rng(0), 3)
+        values = [c.random() for c in children]
+        assert len(set(values)) == 3
+
+    def test_deterministic(self):
+        a = [g.random() for g in spawn(make_rng(5), 4)]
+        b = [g.random() for g in spawn(make_rng(5), 4)]
+        assert a == b
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn(make_rng(0), -1)
+
+    def test_zero_children(self):
+        assert spawn(make_rng(0), 0) == []

@@ -1,0 +1,48 @@
+"""Tests for repro.utils.serialization."""
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import dump_json, load_json, to_jsonable
+
+
+class TestToJsonable:
+    def test_scalars(self):
+        assert to_jsonable(5) == 5
+        assert to_jsonable("x") == "x"
+        assert to_jsonable(None) is None
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(3)) == 3
+        assert isinstance(to_jsonable(np.float32(2.5)), float)
+        assert to_jsonable(np.bool_(True)) is True
+
+    def test_numpy_array(self):
+        assert to_jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_nested(self):
+        obj = {"a": [np.int32(1), {"b": (2, 3)}]}
+        assert to_jsonable(obj) == {"a": [1, {"b": [2, 3]}]}
+
+    def test_to_dict_protocol(self):
+        class Thing:
+            def to_dict(self):
+                return {"v": np.float64(1.5)}
+
+        assert to_jsonable(Thing()) == {"v": 1.5}
+
+    def test_unserializable_raises(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+
+class TestDumpLoad:
+    def test_round_trip(self, tmp_path):
+        data = {"x": [1, 2.5, "s"], "y": {"z": None}}
+        path = dump_json(data, tmp_path / "d.json")
+        assert load_json(path) == data
+
+    def test_sorted_keys(self, tmp_path):
+        path = dump_json({"b": 1, "a": 2}, tmp_path / "d.json")
+        text = path.read_text()
+        assert text.index('"a"') < text.index('"b"')

@@ -1,0 +1,66 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import (
+    csv_string,
+    format_ascii,
+    format_float,
+    format_markdown,
+    write_csv,
+)
+
+
+class TestFormatFloat:
+    def test_float_digits(self):
+        assert format_float(1.23456, digits=2) == "1.23"
+
+    def test_int_unchanged(self):
+        assert format_float(42) == "42"
+
+    def test_bool_is_not_numeric(self):
+        assert format_float(True) == "True"
+
+    def test_string_passthrough(self):
+        assert format_float("n/a") == "n/a"
+
+
+class TestMarkdown:
+    def test_structure(self):
+        table = format_markdown(["a", "b"], [(1, 2), (3, 4)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("| a")
+        assert set(lines[1]) <= {"|", "-"}
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_markdown(["a"], [(1, 2)])
+
+    def test_column_alignment(self):
+        table = format_markdown(["name", "v"], [("x", 1), ("longer", 2)])
+        lines = table.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+
+class TestAscii:
+    def test_no_pipes(self):
+        table = format_ascii(["a"], [(1,)])
+        assert "|" not in table
+
+    def test_row_count(self):
+        assert len(format_ascii(["a"], [(1,), (2,)]).splitlines()) == 4
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        path = write_csv(tmp_path / "t.csv", ["x", "y"], [(1, 2), (3, 4)])
+        content = path.read_text().strip().splitlines()
+        assert content == ["x,y", "1,2", "3,4"]
+
+    def test_creates_parents(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "dir" / "t.csv", ["a"], [(1,)])
+        assert path.exists()
+
+    def test_csv_string(self):
+        assert csv_string(["a"], [(1,)]).strip().splitlines() == ["a", "1"]

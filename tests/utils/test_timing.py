@@ -1,0 +1,35 @@
+"""Tests for repro.utils.timing."""
+
+from repro.utils.timing import Stopwatch, timed
+
+
+class TestStopwatch:
+    def test_lap_records(self):
+        sw = Stopwatch()
+        with sw.lap("a"):
+            pass
+        assert "a" in sw.laps
+        assert sw.laps["a"] >= 0.0
+
+    def test_laps_accumulate(self):
+        sw = Stopwatch()
+        with sw.lap("a"):
+            pass
+        first = sw.laps["a"]
+        with sw.lap("a"):
+            pass
+        assert sw.laps["a"] >= first
+
+    def test_total(self):
+        sw = Stopwatch()
+        with sw.lap("a"):
+            pass
+        with sw.lap("b"):
+            pass
+        assert abs(sw.total() - (sw.laps["a"] + sw.laps["b"])) < 1e-9
+
+
+def test_timed_reports_elapsed():
+    with timed() as elapsed:
+        x = elapsed()
+    assert elapsed() >= x >= 0.0
