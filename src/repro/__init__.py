@@ -15,11 +15,14 @@ Quick tour
 Package map: :mod:`repro.nasbench` (CNN search space),
 :mod:`repro.accelerator` (HW design space + models), :mod:`repro.core`
 (metrics/reward/evaluator/Pareto), :mod:`repro.rl` (numpy REINFORCE),
-:mod:`repro.search` (combined/phase/separate strategies),
-:mod:`repro.nn` (numpy NN substrate), :mod:`repro.training` (training
-oracles), :mod:`repro.experiments` (per-table/figure harness).
+:mod:`repro.search` (combined/phase/separate strategies + the repeat
+engine), :mod:`repro.parallel` (process fan-out + persistent eval
+cache), :mod:`repro.nn` (numpy NN substrate), :mod:`repro.training`
+(training oracles), :mod:`repro.experiments` (per-table/figure
+harness), :mod:`repro.utils` (rng/serialization/tables/timing).
+See ``docs/architecture.md`` for the module-by-module tour.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -6,21 +6,29 @@ Usage::
     python -m repro run table1
     python -m repro run fig4 --out results/fig4.md
     python -m repro run fig7 --scale default --seed 1
+    python -m repro run fig5+6 --scale paper --workers 8 --cache-dir .cache/repro
     python -m repro run all --scale smoke
 
 Each experiment prints the same rows the paper reports (markdown) and
-can optionally write them to a file.
+can optionally write them to a file.  ``--workers N`` (N > 1) fans the
+repeat experiments out across a process pool; ``--cache-dir`` persists
+every evaluation to ``<dir>/eval_cache.sqlite`` so re-runs warm-start.
+Neither flag changes search results — determinism comes from ``--seed``
+alone.  One caveat: fig7's "simulated GPU-hours" line reports only the
+training cost *newly paid* by the current run, so a warm ``--cache-dir``
+re-run legitimately shows fewer (typically 0) GPU-hours.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
 from repro.experiments.ablations import ablation_markdown, run_all_ablations
-from repro.experiments.common import Scale, load_bundle
+from repro.experiments.common import Scale, eval_cache_path, load_bundle
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import run_fig6
@@ -30,34 +38,65 @@ from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 from repro.experiments.table3 import run_table3
 from repro.experiments.validation import run_validation
+from repro.parallel import EvalCache
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "RunContext", "EXPERIMENTS"]
 
 
-def _run_table1(scale: Scale, seed: int) -> str:
+@dataclass
+class RunContext:
+    """Everything an experiment runner needs from the command line."""
+
+    scale: Scale
+    seed: int
+    workers: int | None = None
+    eval_cache: EvalCache | None = None
+    _study: object = None
+
+    @property
+    def backend(self) -> str:
+        return "process" if (self.workers or 1) > 1 else "serial"
+
+    def study(self):
+        """The Fig. 5/6 search study, computed once per invocation.
+
+        ``run all`` regenerates fig5, fig6, and fig5+6 from one grid
+        run instead of three identical ones.
+        """
+        if self._study is None:
+            self._study = run_search_study(
+                load_bundle(),
+                self.scale,
+                master_seed=self.seed,
+                backend=self.backend,
+                workers=self.workers,
+                eval_cache=self.eval_cache,
+            )
+        return self._study
+
+
+def _run_table1(ctx: RunContext) -> str:
     return run_table1().to_markdown()
 
 
-def _run_validation(scale: Scale, seed: int) -> str:
-    return run_validation(seed=seed or 7).to_markdown()
+def _run_validation(ctx: RunContext) -> str:
+    return run_validation(seed=ctx.seed or 7).to_markdown()
 
 
-def _run_fig4(scale: Scale, seed: int) -> str:
+def _run_fig4(ctx: RunContext) -> str:
     return run_fig4(load_bundle()).to_markdown()
 
 
-def _run_fig5(scale: Scale, seed: int) -> str:
-    study = run_search_study(load_bundle(), scale, master_seed=seed)
-    return run_fig5(study=study).to_markdown()
+def _run_fig5(ctx: RunContext) -> str:
+    return run_fig5(study=ctx.study()).to_markdown()
 
 
-def _run_fig6(scale: Scale, seed: int) -> str:
-    study = run_search_study(load_bundle(), scale, master_seed=seed)
-    return run_fig6(study=study).to_markdown()
+def _run_fig6(ctx: RunContext) -> str:
+    return run_fig6(study=ctx.study()).to_markdown()
 
 
-def _run_fig56(scale: Scale, seed: int) -> str:
-    study = run_search_study(load_bundle(), scale, master_seed=seed)
+def _run_fig56(ctx: RunContext) -> str:
+    study = ctx.study()
     return (
         run_fig5(study=study).to_markdown()
         + "\n\n"
@@ -65,19 +104,19 @@ def _run_fig56(scale: Scale, seed: int) -> str:
     )
 
 
-def _run_fig7(scale: Scale, seed: int) -> str:
-    fig7 = run_fig7(scale=scale, seed=seed)
+def _run_fig7(ctx: RunContext) -> str:
+    fig7 = run_fig7(scale=ctx.scale, seed=ctx.seed, train_store=ctx.eval_cache)
     return "\n\n".join(
         [fig7.to_markdown(), run_table2(fig7).to_markdown(), run_table3(fig7).to_markdown()]
     )
 
 
-def _run_ablations(scale: Scale, seed: int) -> str:
-    return ablation_markdown(run_all_ablations(load_bundle(), scale))
+def _run_ablations(ctx: RunContext) -> str:
+    return ablation_markdown(run_all_ablations(load_bundle(), ctx.scale))
 
 
 #: Experiment name -> runner returning a markdown report.
-EXPERIMENTS: dict[str, Callable[[Scale, int], str]] = {
+EXPERIMENTS: dict[str, Callable[[RunContext], str]] = {
     "table1": _run_table1,
     "validation": _run_validation,
     "fig4": _run_fig4,
@@ -105,12 +144,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="experiment sizing (defaults to REPRO_SCALE or 'smoke')",
     )
     run.add_argument("--seed", type=int, default=0, help="master seed")
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size for repeat experiments (N>1 enables the "
+        "process backend; results are identical at any N)",
+    )
+    run.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="persist evaluations to DIR/eval_cache.sqlite so re-runs "
+        "warm-start (never changes search results; fig7's GPU-hour "
+        "ledger only counts newly-paid training)",
+    )
     run.add_argument("--out", type=Path, default=None, help="write report to file")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "workers", None) is not None and args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
     if args.command == "list":
         for name in EXPERIMENTS:
             print(name)
@@ -125,11 +184,29 @@ def main(argv: list[str] | None = None) -> int:
     else:
         scale = Scale.from_env(default="smoke")
 
+    ctx = RunContext(
+        scale=scale,
+        seed=args.seed,
+        workers=args.workers,
+        eval_cache=(
+            EvalCache(eval_cache_path(args.cache_dir))
+            if args.cache_dir is not None
+            else None
+        ),
+    )
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     reports = []
     for name in names:
         print(f"== {name} (scale={scale.name}) ==", file=sys.stderr)
-        reports.append(f"## {name}\n\n{EXPERIMENTS[name](scale, args.seed)}")
+        reports.append(f"## {name}\n\n{EXPERIMENTS[name](ctx)}")
+    if ctx.eval_cache is not None:
+        ctx.eval_cache.flush()
+        stats = ctx.eval_cache.stats
+        print(
+            f"eval cache: {stats['persisted']} rows, "
+            f"{100.0 * stats['hit_rate']:.0f}% hit rate this run",
+            file=sys.stderr,
+        )
     report = "\n\n".join(reports)
     print(report)
     if args.out is not None:

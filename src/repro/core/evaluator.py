@@ -12,12 +12,18 @@ Given a proposed (cell, accelerator) pair the evaluator:
    and runs the area model — both memoized, since searches revisit
    configurations frequently;
 4. maps the metric vector through the scenario's reward function.
+
+Memoization is layered: an optional shared persistent
+:class:`repro.parallel.EvalCache` (consulted first, so repeats, worker
+processes, and re-runs warm-start each other) in front of the private
+in-memory dicts.  Both layers store pure functions of their keys, so
+caching never changes results — only evaluation cost.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.accelerator.area import AreaModel
 from repro.accelerator.config import AcceleratorConfig
@@ -31,6 +37,7 @@ from repro.nasbench.database import CellDatabase
 from repro.nasbench.model_spec import ModelSpec
 from repro.nasbench.skeleton import CIFAR10_SKELETON, SkeletonConfig
 from repro.nasbench.surrogate import Cifar10Surrogate
+from repro.parallel.cache import CacheEntry, EvalCache
 
 __all__ = ["EvaluationResult", "CodesignEvaluator"]
 
@@ -77,7 +84,24 @@ class CodesignEvaluator:
         self._latency_cache: dict[tuple, float] = {}
         self._accuracy_cache: dict[str, float | None] = {}
         self._latency_table = None
+        self.eval_cache: EvalCache | None = None
+        self.cache_scenario = reward_config.name
         self.num_evaluations = 0
+
+    def attach_eval_cache(
+        self, cache: EvalCache | None, scenario: str | None = None
+    ) -> "CodesignEvaluator":
+        """Consult (and fill) a shared persistent cache during metrics.
+
+        ``scenario`` namespaces the cache rows; it defaults to the
+        reward config's name.  Callers whose accuracy source is not
+        fully determined by the scenario (e.g. a surrogate with a
+        custom seed) should pass a namespace that includes it.
+        """
+        self.eval_cache = cache
+        if scenario is not None:
+            self.cache_scenario = scenario
+        return self
 
     def attach_latency_table(self, latency_ms, row_of_hash, space) -> None:
         """Serve latencies from a precomputed (cell x config) matrix.
@@ -154,6 +178,33 @@ class CodesignEvaluator:
         """Metric vector of a pair, or ``None`` if not evaluable."""
         if not spec.valid:
             return None
+        cache = self.eval_cache
+        if cache is None:
+            return self._compute_metrics(spec, config)
+        cache_key = (self.cache_scenario, spec.spec_hash(), str(config_key(config)))
+        hit = cache.get(*cache_key)
+        if hit is not None:
+            if hit.accuracy is None:
+                return None
+            return Metrics(
+                accuracy=hit.accuracy,
+                latency_s=hit.latency_s,
+                area_mm2=hit.area_mm2,
+            )
+        metrics = self._compute_metrics(spec, config)
+        if metrics is None:
+            cache.put(CacheEntry(*cache_key, None, None, None))
+        else:
+            cache.put(
+                CacheEntry(
+                    *cache_key, metrics.accuracy, metrics.latency_s, metrics.area_mm2
+                )
+            )
+        return metrics
+
+    def _compute_metrics(
+        self, spec: ModelSpec, config: AcceleratorConfig
+    ) -> Metrics | None:
         accuracy = self.accuracy(spec)
         if accuracy is None:
             return None
@@ -172,6 +223,28 @@ class CodesignEvaluator:
             spec=spec, config=config, metrics=metrics, reward=self.reward_fn(metrics)
         )
 
+    def evaluate_batch(
+        self, pairs: Sequence[tuple[ModelSpec, AcceleratorConfig]]
+    ) -> list[EvaluationResult]:
+        """Evaluate many pairs, computing each distinct pair once.
+
+        Returns one result per input pair, in order; duplicate pairs
+        share one computation but still count as evaluations.
+        """
+        memo: dict[tuple, EvaluationResult] = {}
+        out: list[EvaluationResult] = []
+        for spec, config in pairs:
+            if not spec.valid:
+                out.append(self.evaluate(spec, config))
+                continue
+            key = (spec.spec_hash(), config_key(config))
+            if key in memo:
+                self.num_evaluations += 1
+            else:
+                memo[key] = self.evaluate(spec, config)
+            out.append(memo[key])
+        return out
+
     def with_reward(self, reward_config: RewardConfig) -> "CodesignEvaluator":
         """Same caches and models under a different scenario.
 
@@ -189,5 +262,9 @@ class CodesignEvaluator:
         clone._latency_cache = self._latency_cache
         clone._accuracy_cache = self._accuracy_cache
         clone._latency_table = self._latency_table
+        clone.eval_cache = self.eval_cache
+        # Clones keep the parent's cache namespace so threshold-schedule
+        # rung changes reuse warm rows, mirroring the shared dicts above.
+        clone.cache_scenario = self.cache_scenario
         clone.num_evaluations = 0
         return clone

@@ -8,7 +8,7 @@ from repro.experiments.ablations import (
     run_random_ablation,
     run_schedule_ablation,
 )
-from repro.experiments.common import Scale, SpaceBundle, load_bundle
+from repro.experiments.common import Scale, SpaceBundle, eval_cache_path, load_bundle
 from repro.experiments.fig4 import PAPER_FIG4, Fig4Result, run_fig4
 from repro.experiments.fig5 import Fig5Result, run_fig5
 from repro.experiments.fig6 import Fig6Result, run_fig6
@@ -33,6 +33,7 @@ __all__ = [
     "run_schedule_ablation",
     "Scale",
     "SpaceBundle",
+    "eval_cache_path",
     "load_bundle",
     "PAPER_FIG4",
     "Fig4Result",

@@ -1,4 +1,4 @@
-"""Ablation studies on the design choices DESIGN.md calls out.
+"""Ablation studies on the paper's two load-bearing design choices.
 
 A1 — **punishment function**: the paper feeds constraint violations
 back as a sign-opposed punishment ``Rv``; the ablation weakens it to a

@@ -37,7 +37,13 @@ from repro.nasbench.database import CellDatabase, enumerate_unique_cells
 from repro.nasbench.encoding import CellEncoding
 from repro.nasbench.skeleton import CIFAR10_SKELETON
 
-__all__ = ["Scale", "SpaceBundle", "load_bundle", "default_cache_dir"]
+__all__ = [
+    "Scale",
+    "SpaceBundle",
+    "load_bundle",
+    "default_cache_dir",
+    "eval_cache_path",
+]
 
 _BUNDLE_MEMO: dict[tuple, "SpaceBundle"] = {}
 
@@ -72,6 +78,16 @@ def default_cache_dir() -> Path:
     if root:
         return Path(root)
     return Path(__file__).resolve().parents[3] / ".cache" / "repro"
+
+
+def eval_cache_path(cache_dir: Path | None = None) -> Path:
+    """Location of the shared persistent evaluation store.
+
+    One sqlite file serves every experiment: search evaluations and
+    Section IV training outcomes live in separate namespaces inside it
+    (see :class:`repro.parallel.EvalCache`).
+    """
+    return (cache_dir or default_cache_dir()) / "eval_cache.sqlite"
 
 
 @dataclass
@@ -128,6 +144,10 @@ def load_bundle(
         for i, record in enumerate(database.records):
             ir = compile_cell_ops(record.spec, CIFAR10_SKELETON)
             latency_ms[i] = batch_schedule(ir, cols, model) * 1e3
+        # The disk cache stores float32; round-trip the fresh build
+        # through the same precision so the first run of a bundle is
+        # bit-identical to every warm reload after it.
+        latency_ms = latency_ms.astype(np.float32).astype(np.float64)
         if use_disk_cache:
             cache_dir.mkdir(parents=True, exist_ok=True)
             np.savez_compressed(cache_file, latency_ms=latency_ms.astype(np.float32))

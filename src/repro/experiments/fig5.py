@@ -106,7 +106,22 @@ def run_fig5(
     scale: Scale | None = None,
     study: SearchStudyResult | None = None,
     master_seed: int = 0,
+    backend: str = "serial",
+    workers: int | None = None,
+    eval_cache=None,
 ) -> Fig5Result:
-    """Run (or reuse) the search study and package the Fig. 5 view."""
-    study = study or run_search_study(bundle, scale, master_seed=master_seed)
+    """Run (or reuse) the search study and package the Fig. 5 view.
+
+    ``backend`` / ``workers`` / ``eval_cache`` pass through to
+    :func:`repro.experiments.search_study.run_search_study` when the
+    study is not supplied; they change speed, never results.
+    """
+    study = study or run_search_study(
+        bundle,
+        scale,
+        master_seed=master_seed,
+        backend=backend,
+        workers=workers,
+        eval_cache=eval_cache,
+    )
     return Fig5Result(study=study)

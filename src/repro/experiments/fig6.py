@@ -86,7 +86,22 @@ def run_fig6(
     scale: Scale | None = None,
     study: SearchStudyResult | None = None,
     master_seed: int = 0,
+    backend: str = "serial",
+    workers: int | None = None,
+    eval_cache=None,
 ) -> Fig6Result:
-    """Run (or reuse) the search study and package the Fig. 6 view."""
-    study = study or run_search_study(bundle, scale, master_seed=master_seed)
+    """Run (or reuse) the search study and package the Fig. 6 view.
+
+    ``backend`` / ``workers`` / ``eval_cache`` pass through to
+    :func:`repro.experiments.search_study.run_search_study` when the
+    study is not supplied; they change speed, never results.
+    """
+    study = study or run_search_study(
+        bundle,
+        scale,
+        master_seed=master_seed,
+        backend=backend,
+        workers=workers,
+        eval_cache=eval_cache,
+    )
     return Fig6Result(study=study)

@@ -183,11 +183,22 @@ def run_fig7(
     seed: int = 0,
     trainer: SurrogateCifar100Trainer | None = None,
     rungs: list[ThresholdRung] | None = None,
+    train_store=None,
 ) -> Fig7Result:
-    """Run the CIFAR-100 threshold-schedule study."""
+    """Run the CIFAR-100 threshold-schedule study.
+
+    ``train_store`` (a :class:`repro.parallel.EvalCache`) persists
+    per-cell training outcomes across runs; a warm re-run then reports
+    near-zero *paid* GPU-hours for already-trained cells.  The store
+    namespace (``trainer.cache_namespace()``) pins every
+    outcome-affecting trainer parameter so differently configured
+    surrogates never share rows.
+    """
     scale = scale or Scale.from_env()
     trainer = trainer or SurrogateCifar100Trainer()
-    cached = CachedTrainer(trainer)
+    cached = CachedTrainer(
+        trainer, store=train_store, namespace=trainer.cache_namespace()
+    )
 
     if rungs is None:
         base = default_rungs()

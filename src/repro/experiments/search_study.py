@@ -14,14 +14,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from pathlib import Path
+
 from repro.core.evaluator import CodesignEvaluator
 from repro.core.reward import RewardConfig, RewardFunction
 from repro.core.scenarios import PAPER_SCENARIOS
 from repro.core.search_space import JointSearchSpace
 from repro.experiments.common import Scale, SpaceBundle, load_bundle
+from repro.parallel.cache import EvalCache
 from repro.search.combined import CombinedSearch
 from repro.search.phase import PhaseSearch
-from repro.search.runner import RepeatOutcome, run_repeats
+from repro.search.runner import RepeatJob, RepeatOutcome, run_grid
 from repro.search.separate import SeparateSearch
 
 __all__ = ["SearchStudyResult", "run_search_study", "top_pareto_by_reward", "make_bundle_evaluator"]
@@ -119,32 +122,62 @@ def run_search_study(
     scenarios: dict | None = None,
     strategies: dict | None = None,
     master_seed: int = 0,
+    backend: str = "serial",
+    workers: int | None = None,
+    eval_cache: EvalCache | str | Path | None = None,
 ) -> SearchStudyResult:
-    """Run the full strategy x scenario grid."""
+    """Run the full strategy x scenario grid.
+
+    All (scenario, strategy, repeat) searches form one task bag handed
+    to :func:`repro.search.runner.run_grid`, so with
+    ``backend="process"`` independent pairs fan out across workers
+    alongside their repeats.  Results match the serial backend
+    result-for-result under the same ``master_seed``; ``eval_cache``
+    (an :class:`repro.parallel.EvalCache` or a path) warm-starts
+    evaluations across repeats, workers, and re-runs.
+    """
     bundle = bundle or load_bundle()
     scale = scale or Scale.from_env()
     scenarios = scenarios or PAPER_SCENARIOS
     strategies = strategies or STRATEGIES
 
     search_space = JointSearchSpace(cell_encoding=bundle.cell_encoding)
-    outcomes: dict[str, dict[str, RepeatOutcome]] = {}
+    # Every scenario shares the bundle's accuracy source and hardware
+    # models, and the cached triple never depends on the reward — so one
+    # store namespace lets scenarios warm-start from each other.
+    namespace = f"study/micro{bundle.cell_encoding.max_vertices}"
     pareto_top100: dict[str, list[dict]] = {}
+    jobs: list[RepeatJob] = []
     for scenario_name, scenario_factory in scenarios.items():
         scenario = scenario_factory(bundle.bounds)
         pareto_top100[scenario_name] = top_pareto_by_reward(bundle, scenario)
-        outcomes[scenario_name] = {}
         evaluator = make_bundle_evaluator(bundle, scenario)
         for strategy_name, strategy_cls in strategies.items():
-            outcome = run_repeats(
-                strategy_factory=lambda seed, cls=strategy_cls: cls(
-                    search_space, seed=seed
-                ),
-                evaluator_factory=lambda: evaluator.with_reward(scenario),
-                num_steps=scale.search_steps,
-                num_repeats=scale.num_repeats,
-                master_seed=master_seed,
+            jobs.append(
+                RepeatJob(
+                    label=f"{scenario_name}/{strategy_name}",
+                    strategy_factory=lambda seed, cls=strategy_cls: cls(
+                        search_space, seed=seed
+                    ),
+                    evaluator_factory=lambda ev=evaluator, sc=scenario: ev.with_reward(sc),
+                    cache_scenario=namespace,
+                )
             )
-            outcomes[scenario_name][strategy_name] = outcome
+    grid = run_grid(
+        jobs,
+        num_steps=scale.search_steps,
+        num_repeats=scale.num_repeats,
+        master_seed=master_seed,
+        backend=backend,
+        workers=workers,
+        eval_cache=eval_cache,
+    )
+    outcomes: dict[str, dict[str, RepeatOutcome]] = {
+        scenario_name: {} for scenario_name in scenarios
+    }
+    for job in jobs:
+        scenario_name, strategy_name = job.label.split("/", 1)
+        outcomes[scenario_name][strategy_name] = grid[job.label]
     return SearchStudyResult(
         outcomes=outcomes, pareto_top100=pareto_top100, scale=scale
     )

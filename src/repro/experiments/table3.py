@@ -71,8 +71,15 @@ class Table3Result:
 
 
 def run_table3(
-    fig7: Fig7Result | None = None, scale: Scale | None = None, seed: int = 0
+    fig7: Fig7Result | None = None,
+    scale: Scale | None = None,
+    seed: int = 0,
+    train_store=None,
 ) -> Table3Result:
-    """Build Table III (running the Fig. 7 search if not supplied)."""
-    fig7 = fig7 or run_fig7(scale=scale, seed=seed)
+    """Build Table III (running the Fig. 7 search if not supplied).
+
+    ``train_store`` passes through to :func:`run_fig7` so re-runs
+    warm-start from previously trained cells.
+    """
+    fig7 = fig7 or run_fig7(scale=scale, seed=seed, train_store=train_store)
     return Table3Result(fig7=fig7)

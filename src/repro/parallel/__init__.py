@@ -1,0 +1,22 @@
+"""Parallel execution engine: process fan-out + persistent eval cache.
+
+Two orthogonal pieces that together make the repeat experiments run at
+hardware speed without changing a single result:
+
+* :mod:`repro.parallel.pool` — :func:`parallel_map`, a fork-based
+  process-pool map for bags of independent seeded tasks;
+* :mod:`repro.parallel.cache` — :class:`EvalCache`, an on-disk store of
+  ``(scenario, spec_hash, config_key) -> (accuracy, latency_s,
+  area_mm2)`` that evaluators consult before computing, and that
+  workers merge back into on completion.
+
+The repeat harness (:func:`repro.search.runner.run_repeats` /
+``run_grid``) wires both together behind a ``backend`` switch
+(``"serial"`` / ``"process"``); under a fixed master seed both backends
+are result-for-result identical at any worker count.
+"""
+
+from repro.parallel.cache import CacheEntry, EvalCache
+from repro.parallel.pool import parallel_map, resolve_workers
+
+__all__ = ["CacheEntry", "EvalCache", "parallel_map", "resolve_workers"]

@@ -1,0 +1,245 @@
+"""Shared, persistent evaluation cache (the warm-start store).
+
+Searches revisit (cell, accelerator) pairs constantly — within a run,
+across the 10 paper repeats, and across re-runs of the same experiment.
+The in-memory dicts inside :class:`repro.core.CodesignEvaluator` only
+help within one process lifetime; :class:`EvalCache` extends that
+memoization to disk so repeats, worker processes, and whole re-runs
+share one pool of already-evaluated points.
+
+The store is a single sqlite file keyed by
+``(scenario, spec_hash, config_key)`` holding the deterministic metric
+triple ``(accuracy, latency_s, area_mm2)`` plus an optional JSON
+``extra`` payload (used by :class:`repro.training.CachedTrainer` to
+persist GPU-hour ledgers).  Because every metric in the library is a
+pure function of the key, caching can never change results — only how
+fast they are produced.
+
+Concurrency model: writers buffer rows in memory and persist them in
+one transaction on :meth:`flush`.  Worker processes open the store
+``read_only`` and ship their buffered rows back to the parent (via
+:meth:`drain_pending`), which merges them — so there is never more than
+one writer per file and no cross-process locking is needed.
+
+A corrupted or unreadable store is never fatal: it is moved aside and
+the cache restarts cold (see ``recovered``).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["CacheEntry", "EvalCache"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS evals (
+    scenario   TEXT NOT NULL,
+    spec_hash  TEXT NOT NULL,
+    config_key TEXT NOT NULL,
+    accuracy   REAL,
+    latency_s  REAL,
+    area_mm2   REAL,
+    extra      TEXT,
+    PRIMARY KEY (scenario, spec_hash, config_key)
+)
+"""
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached evaluation: key triple + metric triple (+ extras).
+
+    ``accuracy is None`` records "this pair is not evaluable" (e.g. a
+    cell outside the NASBench database) — a negative result worth
+    caching, since searches repropose such cells too.
+    """
+
+    scenario: str
+    spec_hash: str
+    config_key: str
+    accuracy: float | None
+    latency_s: float | None
+    area_mm2: float | None
+    extra: dict | None = None
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.scenario, self.spec_hash, self.config_key)
+
+
+class EvalCache:
+    """Sqlite-backed evaluation store with buffered writes.
+
+    ``path=None`` keeps the store purely in memory (useful in tests and
+    as a serial-mode default); otherwise the parent directory is
+    created on demand.  ``read_only=True`` disables :meth:`flush` so a
+    worker process can consult the store and buffer new rows without
+    ever writing the file (see :meth:`drain_pending`).
+    """
+
+    def __init__(self, path: str | Path | None = None, read_only: bool = False) -> None:
+        self.path = Path(path) if path is not None else None
+        self.read_only = read_only
+        self.hits = 0
+        self.misses = 0
+        self.recovered = False
+        self._pending: dict[tuple[str, str, str], CacheEntry] = {}
+        self._loaded: dict[tuple[str, str, str], CacheEntry | None] = {}
+        self._conn = self._open()
+
+    # -- lifecycle ---------------------------------------------------------
+    def _open(self) -> sqlite3.Connection:
+        if self.path is None:
+            conn = sqlite3.connect(":memory:")
+            conn.execute(_SCHEMA)
+            return conn
+        if self.read_only:
+            # A read-only view must never touch the file — not even to
+            # create the schema or quarantine a corrupt store (many
+            # workers may open concurrently).  Missing/corrupt/foreign
+            # files just serve cold from memory; the writable owner
+            # recovers the file.
+            try:
+                conn = sqlite3.connect(f"file:{self.path}?mode=ro", uri=True)
+                conn.execute("SELECT COUNT(*) FROM evals").fetchone()
+                return conn
+            except sqlite3.Error:
+                self.recovered = True
+                conn = sqlite3.connect(":memory:")
+                conn.execute(_SCHEMA)
+                return conn
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        conn = None
+        try:
+            conn = sqlite3.connect(self.path)
+            conn.execute(_SCHEMA)
+            conn.execute("SELECT COUNT(*) FROM evals").fetchone()
+            return conn
+        except sqlite3.OperationalError:
+            # Locked / unopenable is an environment problem, not
+            # corruption — never quarantine a healthy concurrent store.
+            raise
+        except sqlite3.DatabaseError:
+            # Corrupted (or not actually sqlite): fall back to cold.
+            if conn is not None:
+                conn.close()
+            self.recovered = True
+            quarantine = self.path.with_suffix(self.path.suffix + ".corrupt")
+            quarantine.unlink(missing_ok=True)
+            self.path.rename(quarantine)
+            conn = sqlite3.connect(self.path)
+            conn.execute(_SCHEMA)
+            return conn
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "EvalCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reads -------------------------------------------------------------
+    def get(self, scenario: str, spec_hash: str, config_key: str) -> CacheEntry | None:
+        """Look up one key; ``None`` on miss.  Hot keys are memoized."""
+        key = (scenario, spec_hash, config_key)
+        if key in self._pending:
+            self.hits += 1
+            return self._pending[key]
+        if key in self._loaded:
+            entry = self._loaded[key]
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return entry
+        row = self._conn.execute(
+            "SELECT accuracy, latency_s, area_mm2, extra FROM evals"
+            " WHERE scenario=? AND spec_hash=? AND config_key=?",
+            key,
+        ).fetchone()
+        if row is None:
+            self._loaded[key] = None
+            self.misses += 1
+            return None
+        entry = CacheEntry(
+            scenario,
+            spec_hash,
+            config_key,
+            accuracy=row[0],
+            latency_s=row[1],
+            area_mm2=row[2],
+            extra=json.loads(row[3]) if row[3] else None,
+        )
+        self._loaded[key] = entry
+        self.hits += 1
+        return entry
+
+    def __len__(self) -> int:
+        """Rows persisted on disk (pending buffered rows not counted)."""
+        return int(self._conn.execute("SELECT COUNT(*) FROM evals").fetchone()[0])
+
+    @property
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "pending": len(self._pending),
+            "persisted": len(self),
+        }
+
+    # -- writes ------------------------------------------------------------
+    def put(self, entry: CacheEntry) -> None:
+        """Buffer one row (persisted on the next :meth:`flush`)."""
+        self._pending[entry.key] = entry
+
+    def put_many(self, entries: Iterable[CacheEntry]) -> None:
+        for entry in entries:
+            self.put(entry)
+
+    def drain_pending(self) -> list[CacheEntry]:
+        """Return-and-clear the buffered rows (worker → parent handoff)."""
+        entries = list(self._pending.values())
+        self._pending.clear()
+        self._loaded.update({e.key: e for e in entries})
+        return entries
+
+    def flush(self) -> int:
+        """Persist buffered rows in one transaction; returns row count.
+
+        A ``read_only`` cache keeps its buffer (drain it instead).
+        """
+        if self.read_only or not self._pending:
+            return 0
+        entries = self.drain_pending()
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO evals"
+            " (scenario, spec_hash, config_key, accuracy, latency_s, area_mm2, extra)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?)",
+            [
+                (
+                    e.scenario,
+                    e.spec_hash,
+                    e.config_key,
+                    e.accuracy,
+                    e.latency_s,
+                    e.area_mm2,
+                    json.dumps(e.extra) if e.extra is not None else None,
+                )
+                for e in entries
+            ],
+        )
+        self._conn.commit()
+        return len(entries)
+
+    def merge(self, entries: Sequence[CacheEntry]) -> int:
+        """Absorb rows produced elsewhere (a worker's delta) and flush."""
+        self.put_many(entries)
+        return self.flush()

@@ -1,0 +1,97 @@
+"""Process-pool fan-out for embarrassingly parallel experiment work.
+
+The repeat experiments (Fig. 5/6, Tables 2-3) are bags of fully
+independent searches: every (strategy, scenario, repeat) task owns its
+seed and shares only read-only inputs (the enumerated space bundle and
+the evaluation cache).  :func:`parallel_map` runs such a bag across a
+process pool and returns results in input order.
+
+The pool uses the ``fork`` start method so task closures — strategy and
+evaluator factories capturing the multi-hundred-MB latency matrix — are
+inherited by workers copy-on-write instead of being pickled.  Only the
+(small, picklable) task descriptions and results cross the process
+boundary.  Where ``fork`` is unavailable the map degrades to the serial
+path, which is always behaviorally identical: determinism comes from
+per-task seeds, never from execution order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import warnings
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["parallel_map", "resolve_workers"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Set pre-fork so workers can find the (fn, items) closure without
+#: pickling it; reset to ``None`` once the pool is done.
+_FORK_PAYLOAD: tuple[Callable, Sequence] | None = None
+
+#: True inside pool workers — nested parallel_map calls run serially
+#: instead of forking a pool-per-worker bomb.
+_IN_WORKER = False
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Default worker count: all *usable* CPUs, at least 1."""
+    if workers is not None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        return workers
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _mark_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def _call_payload(index: int):
+    fn, items = _FORK_PAYLOAD
+    return fn(items[index])
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: int | None = None,
+    backend: str = "process",
+) -> list[R]:
+    """Map ``fn`` over ``items``, optionally across a process pool.
+
+    ``backend`` is ``"serial"`` or ``"process"``.  The process backend
+    falls back to serial when it cannot help (one item, one worker,
+    already inside a worker) or cannot fork; results are identical
+    either way and always ordered like ``items``.
+    """
+    if backend not in ("serial", "process"):
+        raise ValueError(f"backend must be 'serial' or 'process', got {backend!r}")
+    items = list(items)
+    workers = min(resolve_workers(workers), max(len(items), 1))
+    if backend == "serial" or workers <= 1 or len(items) <= 1 or _IN_WORKER:
+        return [fn(item) for item in items]
+    if "fork" not in multiprocessing.get_all_start_methods():
+        warnings.warn(
+            "process backend needs the 'fork' start method; running serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [fn(item) for item in items]
+
+    global _FORK_PAYLOAD
+    if _FORK_PAYLOAD is not None:  # re-entrant call in the parent
+        return [fn(item) for item in items]
+    _FORK_PAYLOAD = (fn, items)
+    try:
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=workers, initializer=_mark_worker) as pool:
+            return pool.map(_call_payload, range(len(items)), chunksize=1)
+    finally:
+        _FORK_PAYLOAD = None

@@ -5,7 +5,13 @@ from repro.search.combined import CombinedSearch
 from repro.search.evolution import EvolutionSearch
 from repro.search.phase import PhaseSearch
 from repro.search.random_search import RandomSearch
-from repro.search.runner import RepeatOutcome, mean_reward_trace, run_repeats
+from repro.search.runner import (
+    RepeatJob,
+    RepeatOutcome,
+    mean_reward_trace,
+    run_grid,
+    run_repeats,
+)
 from repro.search.separate import SeparateSearch
 from repro.search.threshold_schedule import (
     ThresholdRung,
@@ -20,8 +26,10 @@ __all__ = [
     "EvolutionSearch",
     "PhaseSearch",
     "RandomSearch",
+    "RepeatJob",
     "RepeatOutcome",
     "mean_reward_trace",
+    "run_grid",
     "run_repeats",
     "SeparateSearch",
     "ThresholdRung",

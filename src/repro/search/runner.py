@@ -1,27 +1,56 @@
-"""Repeat-experiment harness (Fig. 5 / Fig. 6 style).
+"""Repeat-experiment engine (Fig. 5 / Fig. 6 style).
 
 The paper repeats every (strategy, scenario) experiment 10 times and
 reports the top result per repeat (Fig. 5) and the step-wise reward
-averaged over repeats (Fig. 6).  :func:`run_repeats` drives that, with
-independent per-repeat seeds derived from one master seed.
+averaged over repeats (Fig. 6).  :func:`run_repeats` drives one such
+bag of repeats; :func:`run_grid` drives many (strategy, scenario) jobs
+at once so whole experiment grids fan out together.
+
+Both support two backends:
+
+* ``"serial"`` — the historical in-process loop;
+* ``"process"`` — repeats (across *all* jobs) spread over a fork-based
+  process pool (:func:`repro.parallel.parallel_map`).
+
+Every repeat derives its seed as ``hash_seed("repeat", master_seed,
+repeat)`` regardless of backend or scheduling, so results are
+bit-identical at any worker count.  An optional shared persistent
+:class:`repro.parallel.EvalCache` warm-starts evaluations: serial runs
+write through it directly, process workers consult it read-only and
+ship their new rows back to the parent, which merges them after the
+pool completes.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
 
 from repro.core.archive import ArchiveEntry
 from repro.core.evaluator import CodesignEvaluator
+from repro.parallel.cache import EvalCache
+from repro.parallel.pool import parallel_map
 from repro.search.base import SearchResult, SearchStrategy
 from repro.utils.rng import hash_seed
 
-__all__ = ["RepeatOutcome", "run_repeats", "mean_reward_trace"]
+__all__ = ["RepeatJob", "RepeatOutcome", "run_grid", "run_repeats", "mean_reward_trace"]
 
 StrategyFactory = Callable[[int], SearchStrategy]
 EvaluatorFactory = Callable[[], CodesignEvaluator]
+
+
+@dataclass(frozen=True)
+class RepeatJob:
+    """One (strategy, scenario) experiment to be repeated."""
+
+    label: str
+    strategy_factory: StrategyFactory
+    evaluator_factory: EvaluatorFactory
+    cache_scenario: str | None = None  # EvalCache namespace override
 
 
 @dataclass
@@ -50,32 +79,150 @@ class RepeatOutcome:
         return float(rewards.mean()) if len(rewards) else float("nan")
 
 
+def _coerce_cache(eval_cache: EvalCache | str | Path | None) -> EvalCache | None:
+    if eval_cache is None or isinstance(eval_cache, EvalCache):
+        return eval_cache
+    return EvalCache(eval_cache)
+
+
+def _attach(
+    evaluator: CodesignEvaluator, cache: EvalCache | None, job: RepeatJob
+) -> None:
+    if cache is not None and evaluator.eval_cache is None:
+        evaluator.attach_eval_cache(cache, scenario=job.cache_scenario)
+
+
+def run_grid(
+    jobs: list[RepeatJob],
+    num_steps: int,
+    num_repeats: int = 10,
+    master_seed: int = 0,
+    backend: str = "serial",
+    workers: int | None = None,
+    eval_cache: EvalCache | str | Path | None = None,
+) -> dict[str, RepeatOutcome]:
+    """Run every job ``num_repeats`` times; returns label -> outcome.
+
+    The task bag is the full (job, repeat) cross product, so with the
+    process backend independent jobs parallelize against each other,
+    not just their own repeats.  Per-repeat seeds depend only on
+    ``master_seed`` and the repeat index (matching the historical
+    serial harness), never on the job or the backend.
+    """
+    if num_repeats <= 0:
+        raise ValueError("num_repeats must be positive")
+    if not jobs:
+        return {}
+    cache = _coerce_cache(eval_cache)
+    tasks = [(j, r) for j in range(len(jobs)) for r in range(num_repeats)]
+
+    def run_serial(task: tuple[int, int]) -> SearchResult:
+        job_index, repeat = task
+        job = jobs[job_index]
+        strategy = job.strategy_factory(hash_seed("repeat", master_seed, repeat))
+        evaluator = job.evaluator_factory()
+        _attach(evaluator, cache, job)
+        result = strategy.run(evaluator, num_steps)
+        if cache is not None:
+            cache.flush()
+        return result
+
+    def run_in_worker(task: tuple[int, int]):
+        # Runs in a forked child: open a private read-only view of the
+        # store (never the parent's inherited connection) and return
+        # the new rows alongside the result for the parent to merge.
+        # A factory that returns a shared evaluator keeps its first
+        # task's cache attached; stats are reported as per-task deltas
+        # and pending rows drain per task either way.
+        job_index, repeat = task
+        job = jobs[job_index]
+        strategy = job.strategy_factory(hash_seed("repeat", master_seed, repeat))
+        evaluator = job.evaluator_factory()
+        worker_cache = evaluator.eval_cache
+        created = False
+        if worker_cache is None and cache is not None and cache.path is not None:
+            worker_cache = EvalCache(cache.path, read_only=True)
+            evaluator.attach_eval_cache(worker_cache, scenario=job.cache_scenario)
+            created = True
+        if worker_cache is None:
+            return strategy.run(evaluator, num_steps), [], (0, 0)
+        hits0, misses0 = worker_cache.hits, worker_cache.misses
+        result = strategy.run(evaluator, num_steps)
+        delta = worker_cache.drain_pending()
+        stats = (worker_cache.hits - hits0, worker_cache.misses - misses0)
+        if created:
+            # Task-local evaluators are discarded with their task; close
+            # the connection rather than leaking one per task in
+            # long-lived pool workers.
+            evaluator.eval_cache = None
+            worker_cache.close()
+        return result, delta, stats
+
+    if backend == "serial":
+        flat = parallel_map(run_serial, tasks, backend="serial")
+    elif backend == "process":
+        if cache is not None and cache.path is None:
+            warnings.warn(
+                "process backend cannot share a path-less (in-memory) "
+                "EvalCache with workers; evaluations will not be cached "
+                "— give the cache a file path",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        if cache is not None:
+            cache.flush()  # workers must see everything known so far
+        pairs = parallel_map(run_in_worker, tasks, workers=workers, backend="process")
+        flat = []
+        for result, delta, (hits, misses) in pairs:
+            if cache is not None:
+                cache.merge(delta)
+                # Fold worker-side lookups into the parent's counters so
+                # hit-rate reporting covers the whole run.
+                cache.hits += hits
+                cache.misses += misses
+            flat.append(result)
+    else:
+        raise ValueError(f"backend must be 'serial' or 'process', got {backend!r}")
+
+    outcomes: dict[str, RepeatOutcome] = {}
+    for (job_index, _), result in zip(tasks, flat):
+        label = jobs[job_index].label
+        if label not in outcomes:
+            outcomes[label] = RepeatOutcome(
+                strategy=result.strategy, scenario=result.scenario
+            )
+        outcomes[label].results.append(result)
+    return outcomes
+
+
 def run_repeats(
     strategy_factory: StrategyFactory,
     evaluator_factory: EvaluatorFactory,
     num_steps: int,
     num_repeats: int = 10,
     master_seed: int = 0,
+    backend: str = "serial",
+    workers: int | None = None,
+    eval_cache: EvalCache | str | Path | None = None,
 ) -> RepeatOutcome:
-    """Run ``num_repeats`` independent searches.
+    """Run ``num_repeats`` independent searches of one experiment.
 
     ``strategy_factory(seed)`` builds a fresh strategy per repeat;
     ``evaluator_factory()`` builds (or shares) the evaluator — sharing
-    one evaluator across repeats is safe and reuses the metric caches.
+    one evaluator across serial repeats is safe and reuses the metric
+    caches.  See :func:`run_grid` for ``backend`` / ``workers`` /
+    ``eval_cache`` semantics.
     """
-    results: list[SearchResult] = []
-    for repeat in range(num_repeats):
-        seed = hash_seed("repeat", master_seed, repeat)
-        strategy = strategy_factory(seed)
-        evaluator = evaluator_factory()
-        results.append(strategy.run(evaluator, num_steps))
-    if not results:
-        raise ValueError("num_repeats must be positive")
-    return RepeatOutcome(
-        strategy=results[0].strategy,
-        scenario=results[0].scenario,
-        results=results,
+    outcomes = run_grid(
+        [RepeatJob("job", strategy_factory, evaluator_factory)],
+        num_steps=num_steps,
+        num_repeats=num_repeats,
+        master_seed=master_seed,
+        backend=backend,
+        workers=workers,
+        eval_cache=eval_cache,
     )
+    return outcomes["job"]
 
 
 def mean_reward_trace(

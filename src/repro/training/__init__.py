@@ -1,11 +1,12 @@
 """Training oracles: surrogate CIFAR-100 trainer, real numpy trainer, cache."""
 
-from repro.training.cache import CachedTrainer
+from repro.training.cache import TRAIN_CONFIG_KEY, CachedTrainer
 from repro.training.numpy_trainer import TOY_SKELETON, NumpyTrainerOracle
 from repro.training.oracle import TrainingOracle, TrainOutcome
 from repro.training.surrogate_trainer import CIFAR100_ANCHORS, SurrogateCifar100Trainer
 
 __all__ = [
+    "TRAIN_CONFIG_KEY",
     "CachedTrainer",
     "TOY_SKELETON",
     "NumpyTrainerOracle",

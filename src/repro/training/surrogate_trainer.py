@@ -81,6 +81,19 @@ class SurrogateCifar100Trainer:
             self._anchor_offsets[spec.spec_hash()] = target - surface
 
     # ------------------------------------------------------------------
+    def cache_namespace(self) -> str:
+        """Store namespace pinning every outcome-affecting parameter.
+
+        Used by :func:`repro.experiments.fig7.run_fig7` when persisting
+        training outcomes — differently configured trainers must never
+        share rows.
+        """
+        return (
+            f"train/cifar100/seed{self.seed}/noise{self.noise_std:g}"
+            f"/gpu{self.gpu_hours_base:g}+{self.gpu_hours_per_gmac:g}"
+            f"/clip{self.floor:g}-{self.ceiling:g}"
+        )
+
     def mean_accuracy(self, spec: ModelSpec) -> float:
         """Noise-free accuracy (anchored surface), percent."""
         if not spec.valid:

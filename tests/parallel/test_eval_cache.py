@@ -1,0 +1,214 @@
+"""Tests for the persistent evaluation cache."""
+
+import sqlite3
+
+import pytest
+
+from repro.core.scenarios import unconstrained
+from repro.experiments.search_study import make_bundle_evaluator
+from repro.nasbench.known_cells import resnet_cell
+from repro.parallel import CacheEntry, EvalCache
+from repro.training.cache import CachedTrainer
+from repro.training.surrogate_trainer import SurrogateCifar100Trainer
+
+
+def entry(scenario="s", spec="abc", config="(1,)", acc=71.5, lat=0.02, area=150.0):
+    return CacheEntry(scenario, spec, config, acc, lat, area)
+
+
+class TestRoundTrip:
+    def test_cold_write_warm_read(self, tmp_path):
+        path = tmp_path / "ec.sqlite"
+        with EvalCache(path) as cache:
+            cache.put(entry())
+            assert cache.flush() == 1
+        with EvalCache(path) as warm:
+            hit = warm.get("s", "abc", "(1,)")
+            assert hit is not None
+            assert hit.accuracy == 71.5
+            assert hit.latency_s == 0.02
+            assert hit.area_mm2 == 150.0
+            assert warm.stats["hits"] == 1
+            assert len(warm) == 1
+
+    def test_unevaluable_rows_round_trip(self, tmp_path):
+        path = tmp_path / "ec.sqlite"
+        with EvalCache(path) as cache:
+            cache.put(entry(acc=None, lat=None, area=None))
+            cache.flush()
+        with EvalCache(path) as warm:
+            hit = warm.get("s", "abc", "(1,)")
+            assert hit is not None and hit.accuracy is None
+
+    def test_extra_payload_round_trips(self, tmp_path):
+        path = tmp_path / "ec.sqlite"
+        with EvalCache(path) as cache:
+            cache.put(
+                CacheEntry("t", "abc", "-", 70.0, None, None, extra={"gpu_hours": 1.5})
+            )
+            cache.flush()
+        assert EvalCache(path).get("t", "abc", "-").extra == {"gpu_hours": 1.5}
+
+    def test_miss_counts(self):
+        cache = EvalCache()
+        assert cache.get("s", "nope", "(1,)") is None
+        assert cache.stats["misses"] == 1
+
+    def test_keys_are_namespaced(self, tmp_path):
+        cache = EvalCache(tmp_path / "ec.sqlite")
+        cache.put(entry(scenario="a"))
+        cache.flush()
+        assert cache.get("b", "abc", "(1,)") is None
+
+    def test_pending_visible_before_flush(self):
+        cache = EvalCache()
+        cache.put(entry())
+        assert cache.get("s", "abc", "(1,)").accuracy == 71.5
+
+    def test_replace_keeps_single_row(self, tmp_path):
+        cache = EvalCache(tmp_path / "ec.sqlite")
+        cache.put(entry(acc=70.0))
+        cache.flush()
+        cache.put(entry(acc=71.0))
+        cache.flush()
+        assert len(cache) == 1
+        assert EvalCache(tmp_path / "ec.sqlite").get("s", "abc", "(1,)").accuracy == 71.0
+
+
+class TestCorruption:
+    def test_corrupted_file_falls_back_to_cold(self, tmp_path):
+        path = tmp_path / "ec.sqlite"
+        path.write_bytes(b"this is not a sqlite database at all" * 100)
+        cache = EvalCache(path)
+        assert cache.recovered
+        assert len(cache) == 0
+        cache.put(entry())
+        cache.flush()
+        assert EvalCache(path).get("s", "abc", "(1,)") is not None
+        assert path.with_suffix(".sqlite.corrupt").exists()
+
+    def test_truncated_database_falls_back(self, tmp_path):
+        path = tmp_path / "ec.sqlite"
+        with EvalCache(path) as cache:
+            cache.put(entry())
+            cache.flush()
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 3])
+        try:
+            cache = EvalCache(path)
+            rows = len(cache)
+        except sqlite3.DatabaseError:
+            pytest.fail("corrupted store must not raise")
+        assert rows == 0 or not cache.recovered
+
+
+class TestReadOnlyWorkers:
+    def test_read_only_corrupt_file_untouched(self, tmp_path):
+        path = tmp_path / "ec.sqlite"
+        garbage = b"this is not a sqlite database" * 200
+        path.write_bytes(garbage)
+        worker = EvalCache(path, read_only=True)
+        assert worker.recovered
+        assert worker.get("s", "abc", "(1,)") is None
+        # the shared file must not be renamed, recreated, or modified
+        assert path.read_bytes() == garbage
+        assert not path.with_suffix(".sqlite.corrupt").exists()
+
+    def test_read_only_missing_file_serves_cold(self, tmp_path):
+        path = tmp_path / "missing.sqlite"
+        worker = EvalCache(path, read_only=True)
+        assert worker.get("s", "abc", "(1,)") is None
+        assert not path.exists()
+
+    def test_read_only_never_writes(self, tmp_path):
+        path = tmp_path / "ec.sqlite"
+        EvalCache(path).close()
+        worker = EvalCache(path, read_only=True)
+        worker.put(entry())
+        assert worker.flush() == 0
+        assert len(EvalCache(path)) == 0
+
+    def test_drain_then_merge(self, tmp_path):
+        path = tmp_path / "ec.sqlite"
+        parent = EvalCache(path)
+        worker = EvalCache(path, read_only=True)
+        worker.put(entry())
+        delta = worker.drain_pending()
+        assert [e.key for e in delta] == [("s", "abc", "(1,)")]
+        assert parent.merge(delta) == 1
+        assert len(parent) == 1
+
+
+class TestEvaluatorIntegration:
+    def test_evaluator_consults_cache_before_computing(self, micro4_bundle):
+        scenario = unconstrained(micro4_bundle.bounds)
+        evaluator = make_bundle_evaluator(micro4_bundle, scenario)
+        cache = EvalCache()
+        evaluator.attach_eval_cache(cache, scenario="test")
+        spec = micro4_bundle.database.records[0].spec
+        config = micro4_bundle.space.config_at(0)
+        first = evaluator.evaluate(spec, config)
+        assert cache.stats["misses"] == 1
+        again = evaluator.evaluate(spec, config)
+        assert cache.stats["hits"] >= 1
+        assert again.metrics == first.metrics
+
+    def test_warm_evaluator_matches_cold(self, micro4_bundle, tmp_path):
+        scenario = unconstrained(micro4_bundle.bounds)
+        path = tmp_path / "ec.sqlite"
+        spec = micro4_bundle.database.records[1].spec
+        config = micro4_bundle.space.config_at(17)
+
+        cold_cache = EvalCache(path)
+        cold = make_bundle_evaluator(micro4_bundle, scenario)
+        cold.attach_eval_cache(cold_cache, scenario="test")
+        cold_result = cold.evaluate(spec, config)
+        cold_cache.flush()
+
+        warm_cache = EvalCache(path)
+        warm = make_bundle_evaluator(micro4_bundle, scenario)
+        warm.attach_eval_cache(warm_cache, scenario="test")
+        warm_result = warm.evaluate(spec, config)
+        assert warm_cache.stats["hits"] == 1
+        assert warm_result.metrics == cold_result.metrics
+        assert warm_result.reward.value == cold_result.reward.value
+
+    def test_evaluate_batch_matches_scalar(self, micro4_bundle):
+        scenario = unconstrained(micro4_bundle.bounds)
+        evaluator = make_bundle_evaluator(micro4_bundle, scenario)
+        records = micro4_bundle.database.records
+        pairs = [
+            (records[i % len(records)].spec, micro4_bundle.space.config_at(i * 7))
+            for i in range(6)
+        ] * 2  # duplicates exercise the dedup path
+        batch = evaluator.evaluate_batch(pairs)
+        reference = make_bundle_evaluator(micro4_bundle, scenario)
+        assert len(batch) == len(pairs)
+        assert evaluator.num_evaluations == len(pairs)
+        for (spec, config), result in zip(pairs, batch):
+            assert result.reward.value == reference.evaluate(spec, config).reward.value
+
+
+class TestCachedTrainerStore:
+    def test_warm_run_pays_no_gpu_hours(self):
+        store = EvalCache()
+        first = CachedTrainer(SurrogateCifar100Trainer(), store=store, namespace="t")
+        outcome = first.train_and_score(resnet_cell())
+        assert first.total_gpu_hours() > 0
+
+        second = CachedTrainer(SurrogateCifar100Trainer(), store=store, namespace="t")
+        warm = second.train_and_score(resnet_cell())
+        assert warm.accuracy == outcome.accuracy
+        assert warm.gpu_hours == outcome.gpu_hours
+        assert second.hits == 1 and second.misses == 0
+        assert second.total_gpu_hours() == 0.0
+        assert second.oracle.num_trainings == 0
+
+    def test_namespaces_isolate_oracles(self):
+        store = EvalCache()
+        a = CachedTrainer(SurrogateCifar100Trainer(seed=1), store=store, namespace="a")
+        b = CachedTrainer(SurrogateCifar100Trainer(seed=2), store=store, namespace="b")
+        acc_a = a.train_and_score(resnet_cell()).accuracy
+        acc_b = b.train_and_score(resnet_cell()).accuracy
+        assert acc_a != acc_b
+        assert b.misses == 1

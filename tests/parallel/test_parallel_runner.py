@@ -1,0 +1,187 @@
+"""Tests for the parallel repeat engine: process == serial, warm starts."""
+
+import numpy as np
+import pytest
+
+from repro.core.scenarios import one_constraint, unconstrained
+from repro.core.search_space import JointSearchSpace
+from repro.experiments.search_study import make_bundle_evaluator, run_search_study
+from repro.parallel import EvalCache, parallel_map
+from repro.search.combined import CombinedSearch
+from repro.search.random_search import RandomSearch
+from repro.search.runner import RepeatJob, run_grid, run_repeats
+
+
+@pytest.fixture
+def repeat_kwargs(micro4_bundle):
+    scenario = unconstrained(micro4_bundle.bounds)
+    space = JointSearchSpace(cell_encoding=micro4_bundle.cell_encoding)
+    return dict(
+        strategy_factory=lambda seed: CombinedSearch(space, seed=seed),
+        evaluator_factory=lambda: make_bundle_evaluator(micro4_bundle, scenario),
+        num_steps=40,
+        num_repeats=3,
+        master_seed=0,
+    )
+
+
+def assert_outcomes_identical(a, b):
+    assert len(a.results) == len(b.results)
+    for ra, rb in zip(a.results, b.results):
+        assert np.array_equal(ra.reward_trace(), rb.reward_trace(), equal_nan=True)
+        assert (ra.best is None) == (rb.best is None)
+        if ra.best is not None:
+            assert ra.best.step == rb.best.step
+            assert ra.best.reward == rb.best.reward
+            assert ra.best.spec.spec_hash() == rb.best.spec.spec_hash()
+
+
+class TestParallelMap:
+    def test_serial_and_process_agree(self):
+        items = list(range(7))
+        fn = lambda x: x * x  # noqa: E731
+        assert parallel_map(fn, items, backend="serial") == [x * x for x in items]
+        assert parallel_map(fn, items, workers=3, backend="process") == [
+            x * x for x in items
+        ]
+
+    def test_order_preserved(self):
+        out = parallel_map(lambda x: -x, list(range(20)), workers=4)
+        assert out == [-x for x in range(20)]
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_map(lambda x: x, [1], backend="threads")
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_map(lambda x: x, [1, 2], workers=0)
+
+
+class TestProcessEqualsSerial:
+    def test_run_repeats_identical(self, repeat_kwargs):
+        serial = run_repeats(**repeat_kwargs, backend="serial")
+        process = run_repeats(**repeat_kwargs, backend="process", workers=4)
+        assert_outcomes_identical(serial, process)
+
+    def test_identical_with_shared_cache(self, repeat_kwargs, tmp_path):
+        serial = run_repeats(**repeat_kwargs, backend="serial")
+        process = run_repeats(
+            **repeat_kwargs,
+            backend="process",
+            workers=2,
+            eval_cache=tmp_path / "ec.sqlite",
+        )
+        assert_outcomes_identical(serial, process)
+
+    def test_grid_parallelizes_independent_jobs(self, micro4_bundle):
+        space = JointSearchSpace(cell_encoding=micro4_bundle.cell_encoding)
+        jobs = []
+        for name, factory in (("u", unconstrained), ("c1", one_constraint)):
+            scenario = factory(micro4_bundle.bounds)
+            jobs.append(
+                RepeatJob(
+                    label=name,
+                    strategy_factory=lambda seed: RandomSearch(space, seed=seed),
+                    evaluator_factory=lambda sc=scenario: make_bundle_evaluator(
+                        micro4_bundle, sc
+                    ),
+                    cache_scenario=name,
+                )
+            )
+        serial = run_grid(jobs, num_steps=25, num_repeats=2, backend="serial")
+        process = run_grid(
+            jobs, num_steps=25, num_repeats=2, backend="process", workers=4
+        )
+        assert set(serial) == set(process) == {"u", "c1"}
+        for label in serial:
+            assert_outcomes_identical(serial[label], process[label])
+
+    def test_unknown_backend_rejected(self, repeat_kwargs):
+        with pytest.raises(ValueError):
+            run_repeats(**repeat_kwargs, backend="gpu")
+
+    def test_zero_repeats_rejected(self, repeat_kwargs):
+        kwargs = {**repeat_kwargs, "num_repeats": 0}
+        with pytest.raises(ValueError):
+            run_repeats(**kwargs)
+
+
+class TestWarmStarts:
+    def test_second_run_hits_cache(self, repeat_kwargs, tmp_path):
+        path = tmp_path / "ec.sqlite"
+        cold = EvalCache(path)
+        first = run_repeats(**repeat_kwargs, eval_cache=cold)
+        assert len(cold) > 0
+
+        warm = EvalCache(path)
+        second = run_repeats(**repeat_kwargs, eval_cache=warm)
+        assert warm.stats["hit_rate"] > 0.0
+        assert warm.stats["misses"] == 0  # identical run => fully warm
+        assert_outcomes_identical(first, second)
+
+    def test_workers_merge_rows_back(self, repeat_kwargs, tmp_path):
+        cache = EvalCache(tmp_path / "ec.sqlite")
+        run_repeats(**repeat_kwargs, backend="process", workers=2, eval_cache=cache)
+        assert len(cache) > 0
+        assert cache.stats["pending"] == 0  # merged and flushed
+
+    def test_shared_evaluator_rows_still_merge(self, micro4_bundle, tmp_path):
+        # A factory returning one shared evaluator (the documented serial
+        # idiom) must not lose cache rows or stats in process mode.
+        scenario = unconstrained(micro4_bundle.bounds)
+        space = JointSearchSpace(cell_encoding=micro4_bundle.cell_encoding)
+        shared = make_bundle_evaluator(micro4_bundle, scenario)
+        shared_cache = EvalCache(tmp_path / "shared.sqlite")
+        run_repeats(
+            strategy_factory=lambda seed: RandomSearch(space, seed=seed),
+            evaluator_factory=lambda: shared,
+            num_steps=25,
+            num_repeats=4,
+            backend="process",
+            workers=2,
+            eval_cache=shared_cache,
+        )
+        fresh_cache = EvalCache(tmp_path / "fresh.sqlite")
+        run_repeats(
+            strategy_factory=lambda seed: RandomSearch(space, seed=seed),
+            evaluator_factory=lambda: make_bundle_evaluator(micro4_bundle, scenario),
+            num_steps=25,
+            num_repeats=4,
+            backend="process",
+            workers=2,
+            eval_cache=fresh_cache,
+        )
+        assert len(shared_cache) == len(fresh_cache) > 0
+        assert shared_cache.hits + shared_cache.misses > 0
+
+    def test_cache_path_accepted_directly(self, repeat_kwargs, tmp_path):
+        path = tmp_path / "ec.sqlite"
+        run_repeats(**repeat_kwargs, eval_cache=path)
+        assert len(EvalCache(path)) > 0
+
+
+class TestSearchStudyBackends:
+    def test_study_process_equals_serial(self, micro4_bundle, tmp_path):
+        from repro.experiments.common import Scale
+
+        tiny = Scale(name="tiny", search_steps=20, num_repeats=2, fig7_target_scale=0.05)
+        scenarios = {"unconstrained": unconstrained}
+        serial = run_search_study(
+            micro4_bundle, tiny, scenarios=scenarios, master_seed=3
+        )
+        process = run_search_study(
+            micro4_bundle,
+            tiny,
+            scenarios=scenarios,
+            master_seed=3,
+            backend="process",
+            workers=4,
+            eval_cache=tmp_path / "ec.sqlite",
+        )
+        for scenario in serial.outcomes:
+            for strategy in serial.outcomes[scenario]:
+                assert_outcomes_identical(
+                    serial.outcomes[scenario][strategy],
+                    process.outcomes[scenario][strategy],
+                )
