@@ -20,8 +20,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.accelerator.config import AcceleratorConfig
-from repro.accelerator.resources import ResourceVector
+from repro.accelerator.resources import TILE_AREA_MM2, ResourceVector
 
 __all__ = ["AreaModelParams", "AreaModel", "BRAM36_BYTES"]
 
@@ -146,6 +148,71 @@ class AreaModel:
     def area_mm2(self, config: AcceleratorConfig) -> float:
         """Estimated silicon area in mm2 (the paper's area metric)."""
         return self.resources(config).silicon_area_mm2()
+
+    def batch_area_mm2(self, cols: dict[str, np.ndarray]) -> np.ndarray:
+        """Vectorized :meth:`area_mm2` over config columns.
+
+        ``cols`` is a column dict as produced by
+        :meth:`repro.accelerator.AcceleratorSpace.columns` (or
+        :func:`repro.accelerator.latency.config_columns`).  Every
+        formula mirrors the scalar component models term for term, in
+        the same accumulation order, so the result matches the
+        per-config path elementwise (see ``tests/accelerator/test_area.py``).
+        """
+        p = self.params
+        filter_par = np.asarray(cols["filter_par"], dtype=np.float64)
+        pixel_par = np.asarray(cols["pixel_par"], dtype=np.float64)
+        ratio = np.asarray(cols["ratio_conv_engines"], dtype=np.float64)
+        pool_enable = np.asarray(cols["pool_enable"], dtype=bool)
+        width = np.asarray(cols["mem_interface_width"], dtype=np.float64)
+
+        # dsp_split, vectorized (np.round is round-half-even, like round()).
+        total_dsp = filter_par * pixel_par
+        lanes_1x1 = np.clip(np.round(ratio * pixel_par), 1, pixel_par - 1)
+        dsp_1x1 = np.where(ratio < 1.0, lanes_1x1 * filter_par, 0.0)
+        dsp_3x3 = total_dsp - dsp_1x1
+        lanes_3x3 = dsp_3x3 / filter_par
+
+        # Base system + convolution engines.
+        clb = p.base_clb + (
+            p.engine_base_clb + p.clb_per_dsp * dsp_3x3
+            + p.window_clb_per_lane * lanes_3x3
+        )
+        bram = p.base_bram + (
+            np.ceil(p.engine_bram_per_dsp * dsp_3x3)
+            + np.ceil(p.window_bram_per_lane * lanes_3x3)
+        )
+        dsp = p.base_dsp + dsp_3x3
+        dual = dsp_1x1 > 0
+        clb += np.where(
+            dual, p.engine_base_clb + 0.9 * p.clb_per_dsp * dsp_1x1, 0.0
+        )
+        bram += np.where(dual, np.ceil(p.engine_bram_per_dsp * dsp_1x1), 0.0)
+        dsp += dsp_1x1
+
+        # Buffers (input/weight/output, double-buffered).
+        for depth_name, word in (
+            ("input_buffer_depth", pixel_par),
+            ("weight_buffer_depth", filter_par),
+            ("output_buffer_depth", pixel_par),
+        ):
+            depth = np.asarray(cols[depth_name], dtype=np.float64)
+            clb += p.buffer_base_clb + p.buffer_clb_per_entry * depth
+            bram += 2 * np.ceil(depth * word / BRAM36_BYTES)
+
+        # Pooling engine.
+        clb += np.where(pool_enable, p.pool_base_clb + p.pool_clb_per_lane * pixel_par, 0.0)
+        bram += np.where(pool_enable, np.ceil(p.pool_bram_per_lane * pixel_par), 0.0)
+
+        # Memory interface.
+        clb += p.mem_base_clb + p.mem_clb_per_bit * width
+        bram += p.mem_bram + np.ceil(p.mem_bram_per_bit * width)
+
+        return (
+            clb * TILE_AREA_MM2["clb"]
+            + bram * TILE_AREA_MM2["bram36"]
+            + dsp * TILE_AREA_MM2["dsp"]
+        )
 
     def breakdown(self, config: AcceleratorConfig) -> dict[str, float]:
         """Per-component silicon area in mm2."""

@@ -7,6 +7,8 @@ Usage::
     python -m repro run fig4 --out results/fig4.md
     python -m repro run fig7 --scale default --seed 1
     python -m repro run fig5+6 --scale paper --workers 8 --cache-dir .cache/repro
+    python -m repro run fig5 --scenario "perf-area>=16" --batch-size 16
+    python -m repro run fig5+6 --scenario-file my_scenarios.json
     python -m repro run all --scale smoke
 
 Each experiment prints the same rows the paper reports (markdown) and
@@ -14,9 +16,14 @@ can optionally write them to a file.  ``--workers N`` (N > 1) fans the
 repeat experiments out across a process pool; ``--cache-dir`` persists
 every evaluation to ``<dir>/eval_cache.sqlite`` so re-runs warm-start.
 Neither flag changes search results — determinism comes from ``--seed``
-alone.  One caveat: fig7's "simulated GPU-hours" line reports only the
-training cost *newly paid* by the current run, so a warm ``--cache-dir``
-re-run legitimately shows fewer (typically 0) GPU-hours.
+alone.  ``--scenario`` / ``--scenario-file`` run the search study under
+registry or JSON-declared scenarios instead of the paper's three (see
+``docs/reproducing.md``); ``--batch-size B`` evaluates B proposals per
+ask/tell step (B=1 reproduces the per-point loop bit for bit, larger B
+is several times faster under per-strategy batch semantics).  One
+caveat: fig7's "simulated GPU-hours" line reports only the training
+cost *newly paid* by the current run, so a warm ``--cache-dir`` re-run
+legitimately shows fewer (typically 0) GPU-hours.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
+from repro.core.scenarios import ScenarioError, resolve_scenarios
 from repro.experiments.ablations import ablation_markdown, run_all_ablations
 from repro.experiments.common import Scale, eval_cache_path, load_bundle
 from repro.experiments.fig4 import run_fig4
@@ -51,6 +59,8 @@ class RunContext:
     seed: int
     workers: int | None = None
     eval_cache: EvalCache | None = None
+    scenarios: dict | None = None
+    batch_size: int = 1
     _study: object = None
 
     @property
@@ -67,10 +77,12 @@ class RunContext:
             self._study = run_search_study(
                 load_bundle(),
                 self.scale,
+                scenarios=self.scenarios,
                 master_seed=self.seed,
                 backend=self.backend,
                 workers=self.workers,
                 eval_cache=self.eval_cache,
+                batch_size=self.batch_size,
             )
         return self._study
 
@@ -127,6 +139,10 @@ EXPERIMENTS: dict[str, Callable[[RunContext], str]] = {
     "ablations": _run_ablations,
 }
 
+#: Experiments driven by the Fig. 5/6 search study — the only ones
+#: --scenario / --scenario-file / --batch-size apply to.
+STUDY_EXPERIMENTS = ("fig5", "fig6", "fig5+6")
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -161,6 +177,34 @@ def _build_parser() -> argparse.ArgumentParser:
         "warm-start (never changes search results; fig7's GPU-hour "
         "ledger only counts newly-paid training)",
     )
+    run.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run the search study under this registry scenario instead "
+        "of the paper's three (repeatable; see "
+        "repro.core.scenarios.list_scenarios, plus the parametric "
+        "'perf-area>=N' family)",
+    )
+    run.add_argument(
+        "--scenario-file",
+        type=Path,
+        default=None,
+        metavar="SPEC.json",
+        help="add every scenario declared in a JSON spec file to the "
+        "search study (one spec object or a list; see "
+        "docs/reproducing.md for the format)",
+    )
+    run.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        metavar="B",
+        help="ask/tell batch size: strategies propose B points per step "
+        "and evaluate them in one batch (1 = bit-identical to the "
+        "historic per-point loop; >1 uses rollout/generation batches)",
+    )
     run.add_argument("--out", type=Path, default=None, help="write report to file")
     return parser
 
@@ -170,10 +214,44 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "workers", None) is not None and args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+    if getattr(args, "batch_size", 1) < 1:
+        parser.error(f"--batch-size must be >= 1, got {args.batch_size}")
     if args.command == "list":
         for name in EXPERIMENTS:
             print(name)
         return 0
+
+    # --scenario / --scenario-file / --batch-size only drive the
+    # search-study experiments; reject runs where they would silently
+    # change nothing (results-changing flags must never no-op).
+    study_flags = []
+    if args.scenario or args.scenario_file:
+        study_flags.append("--scenario/--scenario-file")
+    if args.batch_size != 1:
+        study_flags.append("--batch-size")
+    if study_flags:
+        selected = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        uses_study = [name for name in selected if name in STUDY_EXPERIMENTS]
+        if not uses_study:
+            parser.error(
+                f"{' and '.join(study_flags)} only affect the search-study "
+                f"experiments ({', '.join(STUDY_EXPERIMENTS)}); "
+                f"'{args.experiment}' would ignore them"
+            )
+        ignored = [name for name in selected if name not in STUDY_EXPERIMENTS]
+        if ignored:
+            print(
+                f"note: {' and '.join(study_flags)} affect only "
+                f"{', '.join(uses_study)}; {', '.join(ignored)} run unchanged",
+                file=sys.stderr,
+            )
+
+    scenarios = None
+    if args.scenario or args.scenario_file:
+        try:
+            scenarios = resolve_scenarios(args.scenario, args.scenario_file)
+        except ScenarioError as err:
+            parser.error(str(err))
 
     if args.scale is not None:
         scale = {
@@ -193,6 +271,8 @@ def main(argv: list[str] | None = None) -> int:
             if args.cache_dir is not None
             else None
         ),
+        scenarios=scenarios,
+        batch_size=args.batch_size,
     )
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     reports = []

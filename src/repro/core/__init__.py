@@ -8,6 +8,8 @@ from repro.core.pareto import (
     pareto_mask_2d,
     pareto_mask_3d,
     product_space_pareto,
+    reward_ranked_points,
+    scenario_sweep,
 )
 from repro.core.reward import (
     Constraints,
@@ -19,8 +21,17 @@ from repro.core.reward import (
 from repro.core.scenarios import (
     CIFAR100_THRESHOLD_SCHEDULE,
     PAPER_SCENARIOS,
+    ScenarioError,
     cifar100_threshold,
+    get_scenario,
+    list_scenarios,
+    load_scenario_file,
+    make_scenario,
     one_constraint,
+    register_scenario,
+    resolve_scenarios,
+    scenario_from_dict,
+    scenario_to_dict,
     two_constraints,
     unconstrained,
 )
@@ -38,6 +49,8 @@ __all__ = [
     "pareto_mask_2d",
     "pareto_mask_3d",
     "product_space_pareto",
+    "reward_ranked_points",
+    "scenario_sweep",
     "Constraints",
     "MetricBounds",
     "RewardConfig",
@@ -45,8 +58,17 @@ __all__ = [
     "RewardResult",
     "CIFAR100_THRESHOLD_SCHEDULE",
     "PAPER_SCENARIOS",
+    "ScenarioError",
     "cifar100_threshold",
+    "get_scenario",
+    "list_scenarios",
+    "load_scenario_file",
+    "make_scenario",
     "one_constraint",
+    "register_scenario",
+    "resolve_scenarios",
+    "scenario_from_dict",
+    "scenario_to_dict",
     "two_constraints",
     "unconstrained",
     "JointSearchSpace",

@@ -83,6 +83,11 @@ class CodesignEvaluator:
         self._area_cache: dict[tuple, float] = {}
         self._latency_cache: dict[tuple, float] = {}
         self._accuracy_cache: dict[str, float | None] = {}
+        # Batch-path memos: pruned-cell content -> spec_hash (the md5
+        # canonicalization dominates per-point cost) and config_key ->
+        # latency-table column.  Pure key derivations, shared freely.
+        self._content_hash_memo: dict[tuple, str] = {}
+        self._config_index_memo: dict[tuple, int] = {}
         self._latency_table = None
         self.eval_cache: EvalCache | None = None
         self.cache_scenario = reward_config.name
@@ -230,20 +235,112 @@ class CodesignEvaluator:
 
         Returns one result per input pair, in order; duplicate pairs
         share one computation but still count as evaluations.
+
+        This is the engine behind the batched ask/tell search loop: the
+        expensive key derivations (``spec_hash``'s isomorphism-invariant
+        md5 canonicalization, the latency-table column index) are
+        memoized across batches, and duplicate pairs inside a batch
+        collapse to one metric + reward computation.  Every metric and
+        the reward still come from exactly the same pure lookups and the
+        same scalar reward path as :meth:`evaluate`, so batched results
+        are bit-identical to pointwise results — only faster.
         """
         memo: dict[tuple, EvaluationResult] = {}
         out: list[EvaluationResult] = []
         for spec, config in pairs:
+            self.num_evaluations += 1
             if not spec.valid:
-                out.append(self.evaluate(spec, config))
+                out.append(
+                    EvaluationResult(
+                        spec=spec, config=config, metrics=None,
+                        reward=self.reward_fn(None),
+                    )
+                )
                 continue
-            key = (spec.spec_hash(), config_key(config))
-            if key in memo:
-                self.num_evaluations += 1
-            else:
-                memo[key] = self.evaluate(spec, config)
-            out.append(memo[key])
+            ckey = config_key(config)
+            content = (spec.matrix.tobytes(), tuple(spec.ops))
+            spec_hash = self._content_hash_memo.get(content)
+            if spec_hash is None:
+                spec_hash = spec.spec_hash()
+                self._content_hash_memo[content] = spec_hash
+            key = (spec_hash, ckey)
+            result = memo.get(key)
+            if result is None:
+                metrics = self._metrics_hashed(spec, config, spec_hash, ckey)
+                result = EvaluationResult(
+                    spec=spec, config=config, metrics=metrics,
+                    reward=self.reward_fn(metrics),
+                )
+                memo[key] = result
+            out.append(result)
         return out
+
+    def _metrics_hashed(
+        self,
+        spec: ModelSpec,
+        config: AcceleratorConfig,
+        spec_hash: str,
+        ckey: tuple,
+    ) -> Metrics | None:
+        """:meth:`metrics` with the expensive keys already derived."""
+        cache = self.eval_cache
+        cache_key = None
+        if cache is not None:
+            cache_key = (self.cache_scenario, spec_hash, str(ckey))
+            hit = cache.get(*cache_key)
+            if hit is not None:
+                if hit.accuracy is None:
+                    return None
+                return Metrics(
+                    accuracy=hit.accuracy,
+                    latency_s=hit.latency_s,
+                    area_mm2=hit.area_mm2,
+                )
+        if spec_hash in self._accuracy_cache:
+            accuracy = self._accuracy_cache[spec_hash]
+        else:
+            accuracy = self.accuracy_fn(spec)
+            self._accuracy_cache[spec_hash] = accuracy
+        if accuracy is None:
+            if cache is not None:
+                cache.put(CacheEntry(*cache_key, None, None, None))
+            return None
+        latency = self._latency_hashed(spec, config, spec_hash, ckey)
+        area = self._area_cache.get(ckey)
+        if area is None:
+            area = self.area_model.area_mm2(config)
+            self._area_cache[ckey] = area
+        metrics = Metrics(accuracy=accuracy, latency_s=latency, area_mm2=area)
+        if cache is not None:
+            cache.put(
+                CacheEntry(*cache_key, metrics.accuracy, metrics.latency_s, metrics.area_mm2)
+            )
+        return metrics
+
+    def _latency_hashed(
+        self,
+        spec: ModelSpec,
+        config: AcceleratorConfig,
+        spec_hash: str,
+        ckey: tuple,
+    ) -> float:
+        """:meth:`latency_s` with the expensive keys already derived."""
+        if self._latency_table is not None:
+            latency_ms, row_of_hash, space = self._latency_table
+            row = row_of_hash.get(spec_hash)
+            if row is not None:
+                col = self._config_index_memo.get(ckey)
+                if col is None:
+                    col = space.index_of(config)
+                    self._config_index_memo[ckey] = col
+                return float(latency_ms[row, col]) / 1e3
+        key = (spec_hash, ckey)
+        if key not in self._latency_cache:
+            ir = compile_cell_ops(spec, self.skeleton)
+            durations = self.latency_lut.network_durations(ir, config)
+            result = schedule_network(ir, config, durations=durations)
+            self._latency_cache[key] = result.latency_s
+        return self._latency_cache[key]
 
     def with_reward(self, reward_config: RewardConfig) -> "CodesignEvaluator":
         """Same caches and models under a different scenario.
@@ -261,6 +358,8 @@ class CodesignEvaluator:
         clone._area_cache = self._area_cache
         clone._latency_cache = self._latency_cache
         clone._accuracy_cache = self._accuracy_cache
+        clone._content_hash_memo = self._content_hash_memo
+        clone._config_index_memo = self._config_index_memo
         clone._latency_table = self._latency_table
         clone.eval_cache = self.eval_cache
         # Clones keep the parent's cache namespace so threshold-schedule

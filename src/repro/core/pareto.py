@@ -22,7 +22,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["pareto_mask_3d", "pareto_mask_2d", "ProductParetoResult", "product_space_pareto"]
+__all__ = [
+    "pareto_mask_3d",
+    "pareto_mask_2d",
+    "ProductParetoResult",
+    "product_space_pareto",
+    "reward_ranked_points",
+    "scenario_sweep",
+]
 
 
 def pareto_mask_2d(xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
@@ -210,3 +217,54 @@ def product_space_pareto(
         latency_ms=latency_ms[cells, cfgs],
         area_mm2=area_mm2[cfgs],
     )
+
+
+def reward_ranked_points(
+    front: ProductParetoResult, scenario, k: int = 100
+) -> list[dict]:
+    """Top-``k`` frontier points ranked by a scenario's reward.
+
+    ``scenario`` is a :class:`~repro.core.reward.RewardConfig`;
+    infeasible frontier points (NaN reward, per the epsilon-constraint
+    masking) are excluded — these are the reference points Fig. 5
+    plots against every strategy's discoveries.
+    """
+    from repro.core.reward import RewardFunction
+
+    reward_fn = RewardFunction(scenario)
+    rewards = reward_fn.reward_array(front.area_mm2, front.latency_ms, front.accuracy)
+    order = np.argsort(-np.nan_to_num(rewards, nan=-np.inf))
+    rows = []
+    for idx in order[:k]:
+        if np.isnan(rewards[idx]):
+            break
+        rows.append(
+            {
+                "reward": float(rewards[idx]),
+                "accuracy": float(front.accuracy[idx]),
+                "latency_ms": float(front.latency_ms[idx]),
+                "area_mm2": float(front.area_mm2[idx]),
+            }
+        )
+    return rows
+
+
+def scenario_sweep(
+    accuracy: np.ndarray,
+    area_mm2: np.ndarray,
+    latency_ms: np.ndarray,
+    scenarios: dict,
+    k: int = 100,
+) -> dict[str, list[dict]]:
+    """Reward-ranked Pareto points for every scenario in one sweep.
+
+    The (cell x accelerator) frontier is computed once and re-ranked
+    under each scenario of ``scenarios`` (name -> RewardConfig), so
+    adding registry scenarios to the sweep costs one
+    :func:`reward_ranked_points` pass each, not a frontier rebuild.
+    """
+    front = product_space_pareto(accuracy, area_mm2, latency_ms)
+    return {
+        name: reward_ranked_points(front, scenario, k)
+        for name, scenario in scenarios.items()
+    }

@@ -126,8 +126,9 @@ def load_bundle(
 
     database = CellDatabase.from_specs(enumerate_unique_cells(max_vertices))
     space = AcceleratorSpace()
-    area_model = AreaModel()
-    area_mm2 = np.array([area_model.area_mm2(space.config_at(i)) for i in range(space.size)])
+    # Vectorized over the full space; bit-identical to the per-config
+    # path (tests/accelerator/test_area.py::TestBatchArea).
+    area_mm2 = AreaModel().batch_area_mm2(space.columns())
     accuracy = database.accuracies()
 
     cache_dir = cache_dir or default_cache_dir()

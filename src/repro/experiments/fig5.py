@@ -109,19 +109,26 @@ def run_fig5(
     backend: str = "serial",
     workers: int | None = None,
     eval_cache=None,
+    scenarios: dict | list | None = None,
+    batch_size: int = 1,
 ) -> Fig5Result:
     """Run (or reuse) the search study and package the Fig. 5 view.
 
-    ``backend`` / ``workers`` / ``eval_cache`` pass through to
-    :func:`repro.experiments.search_study.run_search_study` when the
-    study is not supplied; they change speed, never results.
+    ``backend`` / ``workers`` / ``eval_cache`` / ``batch_size`` pass
+    through to :func:`repro.experiments.search_study.run_search_study`
+    when the study is not supplied; they change speed, never results
+    (``batch_size`` > 1 switches to the documented per-strategy batch
+    semantics).  ``scenarios`` selects registry or file-loaded
+    scenarios instead of the paper's three.
     """
     study = study or run_search_study(
         bundle,
         scale,
+        scenarios=scenarios,
         master_seed=master_seed,
         backend=backend,
         workers=workers,
         eval_cache=eval_cache,
+        batch_size=batch_size,
     )
     return Fig5Result(study=study)

@@ -89,19 +89,26 @@ def run_fig6(
     backend: str = "serial",
     workers: int | None = None,
     eval_cache=None,
+    scenarios: dict | list | None = None,
+    batch_size: int = 1,
 ) -> Fig6Result:
     """Run (or reuse) the search study and package the Fig. 6 view.
 
-    ``backend`` / ``workers`` / ``eval_cache`` pass through to
-    :func:`repro.experiments.search_study.run_search_study` when the
-    study is not supplied; they change speed, never results.
+    ``backend`` / ``workers`` / ``eval_cache`` / ``batch_size`` pass
+    through to :func:`repro.experiments.search_study.run_search_study`
+    when the study is not supplied; they change speed, never results
+    (``batch_size`` > 1 switches to the documented per-strategy batch
+    semantics).  ``scenarios`` selects registry or file-loaded
+    scenarios instead of the paper's three.
     """
     study = study or run_search_study(
         bundle,
         scale,
+        scenarios=scenarios,
         master_seed=master_seed,
         backend=backend,
         workers=workers,
         eval_cache=eval_cache,
+        batch_size=batch_size,
     )
     return Fig6Result(study=study)

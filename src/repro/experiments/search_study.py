@@ -12,13 +12,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from pathlib import Path
 
 from repro.core.evaluator import CodesignEvaluator
-from repro.core.reward import RewardConfig, RewardFunction
-from repro.core.scenarios import PAPER_SCENARIOS
+from repro.core.reward import RewardConfig
+from repro.core.scenarios import PAPER_SCENARIOS, resolve_scenarios
 from repro.core.search_space import JointSearchSpace
 from repro.experiments.common import Scale, SpaceBundle, load_bundle
 from repro.parallel.cache import EvalCache
@@ -56,27 +54,10 @@ def top_pareto_by_reward(
     ranked by the experiment's reward function (infeasible Pareto
     points are excluded, as in the paper).
     """
-    from repro.core.pareto import product_space_pareto
+    from repro.core.pareto import product_space_pareto, reward_ranked_points
 
     front = product_space_pareto(bundle.accuracy, bundle.area_mm2, bundle.latency_ms)
-    reward_fn = RewardFunction(scenario)
-    rewards = reward_fn.reward_array(
-        front.area_mm2, front.latency_ms, front.accuracy
-    )
-    order = np.argsort(-np.nan_to_num(rewards, nan=-np.inf))
-    rows = []
-    for idx in order[:k]:
-        if np.isnan(rewards[idx]):
-            break
-        rows.append(
-            {
-                "reward": float(rewards[idx]),
-                "accuracy": float(front.accuracy[idx]),
-                "latency_ms": float(front.latency_ms[idx]),
-                "area_mm2": float(front.area_mm2[idx]),
-            }
-        )
-    return rows
+    return reward_ranked_points(front, scenario, k)
 
 
 @dataclass
@@ -119,12 +100,13 @@ class SearchStudyResult:
 def run_search_study(
     bundle: SpaceBundle | None = None,
     scale: Scale | None = None,
-    scenarios: dict | None = None,
+    scenarios: dict | list | None = None,
     strategies: dict | None = None,
     master_seed: int = 0,
     backend: str = "serial",
     workers: int | None = None,
     eval_cache: EvalCache | str | Path | None = None,
+    batch_size: int = 1,
 ) -> SearchStudyResult:
     """Run the full strategy x scenario grid.
 
@@ -135,10 +117,19 @@ def run_search_study(
     result-for-result under the same ``master_seed``; ``eval_cache``
     (an :class:`repro.parallel.EvalCache` or a path) warm-starts
     evaluations across repeats, workers, and re-runs.
+
+    ``scenarios`` accepts a name -> builder mapping (as produced by
+    :func:`repro.core.scenarios.resolve_scenarios` or
+    :func:`repro.core.scenarios.load_scenario_file`) or a list of
+    registry scenario names; default: the paper's three.
+    ``batch_size`` passes through to every strategy's ask/tell driver.
     """
     bundle = bundle or load_bundle()
     scale = scale or Scale.from_env()
-    scenarios = scenarios or PAPER_SCENARIOS
+    if scenarios is None:
+        scenarios = PAPER_SCENARIOS
+    elif not isinstance(scenarios, dict):
+        scenarios = resolve_scenarios(scenarios)
     strategies = strategies or STRATEGIES
 
     search_space = JointSearchSpace(cell_encoding=bundle.cell_encoding)
@@ -148,14 +139,19 @@ def run_search_study(
     namespace = f"study/micro{bundle.cell_encoding.max_vertices}"
     pareto_top100: dict[str, list[dict]] = {}
     jobs: list[RepeatJob] = []
+    # Label -> (scenario, strategy); labels are opaque keys, so scenario
+    # names may contain any characters (including "/").
+    job_meta: dict[str, tuple[str, str]] = {}
     for scenario_name, scenario_factory in scenarios.items():
         scenario = scenario_factory(bundle.bounds)
         pareto_top100[scenario_name] = top_pareto_by_reward(bundle, scenario)
         evaluator = make_bundle_evaluator(bundle, scenario)
         for strategy_name, strategy_cls in strategies.items():
+            label = f"{scenario_name}/{strategy_name}"
+            job_meta[label] = (scenario_name, strategy_name)
             jobs.append(
                 RepeatJob(
-                    label=f"{scenario_name}/{strategy_name}",
+                    label=label,
                     strategy_factory=lambda seed, cls=strategy_cls: cls(
                         search_space, seed=seed
                     ),
@@ -171,12 +167,13 @@ def run_search_study(
         backend=backend,
         workers=workers,
         eval_cache=eval_cache,
+        batch_size=batch_size,
     )
     outcomes: dict[str, dict[str, RepeatOutcome]] = {
         scenario_name: {} for scenario_name in scenarios
     }
     for job in jobs:
-        scenario_name, strategy_name = job.label.split("/", 1)
+        scenario_name, strategy_name = job_meta[job.label]
         outcomes[scenario_name][strategy_name] = grid[job.label]
     return SearchStudyResult(
         outcomes=outcomes, pareto_top100=pareto_top100, scale=scale

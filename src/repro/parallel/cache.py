@@ -18,8 +18,13 @@ fast they are produced.
 Concurrency model: writers buffer rows in memory and persist them in
 one transaction on :meth:`flush`.  Worker processes open the store
 ``read_only`` and ship their buffered rows back to the parent (via
-:meth:`drain_pending`), which merges them — so there is never more than
-one writer per file and no cross-process locking is needed.
+:meth:`drain_pending`), which merges them — so within one run there is
+a single writer per file and no cross-process locking is needed.
+Independent runs may still share one store: every row is an ``INSERT
+OR REPLACE`` of a pure function of its key, and flush transactions
+serialize on sqlite's file lock (``busy_timeout``), so concurrent
+writers can interleave but never lose or corrupt each other's rows
+(see ``tests/parallel/test_cache_concurrency.py``).
 
 A corrupted or unreadable store is never fatal: it is moved aside and
 the cache restarts cold (see ``recovered``).
@@ -34,6 +39,10 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 __all__ = ["CacheEntry", "EvalCache"]
+
+#: How long a blocked connection waits on sqlite's file lock before
+#: raising — generous, because flushes are rare and transactional.
+_BUSY_TIMEOUT_MS = 30_000
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS evals (
@@ -105,6 +114,7 @@ class EvalCache:
             # recovers the file.
             try:
                 conn = sqlite3.connect(f"file:{self.path}?mode=ro", uri=True)
+                conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
                 conn.execute("SELECT COUNT(*) FROM evals").fetchone()
                 return conn
             except sqlite3.Error:
@@ -116,6 +126,10 @@ class EvalCache:
         conn = None
         try:
             conn = sqlite3.connect(self.path)
+            # Concurrent writers (several independent runs sharing one
+            # store) serialize on sqlite's file lock instead of failing
+            # with "database is locked".
+            conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
             conn.execute(_SCHEMA)
             conn.execute("SELECT COUNT(*) FROM evals").fetchone()
             return conn
@@ -132,6 +146,7 @@ class EvalCache:
             quarantine.unlink(missing_ok=True)
             self.path.rename(quarantine)
             conn = sqlite3.connect(self.path)
+            conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
             conn.execute(_SCHEMA)
             return conn
 

@@ -16,7 +16,7 @@ import numpy as np
 from repro.rl.functional import entropy, log_softmax, softmax, xavier_uniform
 from repro.rl.lstm import LSTMCache, LSTMCell, LSTMState
 
-__all__ = ["PolicySample", "SequencePolicy"]
+__all__ = ["PolicySample", "PolicyBatch", "SequencePolicy"]
 
 
 @dataclass
@@ -29,6 +29,30 @@ class PolicySample:
     caches: list[LSTMCache] = field(repr=False, default_factory=list)
     hiddens: list[np.ndarray] = field(repr=False, default_factory=list)
     probs: list[np.ndarray] = field(repr=False, default_factory=list)
+
+
+@dataclass
+class PolicyBatch:
+    """``n`` rollouts sampled from one set of policy parameters.
+
+    All per-token arrays carry the rollout batch as their leading
+    dimension, so one :meth:`SequencePolicy.backward_batch` pass
+    backpropagates every rollout at once.
+    """
+
+    actions: np.ndarray                                  # (n, T) int64
+    log_probs: np.ndarray                                # (n,)
+    entropies: np.ndarray                                # (n,)
+    caches: list[LSTMCache] = field(repr=False, default_factory=list)
+    hiddens: list[np.ndarray] = field(repr=False, default_factory=list)
+    probs: list[np.ndarray] = field(repr=False, default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def actions_list(self, i: int) -> list[int]:
+        """Rollout ``i``'s action sequence as a plain list."""
+        return [int(a) for a in self.actions[i]]
 
 
 class SequencePolicy:
@@ -132,6 +156,64 @@ class SequencePolicy:
             probs=probs,
         )
 
+    def sample_batch(self, rng: np.random.Generator, n: int) -> PolicyBatch:
+        """Sample ``n`` rollouts from the current parameters in one pass.
+
+        The LSTM/head matmuls run once per token with the rollout batch
+        as the leading dimension instead of once per (token, rollout) —
+        the forward cost of a batch approaches that of a single rollout.
+
+        At ``n == 1`` the arithmetic and the RNG stream are exactly
+        those of :meth:`sample` (the legacy path already used ``(1, ·)``
+        shapes), so batch-size-1 searches are bit-identical to the
+        per-point loop.  At ``n > 1`` the categorical draws use one
+        inverse-CDF lookup per token (``n`` uniforms at once), which is
+        a different — but equally valid — consumption of the stream.
+        """
+        if n < 1:
+            raise ValueError(f"batch size must be positive, got {n}")
+        num_tokens = len(self.vocab_sizes)
+        state = LSTMState.zeros(n, self.hidden_size)
+        actions = np.empty((n, num_tokens), dtype=np.int64)
+        log_probs = np.zeros(n)
+        entropies = np.zeros(n)
+        caches: list[LSTMCache] = []
+        hiddens: list[np.ndarray] = []
+        probs: list[np.ndarray] = []
+        prev: np.ndarray | None = None
+        rows = np.arange(n)
+        for t, vocab in enumerate(self.vocab_sizes):
+            if t == 0:
+                x = np.repeat(self.params["start"][None, :], n, axis=0)
+            else:
+                x = self.params[f"emb{t - 1}"][prev]
+            state, cache = self.cell.forward(x, state)
+            caches.append(cache)
+            hiddens.append(state.h.copy())
+            logits = state.h @ self.params[f"head_w{t}"] + self.params[f"head_b{t}"]
+            p = softmax(logits, axis=-1)
+            probs.append(p)
+            if n == 1:
+                acts = np.array([rng.choice(vocab, p=p[0])])
+            else:
+                u = rng.random(n)
+                cdf = np.cumsum(p, axis=1)
+                acts = np.minimum(
+                    (cdf < u[:, None] * cdf[:, -1:]).sum(axis=1), vocab - 1
+                )
+            log_probs += log_softmax(logits, axis=-1)[rows, acts]
+            entropies += entropy(p, axis=-1)
+            actions[:, t] = acts
+            prev = acts
+        return PolicyBatch(
+            actions=actions,
+            log_probs=log_probs,
+            entropies=entropies,
+            caches=caches,
+            hiddens=hiddens,
+            probs=probs,
+        )
+
     # ------------------------------------------------------------------
     def backward(
         self,
@@ -181,6 +263,58 @@ class SequencePolicy:
             else:
                 grads[f"emb{t - 1}"][sample.actions[t - 1]] += dx[0]
             dh_next, dc_next = dh_prev, dc_prev
+        return grads
+
+    def backward_batch(
+        self,
+        batch: PolicyBatch,
+        advantages: np.ndarray,
+        entropy_beta: float = 0.0,
+    ) -> dict[str, np.ndarray]:
+        """Mean-over-rollouts gradients of the REINFORCE loss.
+
+        One reversed token sweep backpropagates every rollout of
+        ``batch`` together (the batch dimension rides through the same
+        matmuls as :meth:`backward`).  At batch size 1 the result is
+        bit-identical to :meth:`backward` — the mean over one rollout
+        is the rollout — which is what keeps batched searches exact at
+        ``batch_size=1``.
+        """
+        n = len(batch)
+        advantages = np.asarray(advantages, dtype=np.float64)
+        if advantages.shape != (n,):
+            raise ValueError(f"expected {n} advantages, got {advantages.shape}")
+        grads = self.zero_grads()
+        rows = np.arange(n)
+        dh_next = np.zeros((n, self.hidden_size))
+        dc_next = np.zeros((n, self.hidden_size))
+        for t in range(len(self.vocab_sizes) - 1, -1, -1):
+            p = batch.probs[t]
+            acts = batch.actions[:, t]
+            dlogits = advantages[:, None] * p
+            dlogits[rows, acts] -= advantages
+            if entropy_beta > 0.0:
+                log_p = np.log(np.clip(p, 1e-12, 1.0))
+                h_val = -np.sum(p * log_p, axis=1, keepdims=True)
+                dlogits += entropy_beta * p * (log_p + h_val)
+            grads[f"head_w{t}"] += batch.hiddens[t].T @ dlogits
+            grads[f"head_b{t}"] += dlogits.sum(axis=0)
+            dh = dlogits @ self.params[f"head_w{t}"].T + dh_next
+            lstm_grads = {
+                k.removeprefix("lstm_"): grads[k]
+                for k in ("lstm_wx", "lstm_wh", "lstm_b")
+            }
+            dx, dh_prev, dc_prev = self.cell.backward(
+                dh, dc_next, batch.caches[t], lstm_grads
+            )
+            if t == 0:
+                grads["start"] += dx.sum(axis=0)
+            else:
+                np.add.at(grads[f"emb{t - 1}"], batch.actions[:, t - 1], dx)
+            dh_next, dc_next = dh_prev, dc_prev
+        if n > 1:
+            for key in grads:
+                grads[key] /= n
         return grads
 
     def apply_update(self, updates: dict[str, np.ndarray]) -> None:

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.rl.optim import Adam, Optimizer, clip_grad_norm
-from repro.rl.policy import PolicySample, SequencePolicy
+from repro.rl.policy import PolicyBatch, PolicySample, SequencePolicy
 
 __all__ = ["ReinforceConfig", "ReinforceTrainer"]
 
@@ -53,6 +53,10 @@ class ReinforceTrainer:
         """Draw one action sequence from the current policy."""
         return self.policy.sample(rng, **kwargs)
 
+    def sample_batch(self, rng: np.random.Generator, n: int) -> PolicyBatch:
+        """Draw ``n`` rollouts from the current policy in one pass."""
+        return self.policy.sample_batch(rng, n)
+
     def update(
         self,
         sample: PolicySample,
@@ -77,3 +81,34 @@ class ReinforceTrainer:
         self.policy.apply_update(self.optimizer.compute_updates(grads))
         self.num_updates += 1
         return advantage
+
+    def update_batch(self, batch: PolicyBatch, rewards) -> np.ndarray:
+        """One policy-gradient step from a rollout batch.
+
+        Mini-batch REINFORCE: per-rollout advantages are taken against
+        the running EMA baseline (updated rollout-by-rollout, in order,
+        with exactly the recurrence of :meth:`update`), the gradient is
+        the mean over rollouts, and the optimizer steps once.  A batch
+        of one is bit-identical to :meth:`update` — same baseline
+        stream, same gradients, same optimizer state.  Returns the
+        per-rollout advantages.
+        """
+        rewards = [float(r) for r in rewards]
+        if len(rewards) != len(batch):
+            raise ValueError(f"expected {len(batch)} rewards, got {len(rewards)}")
+        advantages = np.empty(len(rewards))
+        for i, reward in enumerate(rewards):
+            if self.baseline is None:
+                self.baseline = reward
+            advantages[i] = reward - self.baseline
+            self.baseline = (
+                self.config.baseline_momentum * self.baseline
+                + (1.0 - self.config.baseline_momentum) * reward
+            )
+        grads = self.policy.backward_batch(
+            batch, advantages, entropy_beta=self.config.entropy_beta
+        )
+        clip_grad_norm(grads, self.config.grad_clip)
+        self.policy.apply_update(self.optimizer.compute_updates(grads))
+        self.num_updates += 1
+        return advantages

@@ -1,6 +1,7 @@
-"""Search strategies: combined, phase, separate, random, threshold schedule."""
+"""Search strategies (batched ask/tell): combined, phase, separate,
+random, evolution, threshold schedule — plus the repeat/grid engine."""
 
-from repro.search.base import SearchResult, SearchStrategy
+from repro.search.base import Proposal, SearchResult, SearchStrategy
 from repro.search.combined import CombinedSearch
 from repro.search.evolution import EvolutionSearch
 from repro.search.phase import PhaseSearch
@@ -8,6 +9,7 @@ from repro.search.random_search import RandomSearch
 from repro.search.runner import (
     RepeatJob,
     RepeatOutcome,
+    make_batch_evaluator,
     mean_reward_trace,
     run_grid,
     run_repeats,
@@ -20,6 +22,7 @@ from repro.search.threshold_schedule import (
 )
 
 __all__ = [
+    "Proposal",
     "SearchResult",
     "SearchStrategy",
     "CombinedSearch",
@@ -28,6 +31,7 @@ __all__ = [
     "RandomSearch",
     "RepeatJob",
     "RepeatOutcome",
+    "make_batch_evaluator",
     "mean_reward_trace",
     "run_grid",
     "run_repeats",

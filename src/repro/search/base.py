@@ -1,17 +1,68 @@
-"""Search-strategy interface and shared result container."""
+"""Search-strategy interface: the batched ask/tell protocol.
+
+Every strategy is a proposal engine over the joint CNN x accelerator
+space.  Instead of owning its own evaluate loop, a strategy implements
+three hooks —
+
+* :meth:`SearchStrategy.setup` — reset per-run state (archive, stage
+  machinery) for a fresh search against one evaluator;
+* :meth:`SearchStrategy.ask` — propose up to ``n`` points as
+  :class:`Proposal` objects (a strategy may return fewer, e.g. at a
+  phase or stage boundary, and returns ``[]`` to finish early);
+* :meth:`SearchStrategy.tell` — consume the evaluation results for the
+  proposals of the last ask, updating controllers / populations and
+  recording the archive;
+
+— and the shared :meth:`SearchStrategy.run` driver turns them into a
+search: each iteration asks for a batch, evaluates it in **one**
+:meth:`repro.core.CodesignEvaluator.evaluate_batch` call (or any
+caller-supplied batch evaluation function, e.g. a process-pool fan-out
+from :func:`repro.search.runner.make_batch_evaluator`), and tells the
+results back.
+
+Batch semantics are per-strategy (generation-sized batches for
+evolution, rollout batches for the REINFORCE strategies), chosen so a
+``batch_size=1`` run consumes the RNG stream exactly like the historic
+per-point loop — serial results are bit-identical to the pre-ask/tell
+implementation (see ``tests/search/test_ask_tell_equivalence.py``).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.accelerator.config import AcceleratorConfig
 from repro.core.archive import ArchiveEntry, SearchArchive
-from repro.core.evaluator import CodesignEvaluator
+from repro.core.evaluator import CodesignEvaluator, EvaluationResult
 from repro.core.search_space import JointSearchSpace
+from repro.nasbench.model_spec import ModelSpec
 from repro.utils.rng import make_rng
 
-__all__ = ["SearchResult", "SearchStrategy"]
+__all__ = ["Proposal", "SearchResult", "SearchStrategy", "BatchEvaluateFn"]
+
+#: Signature of the pluggable batch evaluation function: pairs in,
+#: one result per pair in order.
+BatchEvaluateFn = Callable[
+    [Sequence[tuple[ModelSpec, AcceleratorConfig]]], "list[EvaluationResult]"
+]
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """One point proposed by :meth:`SearchStrategy.ask`.
+
+    ``phase`` labels the archive entry; ``payload`` carries whatever
+    the strategy needs to process the result in ``tell`` (e.g. the
+    rollout index into a pending :class:`repro.rl.policy.PolicyBatch`).
+    """
+
+    spec: ModelSpec
+    config: AcceleratorConfig
+    phase: str = ""
+    payload: object = None
 
 
 @dataclass
@@ -38,7 +89,7 @@ class SearchResult:
 
 
 class SearchStrategy:
-    """Base class: subclasses implement :meth:`run`."""
+    """Base class: subclasses implement the ask/tell hooks."""
 
     name = "base"
 
@@ -49,9 +100,64 @@ class SearchStrategy:
     ) -> None:
         self.search_space = search_space or JointSearchSpace()
         self.rng = make_rng(seed)
+        self.archive = SearchArchive()
+        self._evaluator: CodesignEvaluator | None = None
 
-    def run(self, evaluator: CodesignEvaluator, num_steps: int) -> SearchResult:
+    # --- ask/tell hooks ---------------------------------------------------
+    def setup(self, evaluator: CodesignEvaluator, num_steps: int) -> None:
+        """Reset per-run state.  Subclasses extend (and call super)."""
+        self.archive = SearchArchive()
+        self._evaluator = evaluator
+
+    def ask(self, n: int) -> list[Proposal]:
+        """Propose up to ``n`` points (``[]`` ends the search early)."""
         raise NotImplementedError
+
+    def tell(
+        self, proposals: list[Proposal], results: list[EvaluationResult]
+    ) -> None:
+        """Consume results of the last ask (update state + archive)."""
+        raise NotImplementedError
+
+    def finish(self) -> SearchResult:
+        """Package the archive once the step budget is spent."""
+        return self._result(self.archive, self._evaluator)
+
+    # --- the driver -------------------------------------------------------
+    def run(
+        self,
+        evaluator: CodesignEvaluator,
+        num_steps: int,
+        batch_size: int = 1,
+        evaluate_fn: BatchEvaluateFn | None = None,
+    ) -> SearchResult:
+        """Drive the ask/tell loop for ``num_steps`` evaluations.
+
+        ``batch_size`` controls how many proposals are evaluated per
+        :meth:`ask`; at 1 the search is bit-identical to the historic
+        per-point loop.  ``evaluate_fn`` overrides how a batch of
+        (spec, config) pairs is evaluated — by default one
+        ``evaluator.evaluate_batch`` call.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if evaluate_fn is None:
+            evaluate_fn = evaluator.evaluate_batch
+        self.setup(evaluator, num_steps)
+        remaining = num_steps
+        while remaining > 0:
+            proposals = self.ask(min(batch_size, remaining))
+            if not proposals:
+                break
+            if len(proposals) > remaining:
+                raise RuntimeError(
+                    f"{self.name}.ask returned {len(proposals)} proposals "
+                    f"with only {remaining} steps remaining"
+                )
+            results = evaluate_fn([(p.spec, p.config) for p in proposals])
+            self.tell(proposals, results)
+            remaining -= len(proposals)
+        return self.finish()
 
     def _result(self, archive: SearchArchive, evaluator: CodesignEvaluator, **extras) -> SearchResult:
         return SearchResult(

@@ -5,24 +5,30 @@ REINFORCE directly to the joint space of Eq. 1 — both the CNN and the
 accelerator can change at every step, which makes this strategy the
 fastest to adapt (and, per the paper, the best choice when the search
 is unconstrained and for the CIFAR-100 flow).
+
+Batch semantics (ask/tell): a batch is a **rollout batch** — ``ask(n)``
+draws ``n`` rollouts from the current policy in one vectorized forward
+pass, and ``tell`` performs one mini-batch REINFORCE update (mean
+gradient over the rollouts, EMA baseline advanced rollout-by-rollout).
+At batch size 1 both collapse to the historic sample/update step,
+bit-identically.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.archive import SearchArchive
-from repro.core.evaluator import CodesignEvaluator
+from repro.core.evaluator import CodesignEvaluator, EvaluationResult
 from repro.core.search_space import JointSearchSpace
 from repro.rl.policy import SequencePolicy
 from repro.rl.reinforce import ReinforceConfig, ReinforceTrainer
-from repro.search.base import SearchResult, SearchStrategy
+from repro.search.base import Proposal, SearchStrategy
 
 __all__ = ["CombinedSearch"]
 
 
 class CombinedSearch(SearchStrategy):
-    """Single joint policy, updated every step."""
+    """Single joint policy, updated once per rollout batch."""
 
     name = "combined"
 
@@ -43,13 +49,27 @@ class CombinedSearch(SearchStrategy):
             seed=policy_seed,
         )
         self.trainer = ReinforceTrainer(self.policy, reinforce_config)
+        self._pending = None
 
-    def run(self, evaluator: CodesignEvaluator, num_steps: int) -> SearchResult:
-        archive = SearchArchive()
-        for _ in range(num_steps):
-            sample = self.trainer.sample(self.rng)
-            spec, config = self.search_space.decode(sample.actions)
-            result = evaluator.evaluate(spec, config)
-            self.trainer.update(sample, result.reward.value)
-            archive.record(result, phase="combined")
-        return self._result(archive, evaluator)
+    # --- ask/tell ------------------------------------------------------
+    def setup(self, evaluator: CodesignEvaluator, num_steps: int) -> None:
+        super().setup(evaluator, num_steps)
+        self._pending = None
+
+    def ask(self, n: int) -> list[Proposal]:
+        self._pending = self.trainer.sample_batch(self.rng, n)
+        proposals = []
+        for i in range(n):
+            spec, config = self.search_space.decode(self._pending.actions_list(i))
+            proposals.append(Proposal(spec=spec, config=config, phase="combined"))
+        return proposals
+
+    def tell(
+        self, proposals: list[Proposal], results: list[EvaluationResult]
+    ) -> None:
+        self.trainer.update_batch(
+            self._pending, [r.reward.value for r in results]
+        )
+        self._pending = None
+        for result in results:
+            self.archive.record(result, phase="combined")

@@ -7,6 +7,12 @@ controller emits, so it is directly comparable to the REINFORCE
 strategies under any scenario: an initial random population, tournament
 selection of a parent, single-token mutation of its action vector, and
 aging removal of the oldest individual.
+
+Batch semantics (ask/tell): a batch is a **generation** — ``ask(n)``
+runs ``n`` tournaments against the current population and proposes
+``n`` children; ``tell`` appends them all and ages out the ``n``
+oldest.  At batch size 1 this degenerates to the classic steady-state
+loop, bit-identical to the historic implementation.
 """
 
 from __future__ import annotations
@@ -16,10 +22,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.archive import SearchArchive
-from repro.core.evaluator import CodesignEvaluator
+from repro.core.evaluator import CodesignEvaluator, EvaluationResult
 from repro.core.search_space import JointSearchSpace
-from repro.search.base import SearchResult, SearchStrategy
+from repro.search.base import Proposal, SearchStrategy
 
 __all__ = ["EvolutionSearch"]
 
@@ -53,6 +58,7 @@ class EvolutionSearch(SearchStrategy):
         self.population_size = population_size
         self.tournament_size = tournament_size
         self.mutations_per_child = mutations_per_child
+        self.population: deque[_Individual] = deque()
 
     # ------------------------------------------------------------------
     def _mutate(self, actions: list[int]) -> list[int]:
@@ -65,31 +71,47 @@ class EvolutionSearch(SearchStrategy):
             child[token] = int(self.rng.choice(choices))
         return child
 
-    def run(self, evaluator: CodesignEvaluator, num_steps: int) -> SearchResult:
-        archive = SearchArchive()
-        population: deque[_Individual] = deque()
+    def _select_parent(self) -> _Individual:
+        contenders = [
+            self.population[int(i)]
+            for i in self.rng.integers(0, len(self.population), self.tournament_size)
+        ]
+        return max(contenders, key=lambda ind: ind.reward)
 
-        def evaluate(actions: list[int], phase: str) -> _Individual:
+    # --- ask/tell ------------------------------------------------------
+    def setup(self, evaluator: CodesignEvaluator, num_steps: int) -> None:
+        super().setup(evaluator, num_steps)
+        self.population = deque()
+
+    def ask(self, n: int) -> list[Proposal]:
+        proposals = []
+        warmup_left = self.population_size - len(self.population)
+        if warmup_left > 0:
+            # Seed population with random individuals.
+            for _ in range(min(n, warmup_left)):
+                actions = self.search_space.random_actions(self.rng)
+                spec, config = self.search_space.decode(actions)
+                proposals.append(
+                    Proposal(spec=spec, config=config, phase="init", payload=actions)
+                )
+            return proposals
+        # One generation: n tournaments against the current population.
+        for _ in range(n):
+            actions = self._mutate(self._select_parent().actions)
             spec, config = self.search_space.decode(actions)
-            result = evaluator.evaluate(spec, config)
-            archive.record(result, phase=phase)
-            return _Individual(actions=actions, reward=result.reward.value)
-
-        # Seed population with random individuals.
-        warmup = min(self.population_size, num_steps)
-        for _ in range(warmup):
-            population.append(
-                evaluate(self.search_space.random_actions(self.rng), "init")
+            proposals.append(
+                Proposal(spec=spec, config=config, phase="evolve", payload=actions)
             )
+        return proposals
 
-        # Aging evolution.
-        for _ in range(num_steps - warmup):
-            contenders = [
-                population[int(i)]
-                for i in self.rng.integers(0, len(population), self.tournament_size)
-            ]
-            parent = max(contenders, key=lambda ind: ind.reward)
-            child = evaluate(self._mutate(parent.actions), "evolve")
-            population.append(child)
-            population.popleft()  # age out the oldest
-        return self._result(archive, evaluator)
+    def tell(
+        self, proposals: list[Proposal], results: list[EvaluationResult]
+    ) -> None:
+        evolving = proposals[0].phase == "evolve"
+        for proposal, result in zip(proposals, results):
+            self.archive.record(result, phase=proposal.phase)
+            self.population.append(
+                _Individual(actions=proposal.payload, reward=result.reward.value)
+            )
+            if evolving:
+                self.population.popleft()  # age out the oldest

@@ -12,6 +12,12 @@ adaptation only happens at phase boundaries — the mechanism behind the
 paper's observation that phase search reaches better constrained
 optima yet converges slower and misses constraints more often at small
 budgets.
+
+Batch semantics (ask/tell): rollout batches from the active phase's
+controller, truncated at phase boundaries — ``ask`` never mixes two
+phases in one batch, so the freeze decision at each boundary still
+sees every result of the finished phase.  Batch size 1 is
+bit-identical to the historic per-point loop.
 """
 
 from __future__ import annotations
@@ -19,11 +25,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.archive import ArchiveEntry, SearchArchive
-from repro.core.evaluator import CodesignEvaluator
+from repro.core.evaluator import CodesignEvaluator, EvaluationResult
 from repro.core.search_space import JointSearchSpace
 from repro.rl.policy import SequencePolicy
 from repro.rl.reinforce import ReinforceConfig, ReinforceTrainer
-from repro.search.base import SearchResult, SearchStrategy
+from repro.search.base import Proposal, SearchStrategy
 
 __all__ = ["PhaseSearch"]
 
@@ -58,6 +64,7 @@ class PhaseSearch(SearchStrategy):
         )
         self.cnn_trainer = ReinforceTrainer(self.cnn_policy, reinforce_config)
         self.hw_trainer = ReinforceTrainer(self.hw_policy, reinforce_config)
+        self._pending = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -73,39 +80,76 @@ class PhaseSearch(SearchStrategy):
             return max(archive.entries, key=lambda e: e.reward)
         return None
 
-    def run(self, evaluator: CodesignEvaluator, num_steps: int) -> SearchResult:
-        archive = SearchArchive()
+    def _in_cnn_phase(self) -> bool:
+        return self._phase_index % 2 == 0
+
+    def _start_phase(self) -> None:
+        """Arm the budget for the phase at ``self._phase_index``."""
+        budget = (
+            self.cnn_phase_steps if self._in_cnn_phase() else self.hw_phase_steps
+        )
+        self._phase_left = budget
+
+    def _end_phase(self) -> None:
+        """Freeze the best component found so far for the next phase."""
+        best = self._best_entry(self.archive)
+        if best is not None and best.valid:
+            self._frozen_config = best.config
+            self._frozen_spec = best.spec
+        if self._frozen_spec is None:
+            # No valid CNN yet: stay in (another) CNN phase.
+            self._phase_index += 2
+        else:
+            self._phase_index += 1
+        self._start_phase()
+
+    # --- ask/tell ------------------------------------------------------
+    def setup(self, evaluator: CodesignEvaluator, num_steps: int) -> None:
+        super().setup(evaluator, num_steps)
         # Initial frozen accelerator: a random design-space point.
-        frozen_config = self.search_space.accelerator_space.random_config(self.rng)
-        frozen_spec = None
-        steps_done = 0
-        phase_index = 0
-        while steps_done < num_steps:
-            cnn_phase = phase_index % 2 == 0
-            budget = self.cnn_phase_steps if cnn_phase else self.hw_phase_steps
-            budget = min(budget, num_steps - steps_done)
-            phase_name = f"{'cnn' if cnn_phase else 'hw'}-{phase_index}"
-            for _ in range(budget):
-                if cnn_phase:
-                    sample = self.cnn_trainer.sample(self.rng)
-                    spec = self.search_space.cell_encoding.decode(sample.actions)
-                    result = evaluator.evaluate(spec, frozen_config)
-                    self.cnn_trainer.update(sample, result.reward.value)
-                else:
-                    sample = self.hw_trainer.sample(self.rng)
-                    config = self.search_space.accelerator_space.decode(sample.actions)
-                    result = evaluator.evaluate(frozen_spec, config)
-                    self.hw_trainer.update(sample, result.reward.value)
-                archive.record(result, phase=phase_name)
-            steps_done += budget
-            # Freeze the best component found so far for the next phase.
-            best = self._best_entry(archive)
-            if best is not None and best.valid:
-                frozen_config = best.config
-                frozen_spec = best.spec
-            if frozen_spec is None:
-                # No valid CNN yet: stay in (another) CNN phase.
-                phase_index += 2
-            else:
-                phase_index += 1
-        return self._result(archive, evaluator)
+        self._frozen_config = self.search_space.accelerator_space.random_config(
+            self.rng
+        )
+        self._frozen_spec = None
+        self._phase_index = 0
+        self._start_phase()
+        self._pending = None
+
+    def ask(self, n: int) -> list[Proposal]:
+        k = min(n, self._phase_left)
+        phase_name = f"{'cnn' if self._in_cnn_phase() else 'hw'}-{self._phase_index}"
+        if self._in_cnn_phase():
+            self._pending = self.cnn_trainer.sample_batch(self.rng, k)
+            return [
+                Proposal(
+                    spec=self.search_space.cell_encoding.decode(
+                        self._pending.actions_list(i)
+                    ),
+                    config=self._frozen_config,
+                    phase=phase_name,
+                )
+                for i in range(k)
+            ]
+        self._pending = self.hw_trainer.sample_batch(self.rng, k)
+        return [
+            Proposal(
+                spec=self._frozen_spec,
+                config=self.search_space.accelerator_space.decode(
+                    self._pending.actions_list(i)
+                ),
+                phase=phase_name,
+            )
+            for i in range(k)
+        ]
+
+    def tell(
+        self, proposals: list[Proposal], results: list[EvaluationResult]
+    ) -> None:
+        trainer = self.cnn_trainer if self._in_cnn_phase() else self.hw_trainer
+        trainer.update_batch(self._pending, [r.reward.value for r in results])
+        for proposal, result in zip(proposals, results):
+            self.archive.record(result, phase=proposal.phase)
+        self._pending = None
+        self._phase_left -= len(proposals)
+        if self._phase_left == 0:
+            self._end_phase()

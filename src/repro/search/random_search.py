@@ -2,23 +2,31 @@
 
 from __future__ import annotations
 
-from repro.core.archive import SearchArchive
-from repro.core.evaluator import CodesignEvaluator
-from repro.search.base import SearchResult, SearchStrategy
+from repro.core.evaluator import EvaluationResult
+from repro.search.base import Proposal, SearchStrategy
 
 __all__ = ["RandomSearch"]
 
 
 class RandomSearch(SearchStrategy):
-    """Samples every token uniformly at each step."""
+    """Samples every token uniformly at each step.
+
+    Proposals never depend on results, so any batch size visits the
+    same points in the same order — batching only changes speed.
+    """
 
     name = "random"
 
-    def run(self, evaluator: CodesignEvaluator, num_steps: int) -> SearchResult:
-        archive = SearchArchive()
-        for _ in range(num_steps):
+    def ask(self, n: int) -> list[Proposal]:
+        proposals = []
+        for _ in range(n):
             actions = self.search_space.random_actions(self.rng)
             spec, config = self.search_space.decode(actions)
-            result = evaluator.evaluate(spec, config)
-            archive.record(result, phase="random")
-        return self._result(archive, evaluator)
+            proposals.append(Proposal(spec=spec, config=config, phase="random"))
+        return proposals
+
+    def tell(
+        self, proposals: list[Proposal], results: list[EvaluationResult]
+    ) -> None:
+        for result in results:
+            self.archive.record(result, phase="random")

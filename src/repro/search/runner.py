@@ -23,6 +23,7 @@ pool completes.
 
 from __future__ import annotations
 
+import os
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -32,12 +33,19 @@ import numpy as np
 
 from repro.core.archive import ArchiveEntry
 from repro.core.evaluator import CodesignEvaluator
-from repro.parallel.cache import EvalCache
-from repro.parallel.pool import parallel_map
-from repro.search.base import SearchResult, SearchStrategy
+from repro.parallel.cache import CacheEntry, EvalCache
+from repro.parallel.pool import parallel_map, resolve_workers
+from repro.search.base import BatchEvaluateFn, SearchResult, SearchStrategy
 from repro.utils.rng import hash_seed
 
-__all__ = ["RepeatJob", "RepeatOutcome", "run_grid", "run_repeats", "mean_reward_trace"]
+__all__ = [
+    "RepeatJob",
+    "RepeatOutcome",
+    "make_batch_evaluator",
+    "run_grid",
+    "run_repeats",
+    "mean_reward_trace",
+]
 
 StrategyFactory = Callable[[int], SearchStrategy]
 EvaluatorFactory = Callable[[], CodesignEvaluator]
@@ -85,6 +93,98 @@ def _coerce_cache(eval_cache: EvalCache | str | Path | None) -> EvalCache | None
     return EvalCache(eval_cache)
 
 
+def make_batch_evaluator(
+    evaluator: CodesignEvaluator,
+    workers: int | None = None,
+    min_chunk: int = 8,
+) -> BatchEvaluateFn:
+    """Batch evaluation function fanning each ask/tell batch over a pool.
+
+    Worth it only when single evaluations are expensive (a surrogate
+    with real inference cost, a trainer) — for the memoized
+    table-backed evaluators the fork/IPC overhead dominates and the
+    plain ``evaluator.evaluate_batch`` is faster.  Small batches
+    (< ``min_chunk`` per worker) skip the pool entirely.
+
+    Forked workers evaluate with the shared persistent
+    :class:`~repro.parallel.EvalCache` *detached* (the store stays
+    single-writer in the parent); the parent then absorbs every
+    returned metric back into its own cache layers, so warm-start
+    behaviour matches in-process evaluation.
+    """
+    parent_pid = os.getpid()
+
+    def run_chunk(chunk):
+        if os.getpid() != parent_pid:
+            # Forked copy: never touch the parent's sqlite connection.
+            evaluator.eval_cache = None
+        return evaluator.evaluate_batch(chunk)
+
+    def evaluate_fn(pairs):
+        pairs = list(pairs)
+        n_workers = min(resolve_workers(workers), max(1, len(pairs) // min_chunk))
+        if n_workers <= 1:
+            return evaluator.evaluate_batch(pairs)
+        chunks = [pairs[i::n_workers] for i in range(n_workers)]
+        before = evaluator.num_evaluations
+        chunked = parallel_map(run_chunk, chunks, workers=n_workers, backend="process")
+        # Undo the round-robin split, preserving input order.
+        results: list = [None] * len(pairs)
+        for lane, chunk_results in enumerate(chunked):
+            for j, result in enumerate(chunk_results):
+                results[lane + j * n_workers] = result
+        # Workers counted evaluations on their forked copies only; keep
+        # the parent's counter on the every-pair-counts contract.  (A
+        # serial fallback inside parallel_map already incremented it.)
+        evaluator.num_evaluations = before + len(pairs)
+        _absorb_batch(evaluator, results)
+        return results
+
+    return evaluate_fn
+
+
+def _absorb_batch(evaluator: CodesignEvaluator, results) -> None:
+    """Fold worker-computed metrics into the parent evaluator's caches."""
+    from repro.accelerator.lut import config_key
+
+    cache = evaluator.eval_cache
+    seen: set = set()
+    for result in results:
+        if not result.spec.valid:
+            continue
+        ckey = config_key(result.config)
+        content = (result.spec.matrix.tobytes(), tuple(result.spec.ops))
+        spec_hash = evaluator._content_hash_memo.get(content)
+        if spec_hash is None:
+            spec_hash = result.spec.spec_hash()
+            evaluator._content_hash_memo[content] = spec_hash
+        key = (spec_hash, ckey)
+        if key in seen:
+            continue
+        seen.add(key)
+        metrics = result.metrics
+        if metrics is None:
+            evaluator._accuracy_cache.setdefault(spec_hash, None)
+        else:
+            evaluator._accuracy_cache.setdefault(spec_hash, metrics.accuracy)
+            evaluator._area_cache.setdefault(ckey, metrics.area_mm2)
+            evaluator._latency_cache.setdefault(key, metrics.latency_s)
+        if cache is not None:
+            cache_key = (evaluator.cache_scenario, spec_hash, str(ckey))
+            if cache.get(*cache_key) is None:
+                if metrics is None:
+                    cache.put(CacheEntry(*cache_key, None, None, None))
+                else:
+                    cache.put(
+                        CacheEntry(
+                            *cache_key,
+                            metrics.accuracy,
+                            metrics.latency_s,
+                            metrics.area_mm2,
+                        )
+                    )
+
+
 def _attach(
     evaluator: CodesignEvaluator, cache: EvalCache | None, job: RepeatJob
 ) -> None:
@@ -100,6 +200,7 @@ def run_grid(
     backend: str = "serial",
     workers: int | None = None,
     eval_cache: EvalCache | str | Path | None = None,
+    batch_size: int = 1,
 ) -> dict[str, RepeatOutcome]:
     """Run every job ``num_repeats`` times; returns label -> outcome.
 
@@ -108,6 +209,13 @@ def run_grid(
     not just their own repeats.  Per-repeat seeds depend only on
     ``master_seed`` and the repeat index (matching the historical
     serial harness), never on the job or the backend.
+
+    ``batch_size`` is handed to every strategy's ask/tell driver: each
+    iteration proposes up to that many points and evaluates them in one
+    ``evaluate_batch`` call.  At the default of 1 results are
+    bit-identical to the historic per-point loop; larger batches trade
+    exact reproduction of the serial trace for per-strategy batch
+    semantics (rollout batches, generations) and throughput.
     """
     if num_repeats <= 0:
         raise ValueError("num_repeats must be positive")
@@ -122,7 +230,7 @@ def run_grid(
         strategy = job.strategy_factory(hash_seed("repeat", master_seed, repeat))
         evaluator = job.evaluator_factory()
         _attach(evaluator, cache, job)
-        result = strategy.run(evaluator, num_steps)
+        result = strategy.run(evaluator, num_steps, batch_size=batch_size)
         if cache is not None:
             cache.flush()
         return result
@@ -145,9 +253,9 @@ def run_grid(
             evaluator.attach_eval_cache(worker_cache, scenario=job.cache_scenario)
             created = True
         if worker_cache is None:
-            return strategy.run(evaluator, num_steps), [], (0, 0)
+            return strategy.run(evaluator, num_steps, batch_size=batch_size), [], (0, 0)
         hits0, misses0 = worker_cache.hits, worker_cache.misses
-        result = strategy.run(evaluator, num_steps)
+        result = strategy.run(evaluator, num_steps, batch_size=batch_size)
         delta = worker_cache.drain_pending()
         stats = (worker_cache.hits - hits0, worker_cache.misses - misses0)
         if created:
@@ -204,6 +312,7 @@ def run_repeats(
     backend: str = "serial",
     workers: int | None = None,
     eval_cache: EvalCache | str | Path | None = None,
+    batch_size: int = 1,
 ) -> RepeatOutcome:
     """Run ``num_repeats`` independent searches of one experiment.
 
@@ -211,7 +320,7 @@ def run_repeats(
     ``evaluator_factory()`` builds (or shares) the evaluator — sharing
     one evaluator across serial repeats is safe and reuses the metric
     caches.  See :func:`run_grid` for ``backend`` / ``workers`` /
-    ``eval_cache`` semantics.
+    ``eval_cache`` / ``batch_size`` semantics.
     """
     outcomes = run_grid(
         [RepeatJob("job", strategy_factory, evaluator_factory)],
@@ -221,6 +330,7 @@ def run_repeats(
         backend=backend,
         workers=workers,
         eval_cache=eval_cache,
+        batch_size=batch_size,
     )
     return outcomes["job"]
 

@@ -9,19 +9,24 @@ paper splits 10,000 steps as 8,333 / 1,667.
 The archive records the *scenario* reward at every step (so reward
 traces are comparable across strategies, as in Fig. 6), while the
 stage-1 controller is fed the accuracy-only signal.
+
+Batch semantics (ask/tell): rollout batches per stage controller, never
+crossing the stage boundary — ``ask`` truncates a batch at the end of
+stage 1 so the frozen CNN is chosen from *all* stage-1 results before
+any accelerator rollout is proposed.  Batch size 1 is bit-identical to
+the historic per-point loop.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.archive import SearchArchive
-from repro.core.evaluator import CodesignEvaluator
+from repro.core.evaluator import CodesignEvaluator, EvaluationResult
 from repro.core.search_space import JointSearchSpace
 from repro.nasbench.model_spec import ModelSpec
 from repro.rl.policy import SequencePolicy
 from repro.rl.reinforce import ReinforceConfig, ReinforceTrainer
-from repro.search.base import SearchResult, SearchStrategy
+from repro.search.base import Proposal, SearchResult, SearchStrategy
 
 __all__ = ["SeparateSearch"]
 
@@ -54,48 +59,92 @@ class SeparateSearch(SearchStrategy):
         )
         self.cnn_trainer = ReinforceTrainer(self.cnn_policy, reinforce_config)
         self.hw_trainer = ReinforceTrainer(self.hw_policy, reinforce_config)
+        self._pending = None
 
     # ------------------------------------------------------------------
-    def _accuracy_reward(self, evaluator: CodesignEvaluator, spec: ModelSpec) -> float:
-        """HW-blind stage-1 signal: normalized accuracy or punishment."""
-        accuracy = evaluator.accuracy(spec) if spec.valid else None
-        if accuracy is None:
-            return -evaluator.reward_fn.config.punishment_scale
-        lo, hi = evaluator.reward_fn.config.bounds.accuracy
-        return float(np.clip((accuracy - lo) / (hi - lo), 0.0, 1.0))
+    def _accuracy_reward(self, result: EvaluationResult) -> float:
+        """HW-blind stage-1 signal: normalized accuracy or punishment.
 
-    def run(self, evaluator: CodesignEvaluator, num_steps: int) -> SearchResult:
-        archive = SearchArchive()
-        cnn_steps = max(1, int(round(num_steps * self.cnn_fraction)))
-        hw_steps = max(0, num_steps - cnn_steps)
+        ``result.metrics is None`` exactly when the historic
+        ``evaluator.accuracy`` returned ``None`` (invalid or
+        unevaluable cell), so this matches the legacy signal bit for
+        bit without re-querying the evaluator.
+        """
+        config = self._evaluator.reward_fn.config
+        if result.metrics is None:
+            return -config.punishment_scale
+        lo, hi = config.bounds.accuracy
+        return float(np.clip((result.metrics.accuracy - lo) / (hi - lo), 0.0, 1.0))
 
-        # Stage 1: accuracy-only CNN search.  A reference accelerator is
-        # used solely to log comparable scenario metrics.
-        reference_config = self.search_space.accelerator_space.random_config(self.rng)
-        best_spec: ModelSpec | None = None
-        best_accuracy = -np.inf
-        for _ in range(cnn_steps):
-            sample = self.cnn_trainer.sample(self.rng)
-            spec = self.search_space.cell_encoding.decode(sample.actions)
-            controller_reward = self._accuracy_reward(evaluator, spec)
-            self.cnn_trainer.update(sample, controller_reward)
-            result = evaluator.evaluate(spec, reference_config)
-            archive.record(result, phase="cnn-only")
-            accuracy = evaluator.accuracy(spec) if spec.valid else None
-            if accuracy is not None and accuracy > best_accuracy:
-                best_accuracy = accuracy
-                best_spec = spec
+    # --- ask/tell ------------------------------------------------------
+    def setup(self, evaluator: CodesignEvaluator, num_steps: int) -> None:
+        super().setup(evaluator, num_steps)
+        self._cnn_left = max(1, int(round(num_steps * self.cnn_fraction)))
+        # Stage 1 logs comparable scenario metrics against a reference
+        # accelerator: a random design-space point.
+        self._reference_config = self.search_space.accelerator_space.random_config(
+            self.rng
+        )
+        self._best_spec: ModelSpec | None = None
+        self._best_accuracy = -np.inf
+        self._pending = None
 
-        # Stage 2: accelerator exploration for the frozen CNN under the
-        # full multi-objective scenario reward.
-        if best_spec is None:
-            return self._result(archive, evaluator, stage1_best=None)
-        for _ in range(hw_steps):
-            sample = self.hw_trainer.sample(self.rng)
-            config = self.search_space.accelerator_space.decode(sample.actions)
-            result = evaluator.evaluate(best_spec, config)
-            self.hw_trainer.update(sample, result.reward.value)
-            archive.record(result, phase="hw-only")
+    def ask(self, n: int) -> list[Proposal]:
+        if self._cnn_left > 0:
+            k = min(n, self._cnn_left)
+            self._pending = self.cnn_trainer.sample_batch(self.rng, k)
+            return [
+                Proposal(
+                    spec=self.search_space.cell_encoding.decode(
+                        self._pending.actions_list(i)
+                    ),
+                    config=self._reference_config,
+                    phase="cnn-only",
+                )
+                for i in range(k)
+            ]
+        if self._best_spec is None:
+            return []  # stage 1 found no evaluable CNN: stop early
+        self._pending = self.hw_trainer.sample_batch(self.rng, n)
+        return [
+            Proposal(
+                spec=self._best_spec,
+                config=self.search_space.accelerator_space.decode(
+                    self._pending.actions_list(i)
+                ),
+                phase="hw-only",
+            )
+            for i in range(n)
+        ]
+
+    def tell(
+        self, proposals: list[Proposal], results: list[EvaluationResult]
+    ) -> None:
+        stage1 = proposals[0].phase == "cnn-only"
+        if stage1:
+            self.cnn_trainer.update_batch(
+                self._pending, [self._accuracy_reward(r) for r in results]
+            )
+            self._cnn_left -= len(proposals)
+        else:
+            self.hw_trainer.update_batch(
+                self._pending, [r.reward.value for r in results]
+            )
+        self._pending = None
+        for proposal, result in zip(proposals, results):
+            self.archive.record(result, phase=proposal.phase)
+            if stage1 and result.metrics is not None:
+                accuracy = result.metrics.accuracy
+                if accuracy > self._best_accuracy:
+                    self._best_accuracy = accuracy
+                    self._best_spec = proposal.spec
+
+    def finish(self) -> SearchResult:
+        if self._best_spec is None:
+            return self._result(self.archive, self._evaluator, stage1_best=None)
         return self._result(
-            archive, evaluator, stage1_best=best_spec, stage1_accuracy=best_accuracy
+            self.archive,
+            self._evaluator,
+            stage1_best=self._best_spec,
+            stage1_accuracy=self._best_accuracy,
         )

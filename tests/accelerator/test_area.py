@@ -1,9 +1,11 @@
 """Tests for the component area model."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
-from repro.accelerator.area import AreaModel
+from repro.accelerator.area import AreaModel, AreaModelParams
 from repro.accelerator.config import AcceleratorConfig
 from repro.accelerator.resources import ZYNQ_ULTRASCALE_PLUS
 from repro.accelerator.space import AcceleratorSpace
@@ -83,3 +85,48 @@ class TestBreakdown:
         ratio = model.area_mm2(dual) / model.area_mm2(single)
         assert 0.95 < ratio < 1.1
         assert model.conv_engines(dual).dsp == model.conv_engines(single).dsp
+
+
+class TestBatchArea:
+    """Property-style: the all-configs batched path equals the scalar path."""
+
+    def test_full_space_elementwise_equal(self, model):
+        space = AcceleratorSpace()
+        batch = model.batch_area_mm2(space.columns())
+        assert batch.shape == (space.size,)
+        for i in range(0, space.size, 251):  # deterministic stride sample
+            assert batch[i] == model.area_mm2(space.config_at(i))
+
+    def test_random_configs_elementwise_equal(self, model):
+        """Random config batches, exact equality against the scalar model."""
+        from repro.accelerator.latency import config_columns
+
+        space = AcceleratorSpace()
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            configs = [
+                space.config_at(int(i))
+                for i in rng.integers(0, space.size, 32)
+            ]
+            batch = model.batch_area_mm2(config_columns(configs))
+            for k, config in enumerate(configs):
+                assert batch[k] == model.area_mm2(config), config.short_name()
+
+    def test_random_params_still_agree(self):
+        """The equality is structural, not a coincidence of defaults."""
+        rng = np.random.default_rng(9)
+        space = AcceleratorSpace()
+        for trial in range(5):
+            defaults = AreaModelParams()
+            scaled = {
+                f.name: getattr(defaults, f.name) * float(rng.uniform(0.5, 2.0))
+                for f in dataclasses.fields(AreaModelParams)
+            }
+            model = AreaModel(AreaModelParams(**scaled))
+            indices = rng.integers(0, space.size, 24)
+            configs = [space.config_at(int(i)) for i in indices]
+            from repro.accelerator.latency import config_columns
+
+            batch = model.batch_area_mm2(config_columns(configs))
+            for k, config in enumerate(configs):
+                assert batch[k] == pytest.approx(model.area_mm2(config), rel=1e-12)

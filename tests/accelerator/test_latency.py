@@ -116,3 +116,66 @@ class TestVectorization:
     def test_config_columns_from_single(self):
         cols = config_columns(AcceleratorConfig())
         assert all(len(v) == 1 for v in cols.values())
+
+
+def random_op(rng) -> "O.CompiledOp":
+    """A random-shaped op of a random kind (property-test generator)."""
+    from repro.nasbench.compile import CompiledOp
+
+    kind = rng.choice(
+        [O.KIND_STEM, O.KIND_CONV3X3, O.KIND_CONV1X1, O.KIND_PROJ1X1,
+         O.KIND_MAXPOOL3X3, O.KIND_DOWNSAMPLE, O.KIND_ADD, O.KIND_CONCAT,
+         O.KIND_GAP, O.KIND_DENSE]
+    )
+    size = int(rng.choice([4, 8, 16, 32]))
+    return CompiledOp(
+        index=0,
+        kind=str(kind),
+        name="random",
+        in_channels=int(rng.integers(1, 256)),
+        out_channels=int(rng.integers(1, 256)),
+        height=size,
+        width=size,
+        deps=(),
+        stride=int(rng.choice([1, 2])),
+    )
+
+
+class TestVectorizationProperty:
+    """Property-style: random op shapes x random configs, batched == scalar."""
+
+    def test_random_ops_random_configs_elementwise(self):
+        from repro.accelerator.space import AcceleratorSpace
+
+        model = LatencyModel()
+        space = AcceleratorSpace()
+        rng = np.random.default_rng(17)
+        for _ in range(40):
+            op = random_op(rng)
+            configs = [
+                space.config_at(int(i)) for i in rng.integers(0, space.size, 16)
+            ]
+            vector = model.durations(op, config_columns(configs))
+            assert vector.shape == (16,)
+            assert np.all(vector > 0)
+            for k, config in enumerate(configs):
+                scalar = model.op_duration(op, config)
+                assert vector[k] == pytest.approx(scalar, rel=1e-12), (
+                    f"{op.kind} {op.in_channels}x{op.out_channels}"
+                    f"@{op.height}x{op.width}/s{op.stride} on {config.short_name()}"
+                )
+
+    def test_all_configs_at_once_matches_subsets(self):
+        """Evaluating the whole space in one call == per-config calls."""
+        from repro.accelerator.space import AcceleratorSpace
+
+        model = LatencyModel()
+        space = AcceleratorSpace()
+        rng = np.random.default_rng(23)
+        op = random_op(rng)
+        full = model.durations(op, config_columns(space.columns()))
+        assert full.shape == (space.size,)
+        for i in rng.integers(0, space.size, 25):
+            assert full[int(i)] == pytest.approx(
+                model.op_duration(op, space.config_at(int(i))), rel=1e-12
+            )

@@ -112,3 +112,25 @@ class TestBatchSchedule:
         ir = compile_network(resnet_cell(), CIFAR10_SKELETON)
         batch = batch_schedule(ir, default_config)
         assert batch.shape == (1,)
+
+
+class TestBatchScheduleProperty:
+    """Property-style: random cells x random configs, batched == scalar."""
+
+    def test_random_cells_random_configs(self, hw_space):
+        from repro.nasbench.database import enumerate_unique_cells
+
+        model = LatencyModel()
+        rng = np.random.default_rng(29)
+        cells = enumerate_unique_cells(4)
+        picks = rng.choice(len(cells), size=6, replace=False)
+        for pick in picks:
+            ir = compile_network(cells[int(pick)], CIFAR10_SKELETON)
+            indices = [int(i) for i in rng.integers(0, hw_space.size, 10)]
+            configs = [hw_space.config_at(i) for i in indices]
+            batch = batch_schedule(ir, configs, model)
+            for k, config in enumerate(configs):
+                scalar = schedule_network(ir, config, model).latency_s
+                assert batch[k] == pytest.approx(scalar, rel=1e-12), (
+                    f"cell {pick} on {config.short_name()}"
+                )

@@ -110,3 +110,89 @@ class TestLatencyTable:
         )
         outside = sample_unique_cells(1, seed=1)[0]
         assert evaluator.latency_s(outside, default_config) > 0
+
+
+class TestEvaluateBatchExactness:
+    """The batched path is bit-identical to per-point evaluate."""
+
+    def _random_pairs(self, micro4_bundle, n, seed):
+        from repro.core.search_space import JointSearchSpace
+
+        space = JointSearchSpace(cell_encoding=micro4_bundle.cell_encoding)
+        rng = np.random.default_rng(seed)
+        return [space.decode(space.random_actions(rng)) for _ in range(n)]
+
+    def _assert_results_identical(self, batched, pointwise):
+        for a, b in zip(batched, pointwise):
+            assert a.reward.value == b.reward.value
+            assert a.reward.feasible == b.reward.feasible
+            assert a.reward.valid == b.reward.valid
+            assert a.reward.violations == b.reward.violations
+            if b.metrics is None:
+                assert a.metrics is None
+            else:
+                assert a.metrics.accuracy == b.metrics.accuracy
+                assert a.metrics.latency_s == b.metrics.latency_s
+                assert a.metrics.area_mm2 == b.metrics.area_mm2
+
+    def test_table_backed_batch_equals_pointwise(self, micro4_bundle):
+        from repro.experiments.search_study import make_bundle_evaluator
+
+        pairs = self._random_pairs(micro4_bundle, 120, seed=0)
+        batched = make_bundle_evaluator(
+            micro4_bundle, unconstrained(micro4_bundle.bounds)
+        ).evaluate_batch(pairs)
+        ev = make_bundle_evaluator(micro4_bundle, unconstrained(micro4_bundle.bounds))
+        pointwise = [ev.evaluate(s, c) for s, c in pairs]
+        self._assert_results_identical(batched, pointwise)
+
+    def test_tableless_batch_equals_pointwise(self, db):
+        pairs_ev = CodesignEvaluator.from_database(db, unconstrained())
+        from tests.conftest import sample_configs
+
+        cells = sample_unique_cells(6, seed=1, min_vertices=4, max_vertices=4)
+        configs = sample_configs(5, seed=2)
+        pairs = [(s, c) for s in cells for c in configs]
+        batched = pairs_ev.evaluate_batch(pairs)
+        fresh = CodesignEvaluator.from_database(db, unconstrained())
+        pointwise = [fresh.evaluate(s, c) for s, c in pairs]
+        self._assert_results_identical(batched, pointwise)
+
+    def test_eval_cache_attached_batch_equals_pointwise(self, micro4_bundle, tmp_path):
+        from repro.experiments.search_study import make_bundle_evaluator
+        from repro.parallel import EvalCache
+
+        pairs = self._random_pairs(micro4_bundle, 60, seed=3)
+        ev_a = make_bundle_evaluator(micro4_bundle, unconstrained(micro4_bundle.bounds))
+        ev_a.attach_eval_cache(EvalCache(tmp_path / "a.sqlite"))
+        batched = ev_a.evaluate_batch(pairs)
+        ev_b = make_bundle_evaluator(micro4_bundle, unconstrained(micro4_bundle.bounds))
+        ev_b.attach_eval_cache(EvalCache(tmp_path / "b.sqlite"))
+        pointwise = [ev_b.evaluate(s, c) for s, c in pairs]
+        self._assert_results_identical(batched, pointwise)
+        # Both paths persist the same row set.
+        ev_a.eval_cache.flush()
+        ev_b.eval_cache.flush()
+        assert len(ev_a.eval_cache) == len(ev_b.eval_cache)
+
+    def test_duplicates_share_results_and_count(self, micro4_bundle):
+        from repro.experiments.search_study import make_bundle_evaluator
+
+        ev = make_bundle_evaluator(micro4_bundle, unconstrained(micro4_bundle.bounds))
+        pairs = self._random_pairs(micro4_bundle, 10, seed=4)
+        doubled = pairs + pairs
+        results = ev.evaluate_batch(doubled)
+        assert ev.num_evaluations == 20
+        for a, b in zip(results[:10], results[10:]):
+            if a.spec.valid:
+                assert a is b  # one computation, shared result
+
+    def test_batch_warms_pointwise_caches(self, micro4_bundle):
+        """Batch and pointwise paths share one coherent cache family."""
+        from repro.experiments.search_study import make_bundle_evaluator
+
+        ev = make_bundle_evaluator(micro4_bundle, unconstrained(micro4_bundle.bounds))
+        pairs = self._random_pairs(micro4_bundle, 20, seed=5)
+        batched = ev.evaluate_batch(pairs)
+        pointwise = [ev.evaluate(s, c) for s, c in pairs]
+        self._assert_results_identical(batched, pointwise)

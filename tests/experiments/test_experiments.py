@@ -183,3 +183,26 @@ class TestAblations:
         assert {r.variant for r in rows} == {"combined (RL)", "random"}
         for row in rows:
             assert np.isfinite(row.best_reward)
+
+
+class TestStudyScenarioNames:
+    def test_scenario_names_with_slash_survive_the_grid(self, micro4_bundle):
+        """Labels are opaque: registry/JSON names may contain '/'."""
+        from repro.core.scenarios import make_scenario
+        from repro.experiments.common import Scale
+        from repro.experiments.search_study import run_search_study
+
+        scenarios = {
+            "edge/lowpower": lambda bounds=None: make_scenario(
+                "edge/lowpower", (0.1, 0.8, 0.1), bounds
+            )
+        }
+        study = run_search_study(
+            micro4_bundle,
+            Scale("tiny", 10, 1, 0.1),
+            scenarios=scenarios,
+        )
+        assert set(study.outcomes) == {"edge/lowpower"}
+        assert {"combined", "phase", "separate"} == set(
+            study.outcomes["edge/lowpower"]
+        )

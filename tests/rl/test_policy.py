@@ -81,3 +81,104 @@ class TestParams:
     def test_empty_vocab_rejected(self):
         with pytest.raises(ValueError):
             SequencePolicy([])
+
+
+class TestSampleBatch:
+    def test_batch_of_one_is_bit_identical_to_sample(self, policy):
+        single = policy.sample(np.random.default_rng(3))
+        batch = policy.sample_batch(np.random.default_rng(3), 1)
+        assert batch.actions_list(0) == single.actions
+        assert batch.log_probs[0] == single.log_prob
+        assert batch.entropies[0] == single.entropy
+        for t in range(len(policy.vocab_sizes)):
+            assert np.array_equal(batch.probs[t][0], single.probs[t])
+            assert np.array_equal(batch.hiddens[t], single.hiddens[t])
+
+    def test_batch_shapes_and_vocab_ranges(self, policy):
+        rng = np.random.default_rng(0)
+        batch = policy.sample_batch(rng, 9)
+        assert batch.actions.shape == (9, 3)
+        assert batch.log_probs.shape == (9,)
+        for t, vocab in enumerate(policy.vocab_sizes):
+            assert batch.probs[t].shape == (9, vocab)
+            acts = batch.actions[:, t]
+            assert np.all((0 <= acts) & (acts < vocab))
+
+    def test_batched_log_probs_match_action_log_prob(self, policy):
+        rng = np.random.default_rng(1)
+        batch = policy.sample_batch(rng, 6)
+        for i in range(6):
+            assert policy.action_log_prob(batch.actions_list(i)) == pytest.approx(
+                float(batch.log_probs[i])
+            )
+
+    def test_rejects_nonpositive_batch(self, policy):
+        with pytest.raises(ValueError):
+            policy.sample_batch(np.random.default_rng(0), 0)
+
+    def test_batch_sampling_follows_policy_distribution(self, policy):
+        """Vectorized inverse-CDF draws hit every probable action."""
+        rng = np.random.default_rng(2)
+        batch = policy.sample_batch(rng, 512)
+        for t, vocab in enumerate(policy.vocab_sizes):
+            counts = np.bincount(batch.actions[:, t], minlength=vocab)
+            expected = batch.probs[t].mean(axis=0) * len(batch)
+            # loose sanity: every action with >5% mass appears
+            assert np.all(counts[expected > 25] > 0)
+
+
+class TestBackwardBatch:
+    def _as_batch(self, policy, samples):
+        """Pack legacy PolicySamples into one PolicyBatch."""
+        from repro.rl.lstm import LSTMCache
+        from repro.rl.policy import PolicyBatch
+
+        T = len(policy.vocab_sizes)
+        caches = []
+        for t in range(T):
+            fields = {}
+            for name in ("x", "h_prev", "c_prev", "i", "f", "g", "o", "c"):
+                fields[name] = np.concatenate(
+                    [getattr(s.caches[t], name) for s in samples], axis=0
+                )
+            caches.append(LSTMCache(**fields))
+        return PolicyBatch(
+            actions=np.array([s.actions for s in samples]),
+            log_probs=np.array([s.log_prob for s in samples]),
+            entropies=np.array([s.entropy for s in samples]),
+            caches=caches,
+            hiddens=[
+                np.concatenate([s.hiddens[t] for s in samples], axis=0)
+                for t in range(T)
+            ],
+            probs=[
+                np.stack([s.probs[t] for s in samples], axis=0) for t in range(T)
+            ],
+        )
+
+    def test_batch_of_one_matches_backward_exactly(self, policy, rng):
+        sample = policy.sample(rng)
+        legacy = policy.backward(sample, 0.37, entropy_beta=0.05)
+        batch = self._as_batch(policy, [sample])
+        batched = policy.backward_batch(batch, np.array([0.37]), entropy_beta=0.05)
+        for key, grad in legacy.items():
+            assert np.array_equal(batched[key], grad), key
+
+    def test_mean_gradient_property(self, policy, rng):
+        """backward_batch == mean of per-rollout backward gradients."""
+        samples = [policy.sample(rng) for _ in range(5)]
+        advantages = np.array([0.5, -0.2, 0.9, 0.0, -1.1])
+        batch = self._as_batch(policy, samples)
+        batched = policy.backward_batch(batch, advantages, entropy_beta=0.03)
+        manual = policy.zero_grads()
+        for sample, adv in zip(samples, advantages):
+            grads = policy.backward(sample, float(adv), entropy_beta=0.03)
+            for key in manual:
+                manual[key] += grads[key]
+        for key in manual:
+            assert np.allclose(batched[key], manual[key] / 5, atol=1e-12), key
+
+    def test_advantage_length_checked(self, policy, rng):
+        batch = policy.sample_batch(rng, 3)
+        with pytest.raises(ValueError):
+            policy.backward_batch(batch, np.zeros(2))

@@ -60,3 +60,51 @@ class TestLearning:
             ReinforceConfig(baseline_momentum=1.5)
         with pytest.raises(ValueError):
             ReinforceConfig(entropy_beta=-0.1)
+
+
+class TestUpdateBatch:
+    def _fresh(self, seed=0):
+        from repro.rl.policy import SequencePolicy
+
+        policy = SequencePolicy([3, 4, 2], hidden_size=16, embedding_size=8, seed=seed)
+        return policy, ReinforceTrainer(policy)
+
+    def test_batch_of_one_bit_identical_to_update(self):
+        rewards = [0.4, -0.3, 0.8, 0.1]
+        pol_a, tr_a = self._fresh()
+        rng = np.random.default_rng(7)
+        for r in rewards:
+            tr_a.update(tr_a.sample(rng), r)
+        pol_b, tr_b = self._fresh()
+        rng = np.random.default_rng(7)
+        for r in rewards:
+            tr_b.update_batch(tr_b.sample_batch(rng, 1), [r])
+        assert tr_a.baseline == tr_b.baseline
+        assert tr_a.num_updates == tr_b.num_updates
+        for key, value in pol_a.all_params().items():
+            assert np.array_equal(value, pol_b.all_params()[key]), key
+
+    def test_baseline_recurrence_order_is_rollout_by_rollout(self):
+        _, trainer = self._fresh()
+        rng = np.random.default_rng(1)
+        batch = trainer.sample_batch(rng, 3)
+        advantages = trainer.update_batch(batch, [1.0, 2.0, 3.0])
+        # First rollout sets the baseline; later ones see the EMA.
+        assert advantages[0] == 0.0
+        assert advantages[1] == pytest.approx(2.0 - 1.0)
+        m = trainer.config.baseline_momentum
+        b1 = m * 1.0 + (1 - m) * 2.0
+        assert advantages[2] == pytest.approx(3.0 - b1)
+
+    def test_one_optimizer_step_per_batch(self):
+        _, trainer = self._fresh()
+        rng = np.random.default_rng(2)
+        trainer.update_batch(trainer.sample_batch(rng, 8), [0.1] * 8)
+        assert trainer.num_updates == 1
+
+    def test_reward_count_validated(self):
+        _, trainer = self._fresh()
+        rng = np.random.default_rng(3)
+        batch = trainer.sample_batch(rng, 3)
+        with pytest.raises(ValueError):
+            trainer.update_batch(batch, [0.1, 0.2])

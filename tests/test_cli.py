@@ -32,3 +32,21 @@ class TestCli:
 
     def test_scale_flag_accepted(self, capsys):
         assert main(["run", "table1", "--scale", "smoke"]) == 0
+
+
+class TestStudyFlags:
+    def test_scenario_rejected_for_non_study_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["run", "table1", "--scenario", "unconstrained"])
+
+    def test_batch_size_rejected_for_non_study_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["run", "table1", "--batch-size", "8"])
+
+    def test_unknown_scenario_name_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig5", "--scenario", "bogus"])
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig5", "--batch-size", "0"])
