@@ -9,6 +9,8 @@ Usage::
     python -m repro run fig5+6 --scale paper --workers 8 --cache-dir .cache/repro
     python -m repro run fig5 --scenario "perf-area>=16" --batch-size 16
     python -m repro run fig5+6 --scenario-file my_scenarios.json
+    python -m repro run fig5+6 --scale paper --ledger results/fig56.ledger
+    python -m repro resume fig5+6 --scale paper --ledger results/fig56.ledger
     python -m repro run all --scale smoke
 
 Each experiment prints the same rows the paper reports (markdown) and
@@ -24,6 +26,14 @@ is several times faster under per-strategy batch semantics).  One
 caveat: fig7's "simulated GPU-hours" line reports only the training
 cost *newly paid* by the current run, so a warm ``--cache-dir`` re-run
 legitimately shows fewer (typically 0) GPU-hours.
+
+``--ledger FILE`` makes the search-study experiments crash-safe:
+finished (scenario, strategy, repeat) searches are persisted to FILE
+as they complete and in-flight searches checkpoint every
+``--checkpoint-every`` batches, so after a crash ``repro resume`` (the
+same command with ``run`` replaced) skips completed repeats and
+restarts interrupted ones from their checkpoints — producing exactly
+the rows an uninterrupted run would have printed.
 """
 
 from __future__ import annotations
@@ -46,7 +56,7 @@ from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 from repro.experiments.table3 import run_table3
 from repro.experiments.validation import run_validation
-from repro.parallel import EvalCache
+from repro.parallel import EvalCache, RunLedger
 
 __all__ = ["main", "RunContext", "EXPERIMENTS"]
 
@@ -61,6 +71,8 @@ class RunContext:
     eval_cache: EvalCache | None = None
     scenarios: dict | None = None
     batch_size: int = 1
+    ledger: RunLedger | None = None
+    checkpoint_every: int = 10
     _study: object = None
 
     @property
@@ -83,6 +95,8 @@ class RunContext:
                 workers=self.workers,
                 eval_cache=self.eval_cache,
                 batch_size=self.batch_size,
+                ledger=self.ledger,
+                checkpoint_every=self.checkpoint_every,
             )
         return self._study
 
@@ -152,6 +166,18 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
     run = sub.add_parser("run", help="run one experiment (or 'all')")
+    _add_run_arguments(run)
+    resume = sub.add_parser(
+        "resume",
+        help="resume an interrupted --ledger run (same arguments as 'run'; "
+        "completed repeats are loaded, interrupted ones restart from "
+        "their last checkpoint)",
+    )
+    _add_run_arguments(resume)
+    return parser
+
+
+def _add_run_arguments(run: argparse.ArgumentParser) -> None:
     run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
     run.add_argument(
         "--scale",
@@ -205,8 +231,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "and evaluate them in one batch (1 = bit-identical to the "
         "historic per-point loop; >1 uses rollout/generation batches)",
     )
+    run.add_argument(
+        "--ledger",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="crash-safe run ledger (sqlite): persist finished search-study "
+        "repeats and mid-search checkpoints to FILE so an interrupted "
+        "run can be picked up with 'repro resume'",
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10,
+        metavar="N",
+        help="with --ledger, checkpoint each in-flight search every N "
+        "ask/tell batches (lower = finer resume granularity, more "
+        "ledger writes)",
+    )
     run.add_argument("--out", type=Path, default=None, help="write report to file")
-    return parser
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -216,19 +259,30 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--workers must be >= 1, got {args.workers}")
     if getattr(args, "batch_size", 1) < 1:
         parser.error(f"--batch-size must be >= 1, got {args.batch_size}")
+    if getattr(args, "checkpoint_every", 1) < 1:
+        parser.error(f"--checkpoint-every must be >= 1, got {args.checkpoint_every}")
     if args.command == "list":
         for name in EXPERIMENTS:
             print(name)
         return 0
+    if args.command == "resume":
+        if args.ledger is None:
+            parser.error("resume requires --ledger FILE (the ledger of the "
+                         "interrupted run)")
+        if not args.ledger.exists():
+            parser.error(f"no ledger at {args.ledger} — nothing to resume "
+                         "(start the run with 'repro run ... --ledger')")
 
-    # --scenario / --scenario-file / --batch-size only drive the
-    # search-study experiments; reject runs where they would silently
-    # change nothing (results-changing flags must never no-op).
+    # --scenario / --scenario-file / --batch-size / --ledger only drive
+    # the search-study experiments; reject runs where they would
+    # silently change nothing (results-changing flags must never no-op).
     study_flags = []
     if args.scenario or args.scenario_file:
         study_flags.append("--scenario/--scenario-file")
     if args.batch_size != 1:
         study_flags.append("--batch-size")
+    if args.ledger is not None:
+        study_flags.append("--ledger")
     if study_flags:
         selected = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
         uses_study = [name for name in selected if name in STUDY_EXPERIMENTS]
@@ -273,6 +327,8 @@ def main(argv: list[str] | None = None) -> int:
         ),
         scenarios=scenarios,
         batch_size=args.batch_size,
+        ledger=RunLedger(args.ledger) if args.ledger is not None else None,
+        checkpoint_every=args.checkpoint_every,
     )
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     reports = []
@@ -285,6 +341,13 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"eval cache: {stats['persisted']} rows, "
             f"{100.0 * stats['hit_rate']:.0f}% hit rate this run",
+            file=sys.stderr,
+        )
+    if ctx.ledger is not None:
+        progress = ctx.ledger.progress()
+        print(
+            f"ledger: {progress['done']} repeats done, "
+            f"{progress['checkpointed']} checkpointed in flight",
             file=sys.stderr,
         )
     report = "\n\n".join(reports)

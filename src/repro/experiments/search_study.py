@@ -16,10 +16,11 @@ from pathlib import Path
 
 from repro.core.evaluator import CodesignEvaluator
 from repro.core.reward import RewardConfig
-from repro.core.scenarios import PAPER_SCENARIOS, resolve_scenarios
+from repro.core.scenarios import PAPER_SCENARIOS, resolve_scenarios, scenario_to_dict
 from repro.core.search_space import JointSearchSpace
 from repro.experiments.common import Scale, SpaceBundle, load_bundle
 from repro.parallel.cache import EvalCache
+from repro.parallel.ledger import RunLedger
 from repro.search.combined import CombinedSearch
 from repro.search.phase import PhaseSearch
 from repro.search.runner import RepeatJob, RepeatOutcome, run_grid
@@ -107,6 +108,8 @@ def run_search_study(
     workers: int | None = None,
     eval_cache: EvalCache | str | Path | None = None,
     batch_size: int = 1,
+    ledger: RunLedger | str | Path | None = None,
+    checkpoint_every: int = 10,
 ) -> SearchStudyResult:
     """Run the full strategy x scenario grid.
 
@@ -123,6 +126,13 @@ def run_search_study(
     :func:`repro.core.scenarios.load_scenario_file`) or a list of
     registry scenario names; default: the paper's three.
     ``batch_size`` passes through to every strategy's ask/tell driver.
+
+    ``ledger`` (a :class:`repro.parallel.RunLedger` or a path) makes
+    the study crash-safe and resumable: finished (scenario, strategy,
+    repeat) searches are persisted as they complete and interrupted
+    ones restart from their last ``checkpoint_every``-batch
+    checkpoint, so re-invoking the study with the same arguments picks
+    up where the crashed run stopped (see :func:`run_grid`).
     """
     bundle = bundle or load_bundle()
     scale = scale or Scale.from_env()
@@ -142,8 +152,13 @@ def run_search_study(
     # Label -> (scenario, strategy); labels are opaque keys, so scenario
     # names may contain any characters (including "/").
     job_meta: dict[str, tuple[str, str]] = {}
+    # Pinned into the ledger alongside steps/seeds: a resume under an
+    # edited scenario *definition* (same name, different constraints)
+    # must be refused, not silently mixed with the old rows.
+    scenario_definitions: dict[str, dict] = {}
     for scenario_name, scenario_factory in scenarios.items():
         scenario = scenario_factory(bundle.bounds)
+        scenario_definitions[scenario_name] = scenario_to_dict(scenario)
         pareto_top100[scenario_name] = top_pareto_by_reward(bundle, scenario)
         evaluator = make_bundle_evaluator(bundle, scenario)
         for strategy_name, strategy_cls in strategies.items():
@@ -168,6 +183,9 @@ def run_search_study(
         workers=workers,
         eval_cache=eval_cache,
         batch_size=batch_size,
+        ledger=ledger,
+        checkpoint_every=checkpoint_every,
+        ledger_context={"space": namespace, "scenarios": scenario_definitions},
     )
     outcomes: dict[str, dict[str, RepeatOutcome]] = {
         scenario_name: {} for scenario_name in scenarios

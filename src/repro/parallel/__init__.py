@@ -8,15 +8,29 @@ hardware speed without changing a single result:
 * :mod:`repro.parallel.cache` — :class:`EvalCache`, an on-disk store of
   ``(scenario, spec_hash, config_key) -> (accuracy, latency_s,
   area_mm2)`` that evaluators consult before computing, and that
-  workers merge back into on completion.
+  workers merge back into on completion;
+* :mod:`repro.parallel.ledger` — :class:`RunLedger`, the crash-safe
+  run ledger: completed (job, repeat) results and mid-search strategy
+  checkpoints, so interrupted grids resume bit-identically instead of
+  restarting from step 0.
 
 The repeat harness (:func:`repro.search.runner.run_repeats` /
-``run_grid``) wires both together behind a ``backend`` switch
-(``"serial"`` / ``"process"``); under a fixed master seed both backends
-are result-for-result identical at any worker count.
+``run_grid``) wires them together behind a ``backend`` switch
+(``"serial"`` / ``"process"``) and a ``ledger`` argument; under a
+fixed master seed both backends are result-for-result identical at any
+worker count, interrupted or not.
 """
 
 from repro.parallel.cache import CacheEntry, EvalCache
+from repro.parallel.ledger import LedgerError, MemoryCheckpoint, RunLedger
 from repro.parallel.pool import parallel_map, resolve_workers
 
-__all__ = ["CacheEntry", "EvalCache", "parallel_map", "resolve_workers"]
+__all__ = [
+    "CacheEntry",
+    "EvalCache",
+    "LedgerError",
+    "MemoryCheckpoint",
+    "RunLedger",
+    "parallel_map",
+    "resolve_workers",
+]

@@ -24,7 +24,11 @@ Independent runs may still share one store: every row is an ``INSERT
 OR REPLACE`` of a pure function of its key, and flush transactions
 serialize on sqlite's file lock (``busy_timeout``), so concurrent
 writers can interleave but never lose or corrupt each other's rows
-(see ``tests/parallel/test_cache_concurrency.py``).
+(see ``tests/parallel/test_cache_concurrency.py``).  Misses are
+memoized only until the next :meth:`flush`/:meth:`merge` — positive
+rows are immutable facts, but "absent" is a statement about a moment
+in time, and a long-lived run must eventually observe rows its
+neighbours write.
 
 A corrupted or unreadable store is never fatal: it is moved aside and
 the cache restarts cold (see ``recovered``).
@@ -33,6 +37,7 @@ the cache restarts cold (see ``recovered``).
 from __future__ import annotations
 
 import json
+import os
 import sqlite3
 from dataclasses import dataclass
 from pathlib import Path
@@ -93,6 +98,11 @@ class EvalCache:
     def __init__(self, path: str | Path | None = None, read_only: bool = False) -> None:
         self.path = Path(path) if path is not None else None
         self.read_only = read_only
+        #: Pid of the process that opened the connection.  Sqlite
+        #: handles are not fork-safe, so a cache observed in a process
+        #: other than ``owner_pid`` was inherited through fork and must
+        #: not be used (see run_grid's worker-side detach guard).
+        self.owner_pid = os.getpid()
         self.hits = 0
         self.misses = 0
         self.recovered = False
@@ -152,6 +162,22 @@ class EvalCache:
 
     def close(self) -> None:
         self._conn.close()
+
+    def __del__(self) -> None:
+        # Release the file descriptor as soon as the cache itself is
+        # unreachable (i.e. promptly, via refcounting).  Without this,
+        # sqlite connections linger in reference cycles until the
+        # cycle collector runs, and a long-lived worker churning
+        # through task-local caches accumulates open fds.
+        try:
+            if os.getpid() != self.owner_pid:
+                # Fork-inherited connection: abandon, never close — a
+                # close could roll back the parent's in-flight
+                # transaction on the shared database file.
+                return
+            self._conn.close()
+        except Exception:
+            pass  # never raise from a finalizer (shutdown, half-init)
 
     def __enter__(self) -> "EvalCache":
         return self
@@ -226,11 +252,27 @@ class EvalCache:
         self._loaded.update({e.key: e for e in entries})
         return entries
 
+    def _forget_misses(self) -> None:
+        """Drop memoized misses so later ``get``\\ s re-query the store.
+
+        Positive memos are pure functions of their key and can never go
+        stale; a miss, however, only says the row was absent *at lookup
+        time* — an independent run sharing the store may well have
+        written it since.  Without this, a long-lived parent memoizes
+        its first miss forever and never observes concurrent writers.
+        """
+        self._loaded = {k: v for k, v in self._loaded.items() if v is not None}
+
     def flush(self) -> int:
         """Persist buffered rows in one transaction; returns row count.
 
+        Also invalidates memoized misses — flush boundaries are where a
+        run synchronizes with the store, so they are the natural point
+        to start observing rows concurrent runs have written since.
+
         A ``read_only`` cache keeps its buffer (drain it instead).
         """
+        self._forget_misses()
         if self.read_only or not self._pending:
             return 0
         entries = self.drain_pending()

@@ -1,0 +1,440 @@
+"""Crash-safe run ledger: checkpoint/resume for the search stack.
+
+The paper's headline grids (Fig. 5/6, Table 2) repeat every
+(strategy, scenario) experiment many times; at production scale a
+sweep holds thousands of independent searches and a crash 90% through
+must not cost the whole run.  :class:`RunLedger` is the persistence
+layer behind ``run_grid(..., ledger=...)``:
+
+* every (job label, repeat) task has a row in ``tasks`` — ``pending``
+  until its search finishes, then ``done`` with the full serialized
+  :class:`~repro.search.base.SearchResult` (archive + extras);
+* an in-flight search checkpoints its strategy state every N ask/tell
+  batches into ``checkpoints`` (RNG stream, archive, populations,
+  policy weights, optimizer moments — whatever the strategy's
+  ``state_dict`` returns);
+* ``meta`` pins the run configuration (steps, repeats, master seed,
+  batch size, job labels) so a ledger can never silently mix results
+  from incompatible runs.
+
+On resume, ``run_grid`` loads ``done`` tasks instead of re-running
+them and restarts interrupted tasks from their last checkpoint;
+because evaluation is pure, the replayed batches reproduce exactly
+what the crashed process computed and the resumed grid is
+bit-identical to an uninterrupted one (see
+``tests/integration/test_kill_resume.py``).
+
+Every write is its own committed sqlite transaction, so a ``kill -9``
+can lose at most the work since the last checkpoint.  Connections are
+guarded by process id: a ledger object captured into a forked worker
+transparently opens its own connection instead of reusing the
+parent's (sqlite connections are not fork-safe), which lets serial
+and process backends share one code path.  Concurrent writers (many
+workers, one parent) serialize on sqlite's file lock via
+``busy_timeout``; tasks never contend on the same row.
+
+Serialization is tagged JSON: numpy arrays travel as base64-encoded
+raw bytes (bit-exact), and the library's value objects (specs,
+configs, metrics, archives, results) via their canonical dict forms.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import sqlite3
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "LedgerCheckpoint",
+    "LedgerError",
+    "MemoryCheckpoint",
+    "RunLedger",
+    "decode_state",
+    "encode_state",
+]
+
+#: Matches the EvalCache: generous, because every write is one small
+#: transaction and contention only comes from checkpoint bursts.
+_BUSY_TIMEOUT_MS = 30_000
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS tasks (
+    label  TEXT NOT NULL,
+    repeat INTEGER NOT NULL,
+    status TEXT NOT NULL DEFAULT 'pending',
+    result TEXT,
+    PRIMARY KEY (label, repeat)
+);
+CREATE TABLE IF NOT EXISTS checkpoints (
+    label      TEXT NOT NULL,
+    repeat     INTEGER NOT NULL,
+    steps_done INTEGER NOT NULL,
+    state      TEXT NOT NULL,
+    PRIMARY KEY (label, repeat)
+);
+"""
+
+
+class LedgerError(RuntimeError):
+    """A ledger cannot serve the requested run (mismatch, misuse)."""
+
+
+# ---------------------------------------------------------------------------
+# Tagged JSON state serialization
+# ---------------------------------------------------------------------------
+#
+# The value-object imports live inside the codec functions: the
+# evaluator layer imports ``repro.parallel`` (for EvalCache) while this
+# module serializes the evaluator layer's types, so importing them at
+# module scope would be circular.  ``sys.modules`` makes the per-call
+# import free after the first.
+
+def encode_state(obj: Any) -> Any:
+    """Turn a state value into a JSON-ready tagged structure.
+
+    Bit-exact for floats (JSON's shortest-repr round-trips IEEE-754
+    doubles) and numpy arrays (raw little-endian bytes, base64).
+    Handles the search stack's value objects plus tuples and dicts
+    with non-string keys; rejects anything else loudly rather than
+    persisting a lossy approximation.
+    """
+    from repro.accelerator.config import AcceleratorConfig
+    from repro.core.archive import ArchiveEntry, SearchArchive
+    from repro.core.metrics import Metrics
+    from repro.nasbench.model_spec import ModelSpec
+    from repro.search.base import SearchResult
+
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return {
+            "__t__": "ndarray",
+            "dtype": obj.dtype.str,
+            "shape": list(obj.shape),
+            "data": base64.b64encode(np.ascontiguousarray(obj).tobytes()).decode(),
+        }
+    if isinstance(obj, ModelSpec):
+        return {"__t__": "spec", "spec": obj.to_dict()}
+    if isinstance(obj, AcceleratorConfig):
+        return {"__t__": "config", "config": obj.to_dict()}
+    if isinstance(obj, Metrics):
+        # Fields go through encode_state too: a custom accuracy source
+        # may hand back numpy scalars, which json.dumps rejects raw.
+        return {
+            "__t__": "metrics",
+            "accuracy": encode_state(obj.accuracy),
+            "latency_s": encode_state(obj.latency_s),
+            "area_mm2": encode_state(obj.area_mm2),
+        }
+    if isinstance(obj, ArchiveEntry):
+        return {
+            "__t__": "entry",
+            "step": encode_state(obj.step),
+            "spec": encode_state(obj.spec),
+            "config": encode_state(obj.config),
+            "metrics": encode_state(obj.metrics),
+            "reward": encode_state(obj.reward),
+            "feasible": encode_state(obj.feasible),
+            "valid": encode_state(obj.valid),
+            "phase": obj.phase,
+        }
+    if isinstance(obj, SearchArchive):
+        return {
+            "__t__": "archive",
+            "entries": [encode_state(e) for e in obj.entries],
+        }
+    if isinstance(obj, SearchResult):
+        return {
+            "__t__": "result",
+            "strategy": obj.strategy,
+            "scenario": obj.scenario,
+            "archive": encode_state(obj.archive),
+            "extras": encode_state(obj.extras),
+        }
+    if isinstance(obj, tuple):
+        return {"__t__": "tuple", "items": [encode_state(v) for v in obj]}
+    if isinstance(obj, list):
+        return [encode_state(v) for v in obj]
+    if isinstance(obj, dict):
+        if all(isinstance(k, str) for k in obj) and "__t__" not in obj:
+            return {k: encode_state(v) for k, v in obj.items()}
+        # Non-string keys (e.g. per-rung archives keyed by threshold)
+        # or a literal "__t__" key: keep keys as tagged values.
+        return {
+            "__t__": "dict",
+            "items": [[encode_state(k), encode_state(v)] for k, v in obj.items()],
+        }
+    raise TypeError(f"cannot serialize {type(obj).__name__} into a ledger")
+
+
+def decode_state(obj: Any) -> Any:
+    """Inverse of :func:`encode_state`."""
+    from repro.accelerator.config import AcceleratorConfig
+    from repro.core.archive import ArchiveEntry, SearchArchive
+    from repro.core.metrics import Metrics
+    from repro.nasbench.model_spec import ModelSpec
+    from repro.search.base import SearchResult
+
+    if isinstance(obj, list):
+        return [decode_state(v) for v in obj]
+    if not isinstance(obj, dict):
+        return obj
+    tag = obj.get("__t__")
+    if tag is None:
+        return {k: decode_state(v) for k, v in obj.items()}
+    if tag == "ndarray":
+        data = base64.b64decode(obj["data"])
+        return np.frombuffer(data, dtype=np.dtype(obj["dtype"])).reshape(
+            obj["shape"]
+        ).copy()
+    if tag == "spec":
+        return ModelSpec.from_dict(obj["spec"])
+    if tag == "config":
+        return AcceleratorConfig.from_dict(obj["config"])
+    if tag == "metrics":
+        return Metrics(
+            accuracy=obj["accuracy"],
+            latency_s=obj["latency_s"],
+            area_mm2=obj["area_mm2"],
+        )
+    if tag == "entry":
+        return ArchiveEntry(
+            step=obj["step"],
+            spec=decode_state(obj["spec"]),
+            config=decode_state(obj["config"]),
+            metrics=decode_state(obj["metrics"]),
+            reward=obj["reward"],
+            feasible=obj["feasible"],
+            valid=obj["valid"],
+            phase=obj["phase"],
+        )
+    if tag == "archive":
+        return SearchArchive(entries=[decode_state(e) for e in obj["entries"]])
+    if tag == "result":
+        return SearchResult(
+            strategy=obj["strategy"],
+            scenario=obj["scenario"],
+            archive=decode_state(obj["archive"]),
+            extras=decode_state(obj["extras"]),
+        )
+    if tag == "tuple":
+        return tuple(decode_state(v) for v in obj["items"])
+    if tag == "dict":
+        return {decode_state(k): decode_state(v) for k, v in obj["items"]}
+    raise ValueError(f"unknown state tag {tag!r}")
+
+
+def _dumps(obj: Any) -> str:
+    return json.dumps(encode_state(obj), separators=(",", ":"))
+
+
+def _loads(text: str) -> Any:
+    return decode_state(json.loads(text))
+
+
+# ---------------------------------------------------------------------------
+# The ledger
+# ---------------------------------------------------------------------------
+
+class RunLedger:
+    """Sqlite-backed record of a grid run's tasks and checkpoints.
+
+    ``path=None`` keeps the ledger in memory — handy in tests and for
+    serial runs that only want same-process checkpointing, but it
+    cannot cross a fork (the process backend requires a file path).
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._pid = os.getpid()
+        self._conn = self._open()
+
+    # -- lifecycle ---------------------------------------------------------
+    def _open(self) -> sqlite3.Connection:
+        if self.path is None:
+            conn = sqlite3.connect(":memory:")
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(self.path)
+            conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
+        conn.executescript(_SCHEMA)
+        conn.commit()
+        return conn
+
+    def _db(self) -> sqlite3.Connection:
+        """The connection, reopened transparently after a fork.
+
+        Sqlite connections are not fork-safe: a forked worker that
+        inherits the parent's connection shares its file descriptor
+        and transaction state.  Guarding every access on the creating
+        pid lets one ledger object be captured into worker closures
+        and still give every process a private connection.
+        """
+        if os.getpid() != self._pid:
+            if self.path is None:
+                raise LedgerError(
+                    "an in-memory ledger cannot cross a fork; give the "
+                    "ledger a file path to use it with the process backend"
+                )
+            # Abandon (never close) the inherited connection object —
+            # closing it could flush parent transaction state.
+            self._conn = self._open()
+            self._pid = os.getpid()
+        return self._conn
+
+    def close(self) -> None:
+        if os.getpid() == self._pid:
+            self._conn.close()
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- run configuration -------------------------------------------------
+    def begin_run(self, config: dict) -> None:
+        """Pin (or validate) the run configuration this ledger serves.
+
+        The first ``begin_run`` stores ``config``; later calls must
+        present an identical one — resuming a ledger under different
+        steps/seeds/batch sizes would stitch together incompatible
+        results, so it raises :class:`LedgerError` instead.
+        """
+        text = json.dumps(config, sort_keys=True, separators=(",", ":"))
+        db = self._db()
+        row = db.execute(
+            "SELECT value FROM meta WHERE key='run_config'"
+        ).fetchone()
+        if row is None:
+            db.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES ('run_config', ?)",
+                (text,),
+            )
+            db.commit()
+            return
+        if row[0] != text:
+            raise LedgerError(
+                "ledger was created for a different run configuration:\n"
+                f"  ledger : {row[0]}\n  request: {text}\n"
+                "use a fresh ledger path (or rerun with the original "
+                "steps/repeats/seed/batch-size/jobs)"
+            )
+
+    def run_config(self) -> dict | None:
+        row = self._db().execute(
+            "SELECT value FROM meta WHERE key='run_config'"
+        ).fetchone()
+        return json.loads(row[0]) if row is not None else None
+
+    # -- task results ------------------------------------------------------
+    def load_result(self, label: str, repeat: int) -> SearchResult | None:
+        """The completed result of one task, or ``None`` if not done."""
+        row = self._db().execute(
+            "SELECT result FROM tasks WHERE label=? AND repeat=? AND status='done'",
+            (label, repeat),
+        ).fetchone()
+        return _loads(row[0]) if row is not None else None
+
+    def record_done(self, label: str, repeat: int, result: SearchResult) -> None:
+        """Persist a finished task and drop its checkpoint atomically."""
+        db = self._db()
+        db.execute(
+            "INSERT OR REPLACE INTO tasks (label, repeat, status, result)"
+            " VALUES (?, ?, 'done', ?)",
+            (label, repeat, _dumps(result)),
+        )
+        db.execute(
+            "DELETE FROM checkpoints WHERE label=? AND repeat=?", (label, repeat)
+        )
+        db.commit()
+
+    # -- checkpoints -------------------------------------------------------
+    def save_checkpoint(self, label: str, repeat: int, state: dict) -> None:
+        self._db().execute(
+            "INSERT OR REPLACE INTO checkpoints (label, repeat, steps_done, state)"
+            " VALUES (?, ?, ?, ?)",
+            (label, repeat, int(state.get("steps_done", 0)), _dumps(state)),
+        )
+        self._db().commit()
+
+    def load_checkpoint(self, label: str, repeat: int) -> dict | None:
+        row = self._db().execute(
+            "SELECT state FROM checkpoints WHERE label=? AND repeat=?",
+            (label, repeat),
+        ).fetchone()
+        return _loads(row[0]) if row is not None else None
+
+    def checkpoint(self, label: str, repeat: int) -> "LedgerCheckpoint":
+        """A :class:`~repro.search.base.Checkpoint` bound to one task."""
+        return LedgerCheckpoint(self, label, repeat)
+
+    # -- reporting ---------------------------------------------------------
+    def progress(self) -> dict:
+        """Counts for resuming humans: done / checkpointed / steps."""
+        db = self._db()
+        done = db.execute(
+            "SELECT COUNT(*) FROM tasks WHERE status='done'"
+        ).fetchone()[0]
+        checkpointed, steps = db.execute(
+            "SELECT COUNT(*), COALESCE(SUM(steps_done), 0) FROM checkpoints"
+        ).fetchone()
+        return {
+            "done": int(done),
+            "checkpointed": int(checkpointed),
+            "checkpointed_steps": int(steps),
+        }
+
+
+class LedgerCheckpoint:
+    """Checkpoint handle binding a ledger to one (label, repeat) task.
+
+    Implements the (duck-typed) :class:`repro.search.base.Checkpoint`
+    interface.
+    """
+
+    def __init__(self, ledger: RunLedger, label: str, repeat: int) -> None:
+        self.ledger = ledger
+        self.label = label
+        self.repeat = repeat
+
+    def load(self) -> dict | None:
+        return self.ledger.load_checkpoint(self.label, self.repeat)
+
+    def save(self, state: dict) -> None:
+        self.ledger.save_checkpoint(self.label, self.repeat, state)
+
+
+class MemoryCheckpoint:
+    """In-process checkpoint that snapshots via the ledger serializer.
+
+    Serializing on ``save`` gives the same snapshot/aliasing semantics
+    as the sqlite-backed handle (the strategy keeps mutating its state
+    after a save), which makes it the reference checkpoint for tests.
+    """
+
+    def __init__(self) -> None:
+        self._blob: str | None = None
+        self.saves = 0
+
+    def load(self) -> dict | None:
+        return _loads(self._blob) if self._blob is not None else None
+
+    def save(self, state: dict) -> None:
+        self._blob = _dumps(state)
+        self.saves += 1

@@ -26,6 +26,20 @@ class Optimizer:
     def compute_updates(self, grads: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Resumable snapshot of the optimizer's mutable state.
+
+        Stateless optimizers return ``{}``; see the checkpoint/resume
+        contract on :meth:`repro.search.SearchStrategy.state_dict`.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} carries no state, got keys {sorted(state)}"
+            )
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -52,6 +66,12 @@ class SGD(Optimizer):
             else:
                 updates[key] = -self.lr * grad
         return updates
+
+    def state_dict(self) -> dict:
+        return {"velocity": {k: v.copy() for k, v in self._velocity.items()}}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._velocity = {k: np.array(v) for k, v in state["velocity"].items()}
 
 
 class Adam(Optimizer):
@@ -91,3 +111,15 @@ class Adam(Optimizer):
             v_hat = v / (1 - self.beta2**self._t)
             updates[key] = -self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
         return updates
+
+    def state_dict(self) -> dict:
+        return {
+            "t": self._t,
+            "m": {k: v.copy() for k, v in self._m.items()},
+            "v": {k: v.copy() for k, v in self._v.items()},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._t = int(state["t"])
+        self._m = {k: np.array(v) for k, v in state["m"].items()}
+        self._v = {k: np.array(v) for k, v in state["v"].items()}

@@ -94,6 +94,33 @@ class SequencePolicy:
     def num_parameters(self) -> int:
         return sum(v.size for v in self.all_params().values())
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every trainable array (LSTM + embeddings + heads)."""
+        return {k: v.copy() for k, v in self.all_params().items()}
+
+    def load_state_dict(self, params: dict[str, np.ndarray]) -> None:
+        """Restore weights saved by :meth:`state_dict`, in place.
+
+        The parameter set and every shape must match — a checkpoint
+        from a differently-shaped policy (other vocab sizes, hidden or
+        embedding width) is rejected rather than silently truncated.
+        """
+        merged = self.all_params()
+        if set(params) != set(merged):
+            missing = sorted(set(merged) - set(params))
+            extra = sorted(set(params) - set(merged))
+            raise ValueError(
+                f"policy checkpoint mismatch: missing {missing}, unexpected {extra}"
+            )
+        for key, value in params.items():
+            value = np.asarray(value, dtype=merged[key].dtype)
+            if value.shape != merged[key].shape:
+                raise ValueError(
+                    f"policy parameter {key!r} has shape {merged[key].shape}, "
+                    f"checkpoint has {value.shape}"
+                )
+            merged[key][...] = value
+
     def zero_grads(self) -> dict[str, np.ndarray]:
         return {k: np.zeros_like(v) for k, v in self.all_params().items()}
 

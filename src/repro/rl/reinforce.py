@@ -49,6 +49,22 @@ class ReinforceTrainer:
         self.baseline: float | None = None
         self.num_updates = 0
 
+    def state_dict(self) -> dict:
+        """Resumable snapshot: weights, optimizer moments, baseline."""
+        return {
+            "policy": self.policy.state_dict(),
+            "optimizer": self.optimizer.state_dict(),
+            "baseline": self.baseline,
+            "num_updates": self.num_updates,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.policy.load_state_dict(state["policy"])
+        self.optimizer.load_state_dict(state["optimizer"])
+        baseline = state["baseline"]
+        self.baseline = None if baseline is None else float(baseline)
+        self.num_updates = int(state["num_updates"])
+
     def sample(self, rng: np.random.Generator, **kwargs) -> PolicySample:
         """Draw one action sequence from the current policy."""
         return self.policy.sample(rng, **kwargs)

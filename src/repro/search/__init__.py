@@ -1,7 +1,7 @@
 """Search strategies (batched ask/tell): combined, phase, separate,
 random, evolution, threshold schedule — plus the repeat/grid engine."""
 
-from repro.search.base import Proposal, SearchResult, SearchStrategy
+from repro.search.base import Checkpoint, Proposal, SearchResult, SearchStrategy
 from repro.search.combined import CombinedSearch
 from repro.search.evolution import EvolutionSearch
 from repro.search.phase import PhaseSearch
@@ -22,6 +22,7 @@ from repro.search.threshold_schedule import (
 )
 
 __all__ = [
+    "Checkpoint",
     "Proposal",
     "SearchResult",
     "SearchStrategy",

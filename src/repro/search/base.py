@@ -20,6 +20,17 @@ caller-supplied batch evaluation function, e.g. a process-pool fan-out
 from :func:`repro.search.runner.make_batch_evaluator`), and tells the
 results back.
 
+Every strategy is additionally **checkpointable**: :meth:`state_dict`
+snapshots everything future proposals depend on (RNG stream, archive,
+populations, stage machinery, policy weights and optimizer moments)
+and :meth:`load_state_dict` restores it.  The driver checkpoints at
+batch boundaries through a pluggable :class:`Checkpoint` callback —
+with the sqlite-backed :class:`repro.parallel.RunLedger` behind it, a
+killed search resumes from its last checkpoint and, because replayed
+batches are pure re-evaluations, finishes bit-identical to an
+uninterrupted run at the same batch size (see
+``tests/search/test_checkpoint_resume.py``).
+
 Batch semantics are per-strategy (generation-sized batches for
 evolution, rollout batches for the REINFORCE strategies), chosen so a
 ``batch_size=1`` run consumes the RNG stream exactly like the historic
@@ -41,13 +52,39 @@ from repro.core.search_space import JointSearchSpace
 from repro.nasbench.model_spec import ModelSpec
 from repro.utils.rng import make_rng
 
-__all__ = ["Proposal", "SearchResult", "SearchStrategy", "BatchEvaluateFn"]
+__all__ = [
+    "Checkpoint",
+    "Proposal",
+    "SearchResult",
+    "SearchStrategy",
+    "BatchEvaluateFn",
+]
 
 #: Signature of the pluggable batch evaluation function: pairs in,
 #: one result per pair in order.
 BatchEvaluateFn = Callable[
     [Sequence[tuple[ModelSpec, AcceleratorConfig]]], "list[EvaluationResult]"
 ]
+
+
+class Checkpoint:
+    """Where the run driver persists/recovers mid-search state.
+
+    Duck-typed: any object with this interface works (the ledger's
+    task-bound handle, an in-memory snapshot for tests, a custom
+    callback).  ``save`` receives ``{"strategy": state_dict,
+    "steps_done": int}`` and must take a *snapshot* — the strategy
+    keeps mutating its own state afterwards — which is why the
+    provided implementations serialize immediately.
+    """
+
+    def load(self) -> dict | None:
+        """Return the last saved state, or ``None`` for a fresh run."""
+        raise NotImplementedError
+
+    def save(self, state: dict) -> None:
+        """Persist a snapshot of ``state``."""
+        raise NotImplementedError
 
 
 @dataclass(frozen=True)
@@ -123,6 +160,38 @@ class SearchStrategy:
         """Package the archive once the step budget is spent."""
         return self._result(self.archive, self._evaluator)
 
+    # --- checkpoint/resume ------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot everything future proposals depend on.
+
+        Only valid at a batch boundary (after :meth:`tell`, before the
+        next :meth:`ask`) — which is the only place the run driver
+        calls it.  Subclasses extend the returned dict (and call
+        super); every value must survive
+        :func:`repro.parallel.ledger.encode_state` round-trips.
+        """
+        return {
+            "name": self.name,
+            "rng": self.rng.bit_generator.state,
+            "archive": SearchArchive(entries=list(self.archive.entries)),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot, in place.
+
+        Called after :meth:`setup` on a freshly constructed strategy
+        (same constructor arguments and seed as the checkpointed one),
+        so anything ``setup`` derives from the RNG is simply
+        overwritten here.
+        """
+        if state.get("name") != self.name:
+            raise ValueError(
+                f"checkpoint belongs to strategy {state.get('name')!r}, "
+                f"cannot restore into {self.name!r}"
+            )
+        self.rng.bit_generator.state = state["rng"]
+        self.archive = SearchArchive(entries=list(state["archive"].entries))
+
     # --- the driver -------------------------------------------------------
     def run(
         self,
@@ -130,6 +199,8 @@ class SearchStrategy:
         num_steps: int,
         batch_size: int = 1,
         evaluate_fn: BatchEvaluateFn | None = None,
+        checkpoint: Checkpoint | None = None,
+        checkpoint_every: int = 1,
     ) -> SearchResult:
         """Drive the ask/tell loop for ``num_steps`` evaluations.
 
@@ -138,13 +209,37 @@ class SearchStrategy:
         per-point loop.  ``evaluate_fn`` overrides how a batch of
         (spec, config) pairs is evaluated — by default one
         ``evaluator.evaluate_batch`` call.
+
+        ``checkpoint`` makes the run resumable: a state found in it is
+        restored (skipping the already-told steps) before the loop, and
+        the state is saved back every ``checkpoint_every`` batches and
+        at the final batch.  Since evaluation is pure, a resumed run
+        replays at most ``checkpoint_every`` batches and finishes
+        bit-identical to an uninterrupted one.
+
+        Each save snapshots the *full* state — including the archive so
+        far — which is what keeps resume simple and exact, but means a
+        checkpoint's cost grows with the run; for very long searches
+        over cheap (table/surrogate) evaluations, raise
+        ``checkpoint_every`` so the snapshot cost stays a small
+        fraction of the evaluation work it protects.
         """
         if batch_size < 1:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {checkpoint_every}"
+            )
         if evaluate_fn is None:
             evaluate_fn = evaluator.evaluate_batch
         self.setup(evaluator, num_steps)
         remaining = num_steps
+        if checkpoint is not None:
+            saved = checkpoint.load()
+            if saved is not None:
+                self.load_state_dict(saved["strategy"])
+                remaining = num_steps - int(saved["steps_done"])
+        batches = 0
         while remaining > 0:
             proposals = self.ask(min(batch_size, remaining))
             if not proposals:
@@ -155,8 +250,25 @@ class SearchStrategy:
                     f"with only {remaining} steps remaining"
                 )
             results = evaluate_fn([(p.spec, p.config) for p in proposals])
+            if len(results) != len(proposals):
+                raise RuntimeError(
+                    f"evaluate_fn returned {len(results)} results for "
+                    f"{len(proposals)} proposals — tell() pairs them "
+                    "positionally, so a mismatched batch evaluator would "
+                    "silently corrupt the search"
+                )
             self.tell(proposals, results)
             remaining -= len(proposals)
+            batches += 1
+            if checkpoint is not None and (
+                batches % checkpoint_every == 0 or remaining <= 0
+            ):
+                checkpoint.save(
+                    {
+                        "strategy": self.state_dict(),
+                        "steps_done": num_steps - remaining,
+                    }
+                )
         return self.finish()
 
     def _result(self, archive: SearchArchive, evaluator: CodesignEvaluator, **extras) -> SearchResult:

@@ -56,6 +56,19 @@ class CombinedSearch(SearchStrategy):
         super().setup(evaluator, num_steps)
         self._pending = None
 
+    # --- checkpoint/resume ---------------------------------------------
+    def state_dict(self) -> dict:
+        if self._pending is not None:
+            raise RuntimeError("cannot checkpoint between ask and tell")
+        state = super().state_dict()
+        state["trainer"] = self.trainer.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.trainer.load_state_dict(state["trainer"])
+        self._pending = None
+
     def ask(self, n: int) -> list[Proposal]:
         self._pending = self.trainer.sample_batch(self.rng, n)
         proposals = []

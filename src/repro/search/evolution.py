@@ -83,6 +83,25 @@ class EvolutionSearch(SearchStrategy):
         super().setup(evaluator, num_steps)
         self.population = deque()
 
+    # --- checkpoint/resume ---------------------------------------------
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["population"] = [
+            {"actions": list(ind.actions), "reward": ind.reward}
+            for ind in self.population
+        ]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.population = deque(
+            _Individual(
+                actions=[int(a) for a in ind["actions"]],
+                reward=float(ind["reward"]),
+            )
+            for ind in state["population"]
+        )
+
     def ask(self, n: int) -> list[Proposal]:
         proposals = []
         warmup_left = self.population_size - len(self.population)

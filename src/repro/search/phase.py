@@ -115,6 +115,31 @@ class PhaseSearch(SearchStrategy):
         self._start_phase()
         self._pending = None
 
+    # --- checkpoint/resume ---------------------------------------------
+    def state_dict(self) -> dict:
+        if self._pending is not None:
+            raise RuntimeError("cannot checkpoint between ask and tell")
+        state = super().state_dict()
+        state.update(
+            cnn_trainer=self.cnn_trainer.state_dict(),
+            hw_trainer=self.hw_trainer.state_dict(),
+            frozen_config=self._frozen_config,
+            frozen_spec=self._frozen_spec,
+            phase_index=self._phase_index,
+            phase_left=self._phase_left,
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.cnn_trainer.load_state_dict(state["cnn_trainer"])
+        self.hw_trainer.load_state_dict(state["hw_trainer"])
+        self._frozen_config = state["frozen_config"]
+        self._frozen_spec = state["frozen_spec"]
+        self._phase_index = int(state["phase_index"])
+        self._phase_left = int(state["phase_left"])
+        self._pending = None
+
     def ask(self, n: int) -> list[Proposal]:
         k = min(n, self._phase_left)
         phase_name = f"{'cnn' if self._in_cnn_phase() else 'hw'}-{self._phase_index}"

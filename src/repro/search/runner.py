@@ -19,6 +19,14 @@ bit-identical at any worker count.  An optional shared persistent
 write through it directly, process workers consult it read-only and
 ship their new rows back to the parent, which merges them after the
 pool completes.
+
+An optional :class:`repro.parallel.RunLedger` makes a grid
+crash-safe: completed (job, repeat) results are persisted as they
+finish, in-flight searches checkpoint their strategy state every
+``checkpoint_every`` batches, and re-running the same grid against the
+same ledger loads finished repeats and resumes interrupted ones from
+their last checkpoint — bit-identical to an uninterrupted run at the
+same batch size (see ``tests/integration/test_kill_resume.py``).
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ import numpy as np
 from repro.core.archive import ArchiveEntry
 from repro.core.evaluator import CodesignEvaluator
 from repro.parallel.cache import CacheEntry, EvalCache
+from repro.parallel.ledger import RunLedger
 from repro.parallel.pool import parallel_map, resolve_workers
 from repro.search.base import BatchEvaluateFn, SearchResult, SearchStrategy
 from repro.utils.rng import hash_seed
@@ -91,6 +100,12 @@ def _coerce_cache(eval_cache: EvalCache | str | Path | None) -> EvalCache | None
     if eval_cache is None or isinstance(eval_cache, EvalCache):
         return eval_cache
     return EvalCache(eval_cache)
+
+
+def _coerce_ledger(ledger: RunLedger | str | Path | None) -> RunLedger | None:
+    if ledger is None or isinstance(ledger, RunLedger):
+        return ledger
+    return RunLedger(ledger)
 
 
 def make_batch_evaluator(
@@ -201,6 +216,9 @@ def run_grid(
     workers: int | None = None,
     eval_cache: EvalCache | str | Path | None = None,
     batch_size: int = 1,
+    ledger: RunLedger | str | Path | None = None,
+    checkpoint_every: int = 10,
+    ledger_context: dict | None = None,
 ) -> dict[str, RepeatOutcome]:
     """Run every job ``num_repeats`` times; returns label -> outcome.
 
@@ -216,58 +234,145 @@ def run_grid(
     bit-identical to the historic per-point loop; larger batches trade
     exact reproduction of the serial trace for per-strategy batch
     semantics (rollout batches, generations) and throughput.
+
+    ``ledger`` (a :class:`repro.parallel.RunLedger` or a path) makes
+    the grid crash-safe: each finished (job, repeat) is persisted as
+    it completes, in-flight searches checkpoint every
+    ``checkpoint_every`` batches, and re-running the same grid against
+    the same ledger loads finished repeats and resumes interrupted
+    ones from their last checkpoint — bit-identical to an
+    uninterrupted run.  The ledger pins the run configuration
+    (steps/repeats/seed/batch size/labels) and refuses to mix results
+    from a different one.  Job labels are opaque strings, so anything
+    else the outcome depends on — scenario definitions, evaluator
+    parameters — should be passed as ``ledger_context`` (a
+    JSON-serializable dict) to be pinned alongside; see
+    :func:`repro.experiments.search_study.run_search_study`, which
+    pins its resolved scenario definitions this way.
     """
     if num_repeats <= 0:
         raise ValueError("num_repeats must be positive")
     if not jobs:
         return {}
     cache = _coerce_cache(eval_cache)
+    ledger = _coerce_ledger(ledger)
     tasks = [(j, r) for j in range(len(jobs)) for r in range(num_repeats)]
+    labels = [job.label for job in jobs]
+    if len(set(labels)) != len(labels):
+        raise ValueError(f"job labels must be unique, got {labels}")
+
+    completed: dict[tuple[int, int], SearchResult] = {}
+    if ledger is not None:
+        ledger.begin_run(
+            {
+                "num_steps": num_steps,
+                "num_repeats": num_repeats,
+                "master_seed": master_seed,
+                "batch_size": batch_size,
+                "labels": labels,
+                "context": ledger_context or {},
+            }
+        )
+        for job_index, repeat in tasks:
+            result = ledger.load_result(labels[job_index], repeat)
+            if result is not None:
+                completed[(job_index, repeat)] = result
+    pending = [task for task in tasks if task not in completed]
+
+    def run_strategy(job: RepeatJob, repeat: int, evaluator) -> SearchResult:
+        strategy = job.strategy_factory(hash_seed("repeat", master_seed, repeat))
+        checkpoint = (
+            ledger.checkpoint(job.label, repeat) if ledger is not None else None
+        )
+        result = strategy.run(
+            evaluator,
+            num_steps,
+            batch_size=batch_size,
+            checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+        )
+        if ledger is not None:
+            ledger.record_done(job.label, repeat, result)
+        return result
 
     def run_serial(task: tuple[int, int]) -> SearchResult:
         job_index, repeat = task
         job = jobs[job_index]
-        strategy = job.strategy_factory(hash_seed("repeat", master_seed, repeat))
         evaluator = job.evaluator_factory()
         _attach(evaluator, cache, job)
-        result = strategy.run(evaluator, num_steps, batch_size=batch_size)
+        result = run_strategy(job, repeat, evaluator)
         if cache is not None:
             cache.flush()
         return result
 
+    #: One read-only store view per (process, store path), reused by
+    #: every task a pool worker runs — regardless of whether the
+    #: factory hands out shared or fresh-per-task evaluators — so a
+    #: long-lived worker holds a bounded number of sqlite connections.
+    #: Forked children inherit the parent's (empty or stale) dict
+    #: copy-on-write; stale entries are recognized by ``owner_pid``.
+    worker_views: dict[str, EvalCache] = {}
+
+    def worker_view(store_path) -> EvalCache:
+        key = str(store_path)
+        view = worker_views.get(key)
+        if view is None or view.owner_pid != os.getpid():
+            view = EvalCache(store_path, read_only=True)
+            worker_views[key] = view
+        return view
+
     def run_in_worker(task: tuple[int, int]):
-        # Runs in a forked child: open a private read-only view of the
-        # store (never the parent's inherited connection) and return
-        # the new rows alongside the result for the parent to merge.
-        # A factory that returns a shared evaluator keeps its first
-        # task's cache attached; stats are reported as per-task deltas
-        # and pending rows drain per task either way.
+        # Runs in a forked child: evaluate against a per-process
+        # read-only view of the store (never the parent's inherited
+        # connection) and return the new rows alongside the result for
+        # the parent to merge.  Stats are reported as per-task deltas
+        # and pending rows drain per task.  (The ledger needs no such
+        # dance: RunLedger reopens its connection when it notices the
+        # pid changed.)
         job_index, repeat = task
         job = jobs[job_index]
-        strategy = job.strategy_factory(hash_seed("repeat", master_seed, repeat))
         evaluator = job.evaluator_factory()
+        inherited = evaluator.eval_cache
+        if inherited is not None and inherited.owner_pid != os.getpid():
+            # Same parent-pid guard as make_batch_evaluator.run_chunk:
+            # the factory closed over an evaluator whose cache (and
+            # live sqlite connection) we inherited through fork —
+            # detach it and fall back to the read-only view.  A cache
+            # the factory opened post-fork (owner_pid matches) is safe
+            # and stays.
+            evaluator.eval_cache = None
         worker_cache = evaluator.eval_cache
-        created = False
-        if worker_cache is None and cache is not None and cache.path is not None:
-            worker_cache = EvalCache(cache.path, read_only=True)
+        store_path = cache.path if cache is not None else None
+        if store_path is None and inherited is not None and evaluator.eval_cache is None:
+            store_path = inherited.path  # keep warm-starts after a detach
+        if worker_cache is None and store_path is not None:
+            worker_cache = worker_view(store_path)
             evaluator.attach_eval_cache(worker_cache, scenario=job.cache_scenario)
-            created = True
         if worker_cache is None:
-            return strategy.run(evaluator, num_steps, batch_size=batch_size), [], (0, 0)
+            return run_strategy(job, repeat, evaluator), [], (0, 0), None
         hits0, misses0 = worker_cache.hits, worker_cache.misses
-        result = strategy.run(evaluator, num_steps, batch_size=batch_size)
+        result = run_strategy(job, repeat, evaluator)
         delta = worker_cache.drain_pending()
         stats = (worker_cache.hits - hits0, worker_cache.misses - misses0)
-        if created:
-            # Task-local evaluators are discarded with their task; close
-            # the connection rather than leaking one per task in
-            # long-lived pool workers.
-            evaluator.eval_cache = None
-            worker_cache.close()
-        return result, delta, stats
+        # Rows the parent cannot route into `cache` (it was never given
+        # one) still need a writable home: name the store they came from.
+        delta_path = (
+            str(worker_cache.path)
+            if cache is None and delta and worker_cache.path is not None
+            else None
+        )
+        # No explicit cleanup: a pooled view stays attached (a shared
+        # evaluator reuses it next task; a task-local evaluator just
+        # drops the reference, and the pool keeps the view alive and
+        # bounded), while a cache the factory opened itself lives
+        # exactly as long as the factory's objects do —
+        # ``EvalCache.__del__`` closes the connection the moment it
+        # becomes unreachable, so per-task caches release their fd at
+        # task end and deliberately shared ones stay open.
+        return result, delta, stats, delta_path
 
     if backend == "serial":
-        flat = parallel_map(run_serial, tasks, backend="serial")
+        fresh = dict(zip(pending, parallel_map(run_serial, pending, backend="serial")))
     elif backend == "process":
         if cache is not None and cache.path is None:
             warnings.warn(
@@ -277,24 +382,47 @@ def run_grid(
                 RuntimeWarning,
                 stacklevel=2,
             )
+        if ledger is not None and ledger.path is None:
+            raise ValueError(
+                "the process backend requires a file-backed ledger "
+                "(an in-memory RunLedger cannot cross a fork)"
+            )
         if cache is not None:
             cache.flush()  # workers must see everything known so far
-        pairs = parallel_map(run_in_worker, tasks, workers=workers, backend="process")
-        flat = []
-        for result, delta, (hits, misses) in pairs:
+        pairs = parallel_map(run_in_worker, pending, workers=workers, backend="process")
+        fresh = {}
+        # Stores reached only through factory-attached caches (run_grid
+        # was given no eval_cache of its own): the parent persists the
+        # workers' deltas through one writable connection per file.
+        path_sinks: dict[str, EvalCache] = {}
+        for task, (result, delta, (hits, misses), delta_path) in zip(pending, pairs):
             if cache is not None:
                 cache.merge(delta)
                 # Fold worker-side lookups into the parent's counters so
                 # hit-rate reporting covers the whole run.
                 cache.hits += hits
                 cache.misses += misses
-            flat.append(result)
+            elif delta_path is not None:
+                sink = path_sinks.get(delta_path)
+                if sink is None:
+                    sink = path_sinks[delta_path] = EvalCache(delta_path)
+                sink.merge(delta)
+            fresh[task] = result
+        for sink in path_sinks.values():
+            sink.close()
+        for view in worker_views.values():
+            # Views opened in the parent (the pool's inline-degraded
+            # path) are closed here; the workers' copies died with
+            # their processes.
+            if view.owner_pid == os.getpid():
+                view.close()
     else:
         raise ValueError(f"backend must be 'serial' or 'process', got {backend!r}")
 
     outcomes: dict[str, RepeatOutcome] = {}
-    for (job_index, _), result in zip(tasks, flat):
-        label = jobs[job_index].label
+    for task in tasks:
+        result = completed[task] if task in completed else fresh[task]
+        label = labels[task[0]]
         if label not in outcomes:
             outcomes[label] = RepeatOutcome(
                 strategy=result.strategy, scenario=result.scenario
@@ -313,6 +441,8 @@ def run_repeats(
     workers: int | None = None,
     eval_cache: EvalCache | str | Path | None = None,
     batch_size: int = 1,
+    ledger: RunLedger | str | Path | None = None,
+    checkpoint_every: int = 10,
 ) -> RepeatOutcome:
     """Run ``num_repeats`` independent searches of one experiment.
 
@@ -320,7 +450,7 @@ def run_repeats(
     ``evaluator_factory()`` builds (or shares) the evaluator — sharing
     one evaluator across serial repeats is safe and reuses the metric
     caches.  See :func:`run_grid` for ``backend`` / ``workers`` /
-    ``eval_cache`` / ``batch_size`` semantics.
+    ``eval_cache`` / ``batch_size`` / ``ledger`` semantics.
     """
     outcomes = run_grid(
         [RepeatJob("job", strategy_factory, evaluator_factory)],
@@ -331,6 +461,8 @@ def run_repeats(
         workers=workers,
         eval_cache=eval_cache,
         batch_size=batch_size,
+        ledger=ledger,
+        checkpoint_every=checkpoint_every,
     )
     return outcomes["job"]
 
@@ -353,8 +485,15 @@ def mean_reward_trace(
     mean = np.nanmean(stacked, axis=0)
     if window <= 1:
         return mean
-    smoothed = np.empty_like(mean)
-    for i in range(len(mean)):
-        lo = max(0, i - window + 1)
-        smoothed[i] = np.nanmean(mean[lo: i + 1])
-    return smoothed
+    # NaN-aware trailing mean via cumulative sums: O(n) instead of the
+    # O(n * window) per-step nanmean loop.  NaNs (steps before the
+    # first feasible point in best-so-far traces) contribute neither
+    # to the window sum nor to its count; an all-NaN window stays NaN.
+    finite = ~np.isnan(mean)
+    cum_sum = np.concatenate(([0.0], np.cumsum(np.where(finite, mean, 0.0))))
+    cum_cnt = np.concatenate(([0], np.cumsum(finite)))
+    hi = np.arange(1, len(mean) + 1)
+    lo = np.maximum(hi - window, 0)
+    win_sum = cum_sum[hi] - cum_sum[lo]
+    win_cnt = cum_cnt[hi] - cum_cnt[lo]
+    return np.where(win_cnt > 0, win_sum / np.maximum(win_cnt, 1), np.nan)

@@ -89,6 +89,31 @@ class SeparateSearch(SearchStrategy):
         self._best_accuracy = -np.inf
         self._pending = None
 
+    # --- checkpoint/resume ---------------------------------------------
+    def state_dict(self) -> dict:
+        if self._pending is not None:
+            raise RuntimeError("cannot checkpoint between ask and tell")
+        state = super().state_dict()
+        state.update(
+            cnn_trainer=self.cnn_trainer.state_dict(),
+            hw_trainer=self.hw_trainer.state_dict(),
+            cnn_left=self._cnn_left,
+            reference_config=self._reference_config,
+            best_spec=self._best_spec,
+            best_accuracy=float(self._best_accuracy),
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.cnn_trainer.load_state_dict(state["cnn_trainer"])
+        self.hw_trainer.load_state_dict(state["hw_trainer"])
+        self._cnn_left = int(state["cnn_left"])
+        self._reference_config = state["reference_config"]
+        self._best_spec = state["best_spec"]
+        self._best_accuracy = float(state["best_accuracy"])
+        self._pending = None
+
     def ask(self, n: int) -> list[Proposal]:
         if self._cnn_left > 0:
             k = min(n, self._cnn_left)

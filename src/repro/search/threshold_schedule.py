@@ -24,7 +24,7 @@ from repro.core.scenarios import CIFAR100_THRESHOLD_SCHEDULE, cifar100_threshold
 from repro.core.search_space import JointSearchSpace
 from repro.rl.policy import SequencePolicy
 from repro.rl.reinforce import ReinforceConfig, ReinforceTrainer
-from repro.search.base import SearchResult, SearchStrategy
+from repro.search.base import Checkpoint, SearchResult, SearchStrategy
 
 __all__ = ["ThresholdRung", "ThresholdScheduleSearch", "default_rungs"]
 
@@ -75,6 +75,12 @@ class ThresholdScheduleSearch(SearchStrategy):
     ) -> None:
         super().__init__(search_space, seed)
         self.rungs = rungs or default_rungs()
+        thresholds = [rung.threshold for rung in self.rungs]
+        if len(set(thresholds)) != len(thresholds):
+            # Per-rung archives (results and checkpoints) are keyed by
+            # threshold; a repeated value would silently merge two
+            # rungs' entries into one archive.
+            raise ValueError(f"rung thresholds must be unique, got {thresholds}")
         self.bounds = bounds or MetricBounds()
         policy_seed = int(self.rng.integers(0, 2**63 - 1))
         self.policy = SequencePolicy(
@@ -82,11 +88,47 @@ class ThresholdScheduleSearch(SearchStrategy):
         )
         self.trainer = ReinforceTrainer(self.policy, reinforce_config)
 
+    # --- checkpoint/resume ---------------------------------------------
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update(
+            trainer=self.trainer.state_dict(),
+            rung_index=getattr(self, "_rung_index", 0),
+            rung_steps=getattr(self, "_rung_steps", 0),
+            rung_valid=getattr(self, "_rung_valid", 0),
+            total_steps=getattr(self, "_total_steps", 0),
+            # Per-rung archives share their entries with the main
+            # archive, so they serialize as step indices into it —
+            # avoiding a second full copy of every entry per checkpoint.
+            per_rung=[
+                [threshold, [entry.step for entry in rung_archive.entries]]
+                for threshold, rung_archive in getattr(self, "_per_rung", {}).items()
+            ],
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.trainer.load_state_dict(state["trainer"])
+        self._rung_index = int(state["rung_index"])
+        self._rung_steps = int(state["rung_steps"])
+        self._rung_valid = int(state["rung_valid"])
+        self._total_steps = int(state["total_steps"])
+        entries = self.archive.entries  # entry.step == its archive index
+        self._per_rung = {
+            float(threshold): SearchArchive(
+                entries=[entries[int(step)] for step in steps]
+            )
+            for threshold, steps in state["per_rung"]
+        }
+
     def run(
         self,
         evaluator: CodesignEvaluator,
         num_steps: int | None = None,
         batch_size: int = 1,
+        checkpoint: Checkpoint | None = None,
+        checkpoint_every: int = 1,
     ) -> SearchResult:
         """Run the whole schedule (``num_steps`` caps the total if set).
 
@@ -97,26 +139,46 @@ class ThresholdScheduleSearch(SearchStrategy):
         it by up to ``batch_size - 1`` evaluations.  At ``batch_size=1``
         the run is bit-identical to the historic per-point loop.
 
+        ``checkpoint`` / ``checkpoint_every`` follow the base driver's
+        contract (:meth:`SearchStrategy.run`): state — including the
+        rung cursor and per-rung archives — is saved at batch
+        boundaries and restored on resume, bit-identical to an
+        uninterrupted run at the same batch size.
+
         Returns a result whose ``extras`` carry per-rung archives and
         top-10 lists (the rows Fig. 7 plots).
         """
         if batch_size < 1:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
-        archive = SearchArchive()
-        per_rung: dict[float, SearchArchive] = {}
-        total_steps = 0
-        for rung in self.rungs:
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {checkpoint_every}"
+            )
+        self.archive = SearchArchive()
+        self._per_rung = {}
+        self._rung_index = 0
+        self._rung_steps = 0
+        self._rung_valid = 0
+        self._total_steps = 0
+        if checkpoint is not None:
+            saved = checkpoint.load()
+            if saved is not None:
+                self.load_state_dict(saved["strategy"])
+        batches = 0
+        while self._rung_index < len(self.rungs):
+            rung = self.rungs[self._rung_index]
             scenario = cifar100_threshold(rung.threshold, self.bounds)
             rung_eval = evaluator.with_reward(scenario)
-            rung_archive = SearchArchive()
-            valid_points = 0
-            steps = 0
-            while valid_points < rung.target_valid_points and steps < rung.max_steps:
-                if num_steps is not None and total_steps >= num_steps:
+            rung_archive = self._per_rung.setdefault(rung.threshold, SearchArchive())
+            while (
+                self._rung_valid < rung.target_valid_points
+                and self._rung_steps < rung.max_steps
+            ):
+                if num_steps is not None and self._total_steps >= num_steps:
                     break
-                k = min(batch_size, rung.max_steps - steps)
+                k = min(batch_size, rung.max_steps - self._rung_steps)
                 if num_steps is not None:
-                    k = min(k, num_steps - total_steps)
+                    k = min(k, num_steps - self._total_steps)
                 batch = self.trainer.sample_batch(self.rng, k)
                 pairs = [
                     self.search_space.decode(batch.actions_list(i)) for i in range(k)
@@ -124,24 +186,41 @@ class ThresholdScheduleSearch(SearchStrategy):
                 results = rung_eval.evaluate_batch(pairs)
                 self.trainer.update_batch(batch, [r.reward.value for r in results])
                 for result in results:
-                    entry = archive.record(result, phase=f"th-{rung.threshold:g}")
+                    entry = self.archive.record(result, phase=f"th-{rung.threshold:g}")
                     rung_archive.entries.append(entry)
                     if result.feasible:
-                        valid_points += 1
-                steps += k
-                total_steps += k
-            per_rung[rung.threshold] = rung_archive
-            if num_steps is not None and total_steps >= num_steps:
+                        self._rung_valid += 1
+                self._rung_steps += k
+                self._total_steps += k
+                batches += 1
+                if checkpoint is not None and batches % checkpoint_every == 0:
+                    checkpoint.save(
+                        {
+                            "strategy": self.state_dict(),
+                            "steps_done": self._total_steps,
+                        }
+                    )
+            if num_steps is not None and self._total_steps >= num_steps:
                 break
+            self._rung_index += 1
+            self._rung_steps = 0
+            self._rung_valid = 0
+        if checkpoint is not None and batches % checkpoint_every != 0:
+            # Final-batch save, matching the base driver's contract:
+            # a kill between here and the caller's record_done must
+            # not replay more than the already-covered batches.
+            checkpoint.save(
+                {"strategy": self.state_dict(), "steps_done": self._total_steps}
+            )
         top10 = {
             threshold: rung_archive.top_k(10)
-            for threshold, rung_archive in per_rung.items()
+            for threshold, rung_archive in self._per_rung.items()
         }
         result = SearchResult(
             strategy=self.name,
             scenario="cifar100-threshold-schedule",
-            archive=archive,
-            extras={"per_rung": per_rung, "top10": top10},
+            archive=self.archive,
+            extras={"per_rung": self._per_rung, "top10": top10},
         )
         return result
 

@@ -1,0 +1,83 @@
+"""Subprocess harness for the kill -9 ledger-resume test.
+
+Runs a small but real ``run_grid`` sweep — two strategies x two
+repeats over the open surrogate space — against a ledger.  The test
+launches this file as a subprocess, SIGKILLs the whole process group
+mid-sweep once the ledger shows checkpoints, then calls :func:`run`
+in-process to resume, and compares against an uninterrupted run.
+
+``eval_delay`` slows each distinct accuracy query so the kill reliably
+lands mid-search; delay never changes results (evaluation is a pure
+function of the pair), so the undelayed resume must still be
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core.evaluator import CodesignEvaluator
+from repro.core.reward import MetricBounds
+from repro.core.scenarios import unconstrained
+from repro.core.search_space import JointSearchSpace
+from repro.search.combined import CombinedSearch
+from repro.search.random_search import RandomSearch
+from repro.search.runner import RepeatJob, run_grid
+
+NUM_STEPS = 80
+NUM_REPEATS = 2
+MASTER_SEED = 5
+CHECKPOINT_EVERY = 2
+
+
+def build_jobs(eval_delay: float = 0.0) -> list[RepeatJob]:
+    space = JointSearchSpace()
+    jobs = []
+    for label, strategy_cls in (
+        ("u/random", RandomSearch),
+        ("u/combined", CombinedSearch),
+    ):
+
+        def evaluator_factory(delay=eval_delay):
+            evaluator = CodesignEvaluator.from_surrogate(
+                unconstrained(MetricBounds())
+            )
+            if delay > 0:
+                inner = evaluator.accuracy_fn
+
+                def slow_accuracy(spec):
+                    time.sleep(delay)
+                    return inner(spec)
+
+                evaluator.accuracy_fn = slow_accuracy
+            return evaluator
+
+        jobs.append(
+            RepeatJob(
+                label=label,
+                strategy_factory=lambda seed, cls=strategy_cls: cls(space, seed=seed),
+                evaluator_factory=evaluator_factory,
+            )
+        )
+    return jobs
+
+
+def run(ledger_path, backend: str, batch_size: int, eval_delay: float = 0.0):
+    return run_grid(
+        build_jobs(eval_delay),
+        num_steps=NUM_STEPS,
+        num_repeats=NUM_REPEATS,
+        master_seed=MASTER_SEED,
+        backend=backend,
+        workers=2,
+        batch_size=batch_size,
+        ledger=ledger_path,
+        checkpoint_every=CHECKPOINT_EVERY,
+    )
+
+
+if __name__ == "__main__":
+    ledger, backend, batch = sys.argv[1], sys.argv[2], int(sys.argv[3])
+    delay = float(sys.argv[4]) if len(sys.argv) > 4 else 0.0
+    run(ledger, backend, batch, eval_delay=delay)

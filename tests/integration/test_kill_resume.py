@@ -1,0 +1,134 @@
+"""kill -9 a run_grid sweep mid-flight; resume must be bit-identical.
+
+The real crash-safety contract, end to end: a subprocess runs a grid
+against a ledger, the test SIGKILLs its whole process group at an
+arbitrary moment (no clean shutdown, no atexit — exactly a power
+cut), and resuming from the ledger in-process must reproduce the
+uninterrupted outcomes bit for bit, for both backends.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import signal
+import sqlite3
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.parallel import RunLedger
+
+HARNESS = Path(__file__).with_name("kill_resume_harness.py")
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def load_harness():
+    spec = importlib.util.spec_from_file_location("kill_resume_harness", HARNESS)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def checkpointed_steps(ledger_path: Path) -> int:
+    """Total checkpointed steps, tolerating a mid-write lock."""
+    try:
+        with sqlite3.connect(ledger_path, timeout=0.1) as conn:
+            row = conn.execute(
+                "SELECT COALESCE(SUM(steps_done), 0) FROM checkpoints"
+            ).fetchone()
+        return int(row[0])
+    except sqlite3.Error:
+        return 0
+
+
+def assert_grids_identical(a, b):
+    assert set(a) == set(b)
+    for label in a:
+        assert len(a[label].results) == len(b[label].results)
+        for ra, rb in zip(a[label].results, b[label].results):
+            assert np.array_equal(
+                ra.reward_trace(), rb.reward_trace(), equal_nan=True
+            )
+            for ea, eb in zip(ra.archive.entries, rb.archive.entries):
+                assert (ea.step, ea.phase, ea.reward, ea.feasible) == (
+                    eb.step, eb.phase, eb.reward, eb.feasible
+                )
+                assert ea.config == eb.config
+                if ea.spec.valid:
+                    assert ea.spec.spec_hash() == eb.spec.spec_hash()
+
+
+@pytest.mark.parametrize(
+    "backend,batch_size", [("serial", 1), ("process", 4)]
+)
+def test_sigkill_then_resume_is_bit_identical(tmp_path, backend, batch_size):
+    harness = load_harness()
+    ledger_path = tmp_path / "kill.ledger"
+    stderr_path = tmp_path / "harness.stderr"
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{SRC}:{env.get('PYTHONPATH', '')}"
+    with open(stderr_path, "w") as stderr:
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                str(HARNESS),
+                str(ledger_path),
+                backend,
+                str(batch_size),
+                "0.003",  # slow evaluations so the kill lands mid-search
+            ],
+            env=env,
+            start_new_session=True,  # killpg reaches pool workers too
+            stdout=subprocess.DEVNULL,
+            stderr=stderr,
+        )
+    try:
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            if proc.poll() is not None:
+                break
+            if ledger_path.exists() and checkpointed_steps(ledger_path) >= 8:
+                break
+            time.sleep(0.02)
+        assert proc.poll() is None, (
+            "harness exited before the kill "
+            f"(rc={proc.returncode}): {stderr_path.read_text()[-2000:]}"
+        )
+        os.killpg(proc.pid, signal.SIGKILL)
+        assert proc.wait(timeout=30) == -signal.SIGKILL
+    finally:
+        if proc.poll() is None:
+            os.killpg(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+
+    progress = RunLedger(ledger_path).progress()
+    total_tasks = 2 * harness.NUM_REPEATS
+    assert progress["done"] < total_tasks, "grid finished before the kill"
+    assert progress["done"] + progress["checkpointed"] > 0
+
+    resumed = harness.run(ledger_path, backend, batch_size)
+    assert RunLedger(ledger_path).progress()["done"] == total_tasks
+
+    uninterrupted = harness.run(None, backend, batch_size)
+    assert_grids_identical(uninterrupted, resumed)
+
+
+def test_resume_without_rerunning_completed_tasks(tmp_path):
+    """A finished ledger serves the whole grid without evaluating."""
+    harness = load_harness()
+    ledger_path = tmp_path / "done.ledger"
+    first = harness.run(ledger_path, "serial", 1)
+
+    t0 = time.time()
+    second = harness.run(ledger_path, "serial", 1)
+    elapsed = time.time() - t0
+
+    assert_grids_identical(first, second)
+    # Pure deserialization: far below one search's runtime.
+    assert elapsed < 10.0

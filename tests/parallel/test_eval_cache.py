@@ -75,6 +75,47 @@ class TestRoundTrip:
         assert EvalCache(tmp_path / "ec.sqlite").get("s", "abc", "(1,)").accuracy == 71.0
 
 
+class TestMissStaleness:
+    """Misses memoized before a flush must not outlive it (regression:
+    a long-lived parent sharing a store with concurrent independent
+    runs memoized its first miss forever and never saw their rows)."""
+
+    def test_flush_invalidates_negative_memos(self, tmp_path):
+        path = tmp_path / "ec.sqlite"
+        reader = EvalCache(path)
+        assert reader.get("s", "abc", "(1,)") is None  # memoized miss
+
+        writer = EvalCache(path)  # a concurrent independent run
+        writer.put(entry())
+        writer.flush()
+
+        assert reader.get("s", "abc", "(1,)") is None  # still memoized
+        reader.flush()  # sync point: forget misses
+        hit = reader.get("s", "abc", "(1,)")
+        assert hit is not None and hit.accuracy == 71.5
+
+    def test_merge_invalidates_negative_memos(self, tmp_path):
+        path = tmp_path / "ec.sqlite"
+        reader = EvalCache(path)
+        assert reader.get("s", "abc", "(1,)") is None
+
+        EvalCache(path).merge([entry()])
+
+        reader.merge([])  # the parent's per-pool sync point
+        assert reader.get("s", "abc", "(1,)") is not None
+
+    def test_positive_memos_survive_flush(self, tmp_path):
+        path = tmp_path / "ec.sqlite"
+        cache = EvalCache(path)
+        cache.put(entry())
+        cache.flush()
+        assert cache.get("s", "abc", "(1,)") is not None
+        cache.flush()
+        hits_before = cache.hits
+        assert cache.get("s", "abc", "(1,)").accuracy == 71.5
+        assert cache.hits == hits_before + 1
+
+
 class TestCorruption:
     def test_corrupted_file_falls_back_to_cold(self, tmp_path):
         path = tmp_path / "ec.sqlite"

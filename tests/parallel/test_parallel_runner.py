@@ -185,3 +185,368 @@ class TestSearchStudyBackends:
                     serial.outcomes[scenario][strategy],
                     process.outcomes[scenario][strategy],
                 )
+
+
+class TestWorkerCacheForkGuard:
+    """Regression: a factory closing over an evaluator with a live
+    attached EvalCache must not leak the parent's sqlite connection
+    into forked workers (same parent-pid guard as
+    make_batch_evaluator.run_chunk)."""
+
+    class _SpyCache(EvalCache):
+        """Logs every get() as "pid tag" lines to a shared file."""
+
+        def __init__(self, path, log_path):
+            super().__init__(path)
+            self.log_path = log_path
+            self.tag = "parent-instance"
+
+        def get(self, scenario, spec_hash, config_key):
+            import os
+
+            with open(self.log_path, "a") as log:
+                log.write(f"{os.getpid()} {self.tag}\n")
+            return super().get(scenario, spec_hash, config_key)
+
+    def test_forked_workers_never_touch_parent_connection(
+        self, micro4_bundle, tmp_path
+    ):
+        import os
+
+        scenario = unconstrained(micro4_bundle.bounds)
+        space = JointSearchSpace(cell_encoding=micro4_bundle.cell_encoding)
+        log_path = tmp_path / "spy.log"
+        spy = self._SpyCache(tmp_path / "spy.sqlite", log_path)
+        shared = make_bundle_evaluator(micro4_bundle, scenario)
+        shared.attach_eval_cache(spy, scenario="guard")
+
+        outcome = run_repeats(
+            strategy_factory=lambda seed: RandomSearch(space, seed=seed),
+            evaluator_factory=lambda: shared,
+            num_steps=20,
+            num_repeats=4,
+            backend="process",
+            workers=2,
+        )
+        assert len(outcome.results) == 4
+
+        parent_pid = str(os.getpid())
+        # No log at all means no process ever touched the parent's
+        # instance — the strongest pass (workers use their own views
+        # and the parent evaluates nothing in process mode).
+        lines = log_path.read_text().splitlines() if log_path.exists() else []
+        foreign = [
+            line for line in lines if line and line.split()[0] != parent_pid
+        ]
+        # Forked children opened their own read-only views; the
+        # parent's instance (and its sqlite connection) stayed home.
+        assert foreign == []
+
+    def test_detached_workers_still_warm_start_from_inherited_path(
+        self, micro4_bundle, tmp_path
+    ):
+        # The guard must fall back to a fresh read-only view of the
+        # *inherited* cache's path — not drop caching entirely — and
+        # the parent must persist the workers' new rows even though
+        # run_grid itself was never handed an eval_cache.
+        scenario = unconstrained(micro4_bundle.bounds)
+        space = JointSearchSpace(cell_encoding=micro4_bundle.cell_encoding)
+        store_path = tmp_path / "warm.sqlite"
+        accuracy_log = tmp_path / "accuracy_calls.log"
+
+        def make_shared():
+            shared = make_bundle_evaluator(micro4_bundle, scenario)
+            inner = shared.accuracy_fn
+
+            def logging_accuracy(spec):
+                with open(accuracy_log, "a") as log:  # fork-safe append
+                    log.write("call\n")
+                return inner(spec)
+
+            shared.accuracy_fn = logging_accuracy
+            shared.attach_eval_cache(EvalCache(store_path), scenario="warm")
+            return shared
+
+        def run_process(shared):
+            return run_repeats(
+                strategy_factory=lambda seed: RandomSearch(space, seed=seed),
+                evaluator_factory=lambda: shared,
+                num_steps=20,
+                num_repeats=4,
+                backend="process",
+                workers=2,
+            )
+
+        cold = run_process(make_shared())
+        # The workers' rows came home: the parent persisted their
+        # deltas through a writable connection of its own.
+        assert len(EvalCache(store_path)) > 0
+        cold_calls = len(accuracy_log.read_text().splitlines())
+        assert cold_calls > 0
+
+        # A second (fresh-store-view) run must be served entirely from
+        # the persisted rows — every task in every worker, not just the
+        # first one, consults the read-only view.
+        warm = run_process(make_shared())
+        warm_calls = len(accuracy_log.read_text().splitlines()) - cold_calls
+        assert warm_calls == 0
+        assert_outcomes_identical(cold, warm)
+
+
+class TestWorkerConnectionHygiene:
+    def test_per_task_factory_caches_do_not_leak_fds(
+        self, micro4_bundle, tmp_path
+    ):
+        # A factory that opens a fresh evaluator + EvalCache per task
+        # must not grow a long-lived worker's open-fd count: sqlite
+        # connections sit in reference cycles, so the worker has to
+        # close them deterministically rather than trust refcounting.
+        import os
+
+        scenario = unconstrained(micro4_bundle.bounds)
+        space = JointSearchSpace(cell_encoding=micro4_bundle.cell_encoding)
+        store_path = tmp_path / "perfactory.sqlite"
+        fd_log = tmp_path / "fds.log"
+
+        def factory():
+            evaluator = make_bundle_evaluator(micro4_bundle, scenario)
+            evaluator.attach_eval_cache(EvalCache(store_path), scenario="fd")
+            inner = evaluator.accuracy_fn
+
+            def probing_accuracy(spec):
+                with open(fd_log, "a") as log:
+                    log.write(
+                        f"{os.getpid()} {len(os.listdir('/proc/self/fd'))}\n"
+                    )
+                return inner(spec)
+
+            evaluator.accuracy_fn = probing_accuracy
+            return evaluator
+
+        run_repeats(
+            strategy_factory=lambda seed: RandomSearch(space, seed=seed),
+            evaluator_factory=factory,
+            num_steps=15,
+            num_repeats=12,
+            backend="process",
+            workers=2,
+        )
+        per_pid: dict[str, list[int]] = {}
+        for line in fd_log.read_text().splitlines():
+            pid, fds = line.split()
+            per_pid.setdefault(pid, []).append(int(fds))
+        for pid, fds in per_pid.items():
+            assert max(fds) - min(fds) <= 2, (
+                f"worker {pid} fd count grew: {sorted(set(fds))}"
+            )
+        # ... and the per-task rows still reached the shared store.
+        assert len(EvalCache(store_path)) > 0
+
+
+class TestLedgerGrid:
+    """run_grid + RunLedger: crash-safety and resume equivalence."""
+
+    def grid_kwargs(self, micro4_bundle, accuracy_wrapper=None):
+        space = JointSearchSpace(cell_encoding=micro4_bundle.cell_encoding)
+        jobs = []
+        for name, factory, strategy in (
+            ("u/random", unconstrained, RandomSearch),
+            ("u/combined", unconstrained, CombinedSearch),
+        ):
+            scenario = factory(micro4_bundle.bounds)
+
+            def evaluator_factory(sc=scenario):
+                evaluator = make_bundle_evaluator(micro4_bundle, sc)
+                if accuracy_wrapper is not None:
+                    evaluator.accuracy_fn = accuracy_wrapper(evaluator.accuracy_fn)
+                return evaluator
+
+            jobs.append(
+                RepeatJob(
+                    label=name,
+                    strategy_factory=lambda seed, cls=strategy: cls(space, seed=seed),
+                    evaluator_factory=evaluator_factory,
+                )
+            )
+        return dict(jobs=jobs, num_steps=25, num_repeats=2, master_seed=1)
+
+    def test_crashed_grid_resumes_bit_identical(self, micro4_bundle, tmp_path):
+        reference = run_grid(**self.grid_kwargs(micro4_bundle))
+
+        class Crash(Exception):
+            pass
+
+        calls = [0]
+
+        def crash_after(n):
+            def wrapper(inner):
+                def accuracy_fn(spec):
+                    calls[0] += 1
+                    if calls[0] > n:
+                        raise Crash()
+                    return inner(spec)
+
+                return accuracy_fn
+
+            return wrapper
+
+        ledger_path = tmp_path / "grid.ledger"
+        # Each 25-step task asks for ~10 distinct accuracies (the rest
+        # are memoized); 16 lets the first task finish and kills the
+        # second mid-flight.
+        with pytest.raises(Crash):
+            run_grid(
+                **self.grid_kwargs(micro4_bundle, accuracy_wrapper=crash_after(16)),
+                ledger=ledger_path,
+                checkpoint_every=2,
+            )
+        from repro.parallel import RunLedger
+
+        progress = RunLedger(ledger_path).progress()
+        assert progress["done"] >= 1  # the crash landed mid-grid
+        assert progress["done"] < 4
+
+        resumed = run_grid(
+            **self.grid_kwargs(micro4_bundle),
+            ledger=ledger_path,
+            checkpoint_every=2,
+        )
+        assert set(resumed) == set(reference)
+        for label in reference:
+            assert_outcomes_identical(reference[label], resumed[label])
+
+    def test_process_backend_records_and_resumes(self, micro4_bundle, tmp_path):
+        reference = run_grid(**self.grid_kwargs(micro4_bundle))
+        ledger_path = tmp_path / "grid.ledger"
+        first = run_grid(
+            **self.grid_kwargs(micro4_bundle),
+            backend="process",
+            workers=2,
+            ledger=ledger_path,
+        )
+        from repro.parallel import RunLedger
+
+        assert RunLedger(ledger_path).progress()["done"] == 4
+        # A second invocation is served entirely from the ledger.
+        resumed = run_grid(
+            **self.grid_kwargs(
+                micro4_bundle,
+                accuracy_wrapper=lambda inner: pytest.fail,  # never evaluated
+            ),
+            backend="process",
+            workers=2,
+            ledger=ledger_path,
+        )
+        for label in reference:
+            assert_outcomes_identical(reference[label], first[label])
+            assert_outcomes_identical(reference[label], resumed[label])
+
+    def test_in_memory_ledger_rejected_on_process_backend(self, micro4_bundle):
+        from repro.parallel import RunLedger
+
+        with pytest.raises(ValueError, match="in-memory"):
+            run_grid(
+                **self.grid_kwargs(micro4_bundle),
+                backend="process",
+                workers=2,
+                ledger=RunLedger(),
+            )
+
+    def test_mismatched_run_configuration_rejected(self, micro4_bundle, tmp_path):
+        from repro.parallel import LedgerError
+
+        ledger_path = tmp_path / "grid.ledger"
+        kwargs = self.grid_kwargs(micro4_bundle)
+        run_grid(**kwargs, ledger=ledger_path)
+        with pytest.raises(LedgerError):
+            run_grid(**kwargs, batch_size=16, ledger=ledger_path)
+
+    def test_duplicate_labels_rejected(self, micro4_bundle):
+        kwargs = self.grid_kwargs(micro4_bundle)
+        kwargs["jobs"][1] = RepeatJob(
+            label=kwargs["jobs"][0].label,
+            strategy_factory=kwargs["jobs"][1].strategy_factory,
+            evaluator_factory=kwargs["jobs"][1].evaluator_factory,
+        )
+        with pytest.raises(ValueError, match="unique"):
+            run_grid(**kwargs)
+
+
+class TestLedgerScenarioPinning:
+    def test_edited_scenario_definition_refused_on_resume(
+        self, micro4_bundle, tmp_path
+    ):
+        # Same scenario *name*, different constraint definition: the
+        # ledger must refuse instead of stitching incompatible rows.
+        from repro.core.reward import Constraints, RewardConfig
+        from repro.experiments.common import Scale
+        from repro.parallel import LedgerError
+
+        tiny = Scale(name="tiny", search_steps=10, num_repeats=1, fig7_target_scale=0.05)
+        ledger_path = tmp_path / "study.ledger"
+
+        def constrained(limit):
+            def build(bounds):
+                return RewardConfig(
+                    name="custom",  # same name both times
+                    constraints=Constraints(max_latency_ms=limit),
+                    bounds=bounds,
+                )
+
+            return build
+
+        run_search_study(
+            micro4_bundle,
+            tiny,
+            scenarios={"custom": constrained(10.0)},
+            ledger=ledger_path,
+        )
+        with pytest.raises(LedgerError):
+            run_search_study(
+                micro4_bundle,
+                tiny,
+                scenarios={"custom": constrained(20.0)},
+                ledger=ledger_path,
+            )
+
+
+class TestWorkerSharedPostForkCache:
+    def test_factory_shared_cache_survives_across_tasks(
+        self, micro4_bundle, tmp_path
+    ):
+        # A factory that lazily opens ONE cache per worker process and
+        # attaches it to a fresh evaluator per task (a natural
+        # warm-rows-across-tasks pattern) must keep working: the
+        # harness must not close a cache the factory still references.
+        scenario = unconstrained(micro4_bundle.bounds)
+        space = JointSearchSpace(cell_encoding=micro4_bundle.cell_encoding)
+        store_path = tmp_path / "lazy.sqlite"
+        holder: dict = {}
+
+        def factory():
+            import os
+
+            if holder.get("pid") != os.getpid():
+                holder["pid"] = os.getpid()
+                holder["cache"] = EvalCache(store_path)
+            evaluator = make_bundle_evaluator(micro4_bundle, scenario)
+            evaluator.attach_eval_cache(holder["cache"], scenario="lazy")
+            return evaluator
+
+        outcome = run_repeats(
+            strategy_factory=lambda seed: RandomSearch(space, seed=seed),
+            evaluator_factory=factory,
+            num_steps=15,
+            num_repeats=6,
+            backend="process",
+            workers=2,
+        )
+        assert len(outcome.results) == 6
+        reference = run_repeats(
+            strategy_factory=lambda seed: RandomSearch(space, seed=seed),
+            evaluator_factory=lambda: make_bundle_evaluator(micro4_bundle, scenario),
+            num_steps=15,
+            num_repeats=6,
+            backend="serial",
+        )
+        assert_outcomes_identical(reference, outcome)

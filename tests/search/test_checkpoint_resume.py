@@ -1,0 +1,261 @@
+"""Checkpoint/resume equivalence: a crashed search, resumed from its
+last checkpoint, must finish bit-identical to an uninterrupted run.
+
+The crash is simulated by an evaluation layer that raises after a
+fixed number of batches — exactly what a ``kill -9`` looks like to the
+strategy (state persisted at the last batch boundary, everything since
+lost).  Resume constructs a *fresh* strategy from the same factory and
+seed, restores the checkpoint through the ledger serializer (so the
+round-trip is part of the test), and replays to completion.  See
+``tests/integration/test_kill_resume.py`` for the real-SIGKILL,
+whole-grid version.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scenarios import unconstrained
+from repro.core.search_space import JointSearchSpace
+from repro.experiments.search_study import make_bundle_evaluator
+from repro.parallel import MemoryCheckpoint
+from repro.search.combined import CombinedSearch
+from repro.search.evolution import EvolutionSearch
+from repro.search.phase import PhaseSearch
+from repro.search.random_search import RandomSearch
+from repro.search.separate import SeparateSearch
+from repro.search.threshold_schedule import ThresholdRung, ThresholdScheduleSearch
+
+NUM_STEPS = 30
+
+STRATEGY_FACTORIES = {
+    "random": lambda space, seed: RandomSearch(space, seed=seed),
+    "evolution": lambda space, seed: EvolutionSearch(
+        space, seed=seed, population_size=8, tournament_size=3
+    ),
+    "combined": lambda space, seed: CombinedSearch(space, seed=seed),
+    "separate": lambda space, seed: SeparateSearch(space, seed=seed, cnn_fraction=0.6),
+    "phase": lambda space, seed: PhaseSearch(
+        space, seed=seed, cnn_phase_steps=10, hw_phase_steps=5
+    ),
+}
+
+
+class Crash(Exception):
+    """Stands in for the power cord."""
+
+
+def crashing_evaluate_fn(evaluator, crash_after_batches):
+    calls = [0]
+
+    def evaluate_fn(pairs):
+        calls[0] += 1
+        if calls[0] > crash_after_batches:
+            raise Crash()
+        return evaluator.evaluate_batch(pairs)
+
+    return evaluate_fn
+
+
+@pytest.fixture
+def space(micro4_bundle):
+    return JointSearchSpace(cell_encoding=micro4_bundle.cell_encoding)
+
+
+@pytest.fixture
+def make_evaluator(micro4_bundle):
+    scenario = unconstrained(micro4_bundle.bounds)
+    return lambda: make_bundle_evaluator(micro4_bundle, scenario)
+
+
+def assert_results_identical(a, b):
+    assert np.array_equal(a.reward_trace(), b.reward_trace(), equal_nan=True)
+    assert len(a.archive) == len(b.archive)
+    for ea, eb in zip(a.archive.entries, b.archive.entries):
+        assert (ea.step, ea.phase, ea.reward, ea.feasible, ea.valid) == (
+            eb.step, eb.phase, eb.reward, eb.feasible, eb.valid
+        )
+        assert ea.config == eb.config
+        assert ea.spec.valid == eb.spec.valid
+        if ea.spec.valid:
+            assert ea.spec.spec_hash() == eb.spec.spec_hash()
+
+
+class TestCrashResumeEquivalence:
+    @pytest.mark.parametrize("batch_size", [1, 16])
+    @pytest.mark.parametrize("name", sorted(STRATEGY_FACTORIES))
+    def test_resume_is_bit_identical(
+        self, space, make_evaluator, name, batch_size
+    ):
+        factory = STRATEGY_FACTORIES[name]
+        reference = factory(space, 7).run(
+            make_evaluator(), NUM_STEPS, batch_size=batch_size
+        )
+
+        checkpoint = MemoryCheckpoint()
+        crash_batch = max(1, 12 // batch_size)
+        evaluator = make_evaluator()
+        with pytest.raises(Crash):
+            factory(space, 7).run(
+                evaluator,
+                NUM_STEPS,
+                batch_size=batch_size,
+                evaluate_fn=crashing_evaluate_fn(evaluator, crash_batch),
+                checkpoint=checkpoint,
+                checkpoint_every=1,
+            )
+        assert checkpoint.saves == crash_batch
+
+        resumed = factory(space, 7).run(
+            make_evaluator(),
+            NUM_STEPS,
+            batch_size=batch_size,
+            checkpoint=checkpoint,
+            checkpoint_every=1,
+        )
+        assert_results_identical(reference, resumed)
+
+    @pytest.mark.parametrize("checkpoint_every", [3, 7])
+    def test_sparse_checkpoints_replay_identically(
+        self, space, make_evaluator, checkpoint_every
+    ):
+        """A coarse checkpoint cadence replays the lost batches exactly."""
+        factory = STRATEGY_FACTORIES["combined"]
+        reference = factory(space, 3).run(make_evaluator(), NUM_STEPS)
+        checkpoint = MemoryCheckpoint()
+        evaluator = make_evaluator()
+        with pytest.raises(Crash):
+            factory(space, 3).run(
+                evaluator,
+                NUM_STEPS,
+                evaluate_fn=crashing_evaluate_fn(evaluator, 17),
+                checkpoint=checkpoint,
+                checkpoint_every=checkpoint_every,
+            )
+        resumed = factory(space, 3).run(
+            make_evaluator(),
+            NUM_STEPS,
+            checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+        )
+        assert_results_identical(reference, resumed)
+
+    def test_completed_checkpoint_short_circuits(self, space, make_evaluator):
+        """Resuming a finished search replays nothing (0 evaluations)."""
+        checkpoint = MemoryCheckpoint()
+        reference = RandomSearch(space, seed=5).run(
+            make_evaluator(), NUM_STEPS, checkpoint=checkpoint
+        )
+        evaluator = make_evaluator()
+        resumed = RandomSearch(space, seed=5).run(
+            evaluator, NUM_STEPS, checkpoint=checkpoint
+        )
+        assert evaluator.num_evaluations == 0
+        assert_results_identical(reference, resumed)
+
+
+class TestThresholdScheduleResume:
+    RUNGS = [ThresholdRung(2.0, 3, 12), ThresholdRung(8.0, 3, 12)]
+
+    def factory(self, space):
+        return ThresholdScheduleSearch(space, seed=7, rungs=self.RUNGS)
+
+    @pytest.mark.parametrize("batch_size", [1, 16])
+    def test_resume_is_bit_identical(self, space, make_evaluator, batch_size):
+        reference = self.factory(space).run(
+            make_evaluator(), num_steps=20, batch_size=batch_size
+        )
+
+        checkpoint = MemoryCheckpoint()
+        crashing = self.factory(space)
+        updates = [0]
+        inner = crashing.trainer.update_batch
+
+        def crashing_update(batch, rewards):
+            updates[0] += 1
+            if updates[0] > max(1, 4 // batch_size):
+                raise Crash()
+            return inner(batch, rewards)
+
+        crashing.trainer.update_batch = crashing_update
+        with pytest.raises(Crash):
+            crashing.run(
+                make_evaluator(),
+                num_steps=20,
+                batch_size=batch_size,
+                checkpoint=checkpoint,
+                checkpoint_every=1,
+            )
+        assert checkpoint.saves > 0
+
+        resumed = self.factory(space).run(
+            make_evaluator(),
+            num_steps=20,
+            batch_size=batch_size,
+            checkpoint=checkpoint,
+            checkpoint_every=1,
+        )
+        assert_results_identical(reference, resumed)
+        assert sorted(reference.extras["per_rung"]) == sorted(
+            resumed.extras["per_rung"]
+        )
+        for threshold, rung_archive in reference.extras["per_rung"].items():
+            assert np.array_equal(
+                rung_archive.reward_trace(),
+                resumed.extras["per_rung"][threshold].reward_trace(),
+                equal_nan=True,
+            )
+
+
+class TestStateDictContract:
+    def test_wrong_strategy_rejected(self, space):
+        state = RandomSearch(space, seed=0).state_dict()
+        with pytest.raises(ValueError, match="random"):
+            CombinedSearch(space, seed=0).load_state_dict(state)
+
+    def test_policy_shape_mismatch_rejected(self, space):
+        a = CombinedSearch(space, seed=0, hidden_size=32)
+        b = CombinedSearch(space, seed=0, hidden_size=64)
+        with pytest.raises(ValueError):
+            b.policy.load_state_dict(a.policy.state_dict())
+
+    def test_mid_batch_checkpoint_rejected(self, space):
+        strategy = CombinedSearch(space, seed=0)
+        strategy.ask(2)
+        with pytest.raises(RuntimeError, match="between ask and tell"):
+            strategy.state_dict()
+
+    def test_bad_checkpoint_every_rejected(self, space, make_evaluator):
+        with pytest.raises(ValueError):
+            RandomSearch(space, seed=0).run(
+                make_evaluator(), 5, checkpoint_every=0
+            )
+
+
+class TestEvaluateFnValidation:
+    """Satellite: a misbehaving batch evaluator must fail loudly."""
+
+    @pytest.mark.parametrize("delta", [-1, 1])
+    def test_length_mismatch_raises(self, space, make_evaluator, delta):
+        evaluator = make_evaluator()
+
+        def lying_evaluate_fn(pairs):
+            results = evaluator.evaluate_batch(pairs)
+            return results[:delta] if delta < 0 else results + results[:1]
+
+        with pytest.raises(RuntimeError, match="results for"):
+            RandomSearch(space, seed=0).run(
+                evaluator, 10, batch_size=4, evaluate_fn=lying_evaluate_fn
+            )
+
+
+def test_duplicate_rung_thresholds_rejected(space):
+    # per_rung archives are keyed by threshold, so a repeated value
+    # would silently merge two rungs' entries.
+    with pytest.raises(ValueError, match="unique"):
+        ThresholdScheduleSearch(
+            space,
+            seed=0,
+            rungs=[ThresholdRung(2.0, 3, 12), ThresholdRung(2.0, 5, 20)],
+        )

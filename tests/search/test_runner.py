@@ -66,3 +66,68 @@ class TestMeanTrace:
         trace = mean_reward_trace(outcome, window=1, best_so_far=True)
         valid = trace[~np.isnan(trace)]
         assert np.all(np.diff(valid) >= -1e-12)
+
+
+class TestMeanTraceVectorization:
+    """The cumulative-sum smoothing must match the historic O(n*window)
+    nanmean loop on arbitrary NaN patterns and window sizes."""
+
+    @staticmethod
+    def reference_smooth(mean: np.ndarray, window: int) -> np.ndarray:
+        smoothed = np.empty_like(mean)
+        with np.errstate(invalid="ignore"):
+            import warnings as _warnings
+
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("ignore", RuntimeWarning)
+                for i in range(len(mean)):
+                    lo = max(0, i - window + 1)
+                    smoothed[i] = np.nanmean(mean[lo: i + 1])
+        return smoothed
+
+    @staticmethod
+    def fake_outcome(trace: np.ndarray):
+        from repro.core.archive import SearchArchive
+        from repro.search.base import SearchResult
+        from repro.search.runner import RepeatOutcome
+
+        class _Result(SearchResult):
+            def __init__(self, values):
+                self.values = np.asarray(values, dtype=np.float64)
+
+            def reward_trace(self):
+                return self.values
+
+            def best_so_far_trace(self):
+                return self.values
+
+        outcome = RepeatOutcome(strategy="t", scenario="t")
+        outcome.results.append(_Result(trace))
+        return outcome
+
+    @pytest.mark.filterwarnings("ignore:Mean of empty slice:RuntimeWarning")
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_reference_on_random_nan_traces(self, seed):
+        gen = np.random.default_rng(seed)
+        n = int(gen.integers(1, 120))
+        trace = gen.standard_normal(n)
+        # NaN prefixes (best-so-far style) and random interior NaNs.
+        if gen.random() < 0.5:
+            trace[: int(gen.integers(0, n))] = np.nan
+        trace[gen.random(n) < 0.3] = np.nan
+        window = int(gen.integers(1, n + 10))
+        got = mean_reward_trace(self.fake_outcome(trace), window=window)
+        want = self.reference_smooth(trace, window)
+        assert np.array_equal(np.isnan(got), np.isnan(want))
+        np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-12)
+
+    @pytest.mark.filterwarnings("ignore:Mean of empty slice:RuntimeWarning")
+    def test_all_nan_trace_stays_nan(self):
+        got = mean_reward_trace(self.fake_outcome(np.full(9, np.nan)), window=4)
+        assert np.all(np.isnan(got))
+
+    def test_large_window_equals_running_mean(self):
+        trace = np.arange(1.0, 11.0)
+        got = mean_reward_trace(self.fake_outcome(trace), window=100)
+        want = np.cumsum(trace) / np.arange(1, 11)
+        np.testing.assert_allclose(got, want, rtol=1e-12)
