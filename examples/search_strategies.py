@@ -4,13 +4,8 @@ against the enumerated Pareto frontier (Figs. 5 and 6 in miniature).
 Run:  python examples/search_strategies.py
 """
 
-from repro.experiments import (
-    Scale,
-    load_bundle,
-    run_fig5,
-    run_fig6,
-    run_search_study,
-)
+from repro.core.study import run_study
+from repro.experiments import Scale, get_preset, load_bundle, run_fig5, run_fig6
 
 
 def main() -> None:
@@ -19,7 +14,9 @@ def main() -> None:
     print(f"Running the {scale.name}-scale strategy study "
           f"({scale.search_steps} steps x {scale.num_repeats} repeats "
           f"x 3 strategies x 3 scenarios) ...")
-    study = run_search_study(bundle, scale, master_seed=0)
+    # The whole grid is one declarative spec — the same one
+    # `repro study run search-study` executes from the command line.
+    study = run_study(get_preset("search-study"), bundle=bundle, scale=scale)
 
     fig5 = run_fig5(study=study)
     print(fig5.to_markdown())

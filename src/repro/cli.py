@@ -12,6 +12,19 @@ Usage::
     python -m repro run fig5+6 --scale paper --ledger results/fig56.ledger
     python -m repro resume fig5+6 --scale paper --ledger results/fig56.ledger
     python -m repro run all --scale smoke
+    python -m repro study list
+    python -m repro study show fig5
+    python -m repro study run fig5 --set execution.batch_size=16
+    python -m repro study run examples/study_fig5.json --set execution.num_steps=5
+
+``repro study`` drives the declarative experiment API
+(:mod:`repro.core.study`): ``show`` prints a preset (or spec file) as
+JSON, ``run`` materializes it through the strategy / accuracy-source
+registries and runs the grid.  ``--set path=value`` overrides single
+spec fields (dotted paths into the JSON structure, values parsed as
+JSON with a plain-string fallback); a spec whose ``execution.ledger``
+names a file is crash-safe, and resuming it with *any* edited spec is
+refused because the ledger pins ``spec.to_dict()``.
 
 Each experiment prints the same rows the paper reports (markdown) and
 can optionally write them to a file.  ``--workers N`` (N > 1) fans the
@@ -45,13 +58,15 @@ from pathlib import Path
 from typing import Callable
 
 from repro.core.scenarios import ScenarioError, resolve_scenarios
+from repro.core.study import StudyError, parse_assignments, run_study
 from repro.experiments.ablations import ablation_markdown, run_all_ablations
 from repro.experiments.common import Scale, eval_cache_path, load_bundle
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import run_fig6
 from repro.experiments.fig7 import run_fig7
-from repro.experiments.search_study import run_search_study
+from repro.experiments.presets import list_presets, resolve_spec
+from repro.experiments.search_study import _run_search_study
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 from repro.experiments.table3 import run_table3
@@ -86,7 +101,7 @@ class RunContext:
         run instead of three identical ones.
         """
         if self._study is None:
-            self._study = run_search_study(
+            self._study = _run_search_study(
                 load_bundle(),
                 self.scale,
                 scenarios=self.scenarios,
@@ -174,6 +189,45 @@ def _build_parser() -> argparse.ArgumentParser:
         "their last checkpoint)",
     )
     _add_run_arguments(resume)
+    study = sub.add_parser(
+        "study",
+        help="declarative experiments: run/show StudySpec presets or "
+        "JSON spec files (see repro.core.study)",
+    )
+    study_sub = study.add_subparsers(dest="study_command", required=True)
+    study_sub.add_parser("list", help="list shipped study presets")
+    for command, description in (
+        ("show", "print the resolved spec as JSON (after --set overrides)"),
+        ("run", "materialize the spec through the registries and run it"),
+    ):
+        sp = study_sub.add_parser(command, help=description)
+        sp.add_argument(
+            "spec",
+            metavar="PRESET|SPEC.json",
+            help="a shipped preset name (see 'repro study list') or a "
+            "JSON spec file path",
+        )
+        sp.add_argument(
+            "--set",
+            action="append",
+            default=[],
+            dest="overrides",
+            metavar="PATH=VALUE",
+            help="override one spec field by dotted path, e.g. "
+            "--set execution.batch_size=16 (repeatable; values parse "
+            "as JSON, falling back to strings)",
+        )
+        if command == "run":
+            sp.add_argument(
+                "--scale",
+                choices=("smoke", "default", "paper"),
+                default=None,
+                help="fills num_steps/num_repeats the spec leaves null "
+                "(defaults to REPRO_SCALE or 'smoke')",
+            )
+            sp.add_argument(
+                "--out", type=Path, default=None, help="write report to file"
+            )
     return parser
 
 
@@ -252,9 +306,81 @@ def _add_run_arguments(run: argparse.ArgumentParser) -> None:
     run.add_argument("--out", type=Path, default=None, help="write report to file")
 
 
+def _resolve_scale(name: str | None) -> Scale:
+    """An explicit --scale choice, or the REPRO_SCALE/'smoke' default."""
+    if name is None:
+        return Scale.from_env(default="smoke")
+    return {
+        "smoke": Scale("smoke", 300, 1, 0.1),
+        "default": Scale("default", 1500, 3, 0.25),
+        "paper": Scale("paper", 10000, 10, 1.0),
+    }[name]
+
+
+def _study_markdown(result) -> str:
+    """Per-scenario summary rows of a spec-driven study run."""
+    from repro.utils.tables import format_markdown
+
+    spec = result.extras.get("spec")
+    lines = [f"## study {spec.name}" if spec is not None else "## study"]
+    for scenario, by_strategy in result.outcomes.items():
+        lines.append("")
+        lines.append(f"### {scenario}")
+        lines.append(
+            format_markdown(
+                ["strategy", "mean_best_reward", "feasible_hit_rate", "repeats"],
+                [
+                    (
+                        strategy,
+                        round(outcome.mean_best_reward(), 4),
+                        round(outcome.hit_rate(), 2),
+                        len(outcome.results),
+                    )
+                    for strategy, outcome in by_strategy.items()
+                ],
+            )
+        )
+    return "\n".join(lines)
+
+
+def _main_study(args, parser: argparse.ArgumentParser) -> int:
+    if args.study_command == "list":
+        for name in list_presets():
+            print(name)
+        return 0
+    try:
+        spec = resolve_spec(args.spec)
+        overrides = parse_assignments(args.overrides)
+        if overrides:
+            spec = spec.with_overrides(overrides)
+    except StudyError as err:
+        parser.error(str(err))
+    if args.study_command == "show":
+        print(spec.to_json())
+        return 0
+    scale = _resolve_scale(getattr(args, "scale", None))
+    print(
+        f"== study {spec.name} (scale={scale.name}) ==",
+        file=sys.stderr,
+    )
+    try:
+        result = run_study(spec, scale=scale)
+    except StudyError as err:
+        parser.error(str(err))
+    report = _study_markdown(result)
+    print(report)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(report + "\n")
+        print(f"\nwritten to {args.out}", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if args.command == "study":
+        return _main_study(args, parser)
     if getattr(args, "workers", None) is not None and args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
     if getattr(args, "batch_size", 1) < 1:
@@ -307,14 +433,7 @@ def main(argv: list[str] | None = None) -> int:
         except ScenarioError as err:
             parser.error(str(err))
 
-    if args.scale is not None:
-        scale = {
-            "smoke": Scale("smoke", 300, 1, 0.1),
-            "default": Scale("default", 1500, 3, 0.25),
-            "paper": Scale("paper", 10000, 10, 1.0),
-        }[args.scale]
-    else:
-        scale = Scale.from_env(default="smoke")
+    scale = _resolve_scale(args.scale)
 
     ctx = RunContext(
         scale=scale,

@@ -39,7 +39,16 @@ from repro.nasbench.skeleton import CIFAR10_SKELETON, SkeletonConfig
 from repro.nasbench.surrogate import Cifar10Surrogate
 from repro.parallel.cache import CacheEntry, EvalCache
 
-__all__ = ["EvaluationResult", "CodesignEvaluator"]
+__all__ = [
+    "EvaluationResult",
+    "CodesignEvaluator",
+    "AccuracySourceError",
+    "register_accuracy_source",
+    "get_accuracy_source",
+    "list_accuracy_sources",
+    "build_evaluator",
+    "accuracy_source_namespace",
+]
 
 #: Accuracy source signature: percent accuracy, or ``None`` for
 #: "this cell is outside the evaluable space" (punished like invalid).
@@ -92,6 +101,10 @@ class CodesignEvaluator:
         self.eval_cache: EvalCache | None = None
         self.cache_scenario = reward_config.name
         self.num_evaluations = 0
+        # Registered accuracy-source builders stash their side objects
+        # here (e.g. the CIFAR-100 trainer behind ``accuracy_fn``), so
+        # callers can reach cost ledgers without private plumbing.
+        self.source_info: dict = {}
 
     def attach_eval_cache(
         self, cache: EvalCache | None, scenario: str | None = None
@@ -366,4 +379,288 @@ class CodesignEvaluator:
         # rung changes reuse warm rows, mirroring the shared dicts above.
         clone.cache_scenario = self.cache_scenario
         clone.num_evaluations = 0
+        clone.source_info = self.source_info
         return clone
+
+
+# ---------------------------------------------------------------------------
+# Accuracy-source registry
+# ---------------------------------------------------------------------------
+#
+# A *source* is a named recipe for the evaluator's accuracy function
+# (and skeleton): the piece of ``E(s)`` that is not determined by the
+# reward scenario.  Registering sources by name makes evaluators
+# constructible from plain JSON — the declarative
+# :class:`repro.core.study.StudySpec` path names one (``"database"`` /
+# ``"surrogate"`` / ``"cifar100-trainer"``) plus a flat params mapping
+# and gets back a fully armed :class:`CodesignEvaluator`.
+#
+# Builder signature::
+#
+#     build(reward_config, params, *, bundle=None, store=None)
+#         -> CodesignEvaluator
+#
+# ``bundle`` is the enumerated-space bundle for table-backed sources
+# (duck-typed; see ``repro.experiments.common.SpaceBundle``);
+# ``store`` is an optional :class:`repro.parallel.EvalCache` a training
+# source may persist per-cell outcomes into.  ``namespace`` maps the
+# same params to the shared-eval-cache namespace, pinning every
+# outcome-affecting parameter so differently configured sources never
+# share cached rows.
+
+class AccuracySourceError(ValueError):
+    """An accuracy-source name or its params could not be resolved."""
+
+
+@dataclass(frozen=True)
+class AccuracySource:
+    """One registered accuracy-source recipe."""
+
+    name: str
+    build: Callable[..., "CodesignEvaluator"]
+    namespace: Callable[..., str]
+    requires_bundle: bool = False
+
+
+_ACCURACY_SOURCES: dict[str, AccuracySource] = {}
+
+
+def _params_token(params: dict | None) -> str:
+    """A short stable digest of a params mapping ('' when empty).
+
+    Appended to cache namespaces so that *any* parameter difference —
+    not just the ones a hand-written namespace spells out — keeps two
+    configurations from sharing cached rows.
+    """
+    import hashlib
+    import json
+
+    if not params:
+        return ""
+    def jsonable(value):
+        if hasattr(value, "__dataclass_fields__"):
+            from dataclasses import asdict
+
+            return asdict(value)
+        return value
+
+    blob = json.dumps(
+        {k: jsonable(v) for k, v in params.items()},
+        sort_keys=True,
+        default=str,
+    )
+    return "/p" + hashlib.md5(blob.encode()).hexdigest()[:10]
+
+
+def _skeleton_token(params: dict | None) -> str:
+    """Namespace suffix pinning the 'skeleton' param (latency-affecting)."""
+    return _params_token(
+        {"skeleton": params["skeleton"]} if params and params.get("skeleton") else None
+    )
+
+
+def register_accuracy_source(
+    name: str,
+    build: Callable[..., "CodesignEvaluator"],
+    namespace: Callable[..., str] | None = None,
+    requires_bundle: bool = False,
+    overwrite: bool = False,
+) -> AccuracySource:
+    """Register an accuracy source under ``name``.
+
+    Without an explicit ``namespace`` function the source's cache
+    namespace is ``study/<name>`` plus a digest of the full params
+    mapping, so differently parameterized instances never share rows.
+    """
+    if name in _ACCURACY_SOURCES and not overwrite:
+        raise AccuracySourceError(
+            f"accuracy source {name!r} is already registered"
+        )
+    source = AccuracySource(
+        name=name,
+        build=build,
+        namespace=namespace
+        or (lambda params, bundle=None: f"study/{name}{_params_token(params)}"),
+        requires_bundle=requires_bundle,
+    )
+    _ACCURACY_SOURCES[name] = source
+    return source
+
+
+def list_accuracy_sources() -> list[str]:
+    """Registered accuracy-source names, sorted."""
+    return sorted(_ACCURACY_SOURCES)
+
+
+def get_accuracy_source(name: str) -> AccuracySource:
+    if name not in _ACCURACY_SOURCES:
+        raise AccuracySourceError(
+            f"unknown accuracy source {name!r}; registered: "
+            f"{', '.join(list_accuracy_sources())}"
+        )
+    return _ACCURACY_SOURCES[name]
+
+
+def _check_params(source: str, params: dict | None, allowed: tuple[str, ...]) -> dict:
+    if params is not None and not isinstance(params, dict):
+        raise AccuracySourceError(
+            f"accuracy source {source!r}: params must be a mapping, "
+            f"got {type(params).__name__}"
+        )
+    params = dict(params or {})
+    unknown = sorted(set(params) - set(allowed))
+    if unknown:
+        raise AccuracySourceError(
+            f"accuracy source {source!r} got unknown parameter(s) {unknown}; "
+            f"allowed: {sorted(allowed)}"
+        )
+    return params
+
+
+def _skeleton_from(params: dict, default: SkeletonConfig) -> SkeletonConfig:
+    skeleton = params.pop("skeleton", None)
+    if skeleton is None:
+        return default
+    if isinstance(skeleton, SkeletonConfig):
+        return skeleton
+    if not isinstance(skeleton, dict):
+        raise AccuracySourceError(
+            f"'skeleton' must be a mapping of SkeletonConfig fields, "
+            f"got {type(skeleton).__name__}"
+        )
+    try:
+        return SkeletonConfig(**skeleton)
+    except (TypeError, ValueError) as err:
+        raise AccuracySourceError(f"bad 'skeleton' params: {err}") from err
+
+
+def build_evaluator(
+    source: str,
+    reward_config: RewardConfig,
+    params: dict | None = None,
+    bundle=None,
+    store: EvalCache | None = None,
+) -> "CodesignEvaluator":
+    """Construct an evaluator from a registered accuracy source."""
+    entry = get_accuracy_source(source)
+    if entry.requires_bundle and bundle is None:
+        raise AccuracySourceError(
+            f"accuracy source {source!r} needs an enumerated-space bundle "
+            "(pass bundle=..., e.g. repro.experiments.common.load_bundle())"
+        )
+    return entry.build(reward_config, params, bundle=bundle, store=store)
+
+
+def accuracy_source_namespace(
+    source: str, params: dict | None = None, bundle=None
+) -> str:
+    """Shared-eval-cache namespace pinning the source's parameters."""
+    return get_accuracy_source(source).namespace(params or {}, bundle=bundle)
+
+
+def _build_database(reward_config, params, bundle=None, store=None):
+    params = _check_params("database", params, ("skeleton",))
+    skeleton = _skeleton_from(params, CIFAR10_SKELETON)
+    evaluator = CodesignEvaluator.from_database(
+        bundle.database, reward_config, skeleton=skeleton
+    )
+    evaluator.attach_latency_table(
+        bundle.latency_ms, bundle.row_of_hash(), bundle.space
+    )
+    evaluator.source_info = {"source": "database"}
+    return evaluator
+
+
+def _database_namespace(params, bundle=None):
+    base = (
+        "study/database"
+        if bundle is None
+        else f"study/micro{bundle.cell_encoding.max_vertices}"
+    )
+    return base + _skeleton_token(params)
+
+
+_SURROGATE_FIELDS = ("seed", "noise_std", "ceiling", "floor")
+
+
+def _build_surrogate(reward_config, params, bundle=None, store=None):
+    params = _check_params("surrogate", params, _SURROGATE_FIELDS + ("skeleton",))
+    skeleton = _skeleton_from(params, CIFAR10_SKELETON)
+    try:
+        surrogate = Cifar10Surrogate(**params)
+    except (TypeError, ValueError) as err:
+        raise AccuracySourceError(
+            f"accuracy source 'surrogate': bad params {params!r}: {err}"
+        ) from err
+    evaluator = CodesignEvaluator.from_surrogate(
+        reward_config, surrogate=surrogate, skeleton=skeleton
+    )
+    evaluator.source_info = {"source": "surrogate", "surrogate": surrogate}
+    return evaluator
+
+
+def _surrogate_namespace(params, bundle=None):
+    surrogate = Cifar10Surrogate(
+        **{k: v for k, v in (params or {}).items() if k in _SURROGATE_FIELDS}
+    )
+    return (
+        f"study/surrogate/seed{surrogate.seed}/noise{surrogate.noise_std:g}"
+        f"/clip{surrogate.floor:g}-{surrogate.ceiling:g}"
+        f"{_skeleton_token(params)}"
+    )
+
+
+_TRAINER_FIELDS = (
+    "seed",
+    "noise_std",
+    "gpu_hours_per_gmac",
+    "gpu_hours_base",
+    "floor",
+    "ceiling",
+)
+
+
+def _build_cifar100_trainer(reward_config, params, bundle=None, store=None):
+    # Training-stack imports stay function-local: the training layer
+    # sits above core in the dependency graph.
+    from repro.nasbench.skeleton import CIFAR100_SKELETON
+    from repro.training.cache import CachedTrainer
+    from repro.training.surrogate_trainer import SurrogateCifar100Trainer
+
+    params = _check_params("cifar100-trainer", params, _TRAINER_FIELDS + ("skeleton",))
+    skeleton = _skeleton_from(params, CIFAR100_SKELETON)
+    try:
+        trainer = SurrogateCifar100Trainer(**params)
+    except (TypeError, ValueError) as err:
+        raise AccuracySourceError(
+            f"accuracy source 'cifar100-trainer': bad params {params!r}: {err}"
+        ) from err
+    cached = CachedTrainer(trainer, store=store, namespace=trainer.cache_namespace())
+    evaluator = CodesignEvaluator(
+        accuracy_fn=cached.accuracy_fn, reward_config=reward_config,
+        skeleton=skeleton,
+    )
+    evaluator.source_info = {
+        "source": "cifar100-trainer",
+        "trainer": trainer,
+        "cached": cached,
+    }
+    return evaluator
+
+
+def _cifar100_trainer_namespace(params, bundle=None):
+    from repro.training.surrogate_trainer import SurrogateCifar100Trainer
+
+    trainer = SurrogateCifar100Trainer(
+        **{k: v for k, v in (params or {}).items() if k in _TRAINER_FIELDS}
+    )
+    return trainer.cache_namespace() + _skeleton_token(params)
+
+
+register_accuracy_source(
+    "database", _build_database, _database_namespace, requires_bundle=True
+)
+register_accuracy_source("surrogate", _build_surrogate, _surrogate_namespace)
+register_accuracy_source(
+    "cifar100-trainer", _build_cifar100_trainer, _cifar100_trainer_namespace
+)

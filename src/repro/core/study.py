@@ -1,0 +1,742 @@
+"""Declarative study API: spec-driven experiment construction.
+
+The paper's experiment grids (strategies x scenarios x repeats, Figs.
+5-7, Tables 2-3) used to be assembled by hand-rolled closures — every
+caller built ``strategy_factory`` / ``evaluator_factory`` lambdas and
+threaded a dozen keyword arguments through
+:func:`repro.search.runner.run_grid`.  A :class:`StudySpec` replaces
+that plumbing with one JSON-round-trippable value object:
+
+* ``strategies`` — registered strategy names plus flat params
+  (:mod:`repro.search.registry`);
+* ``scenarios`` — scenario registry names, the parametric
+  ``perf-area>=N`` family, or inline declarative scenario dicts
+  (:mod:`repro.core.scenarios`);
+* ``evaluator`` — a registered accuracy source (``database`` /
+  ``surrogate`` / ``cifar100-trainer``) plus its params
+  (:mod:`repro.core.evaluator`);
+* ``execution`` — steps, repeats, seed, batch size, backend, workers,
+  cache/ledger paths, checkpoint cadence.
+
+:func:`build_study` materializes the spec into
+:class:`repro.search.runner.RepeatJob` bags through the registries;
+:func:`run_study` drives the grid and returns the same
+:class:`repro.experiments.search_study.SearchStudyResult` the legacy
+entry points produced.  Because the whole definition is one plain
+dict, the run ledger pins ``spec.to_dict()`` automatically — resuming
+a spec-driven run with *any* edited spec is refused instead of
+silently mixing incompatible results — and every experiment is
+runnable from a file: ``repro study run my_study.json``.
+
+Specs compare by value and round-trip losslessly::
+
+    StudySpec.from_dict(spec.to_dict()) == spec
+    StudySpec.from_json(spec.to_json()) == spec
+
+``from_dict`` validates eagerly against the registries: unknown
+strategy or scenario names, unknown accuracy sources, bad parameter
+names/types, and conflicting scenario references all raise
+:class:`StudyError` with a message naming the offending field.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+from repro.core.reward import RewardConfig
+from repro.core.scenarios import (
+    ScenarioError,
+    get_scenario_builder,
+    scenario_from_dict,
+)
+
+__all__ = [
+    "StudyError",
+    "StrategySpec",
+    "EvaluatorSpec",
+    "ExecutionSpec",
+    "StudySpec",
+    "Study",
+    "build_study",
+    "run_study",
+    "parse_assignments",
+]
+
+
+class StudyError(ValueError):
+    """A study spec could not be validated, resolved, or materialized."""
+
+
+# ---------------------------------------------------------------------------
+# Canonicalization helpers
+# ---------------------------------------------------------------------------
+
+def _jsonify(value: Any, where: str) -> Any:
+    """Canonical JSON form of ``value`` (tuples -> lists, keys -> str).
+
+    Specs compare by value, so both construction paths — Python
+    literals in presets and parsed JSON from files — must normalize to
+    identical structures.  Non-JSON values raise :class:`StudyError`
+    naming the field.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v, where) for v in value]
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise StudyError(f"{where}: mapping keys must be strings, got {key!r}")
+            out[key] = _jsonify(item, where)
+        return out
+    raise StudyError(
+        f"{where}: {value!r} is not JSON-representable "
+        "(specs hold only plain numbers, strings, lists, and mappings)"
+    )
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise StudyError(message)
+
+
+def _check_int(value, what: str, minimum: int | None = None, optional: bool = False):
+    if value is None and optional:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise StudyError(f"{what} must be an integer, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise StudyError(f"{what} must be >= {minimum}, got {value}")
+    return value
+
+
+def _check_fields(data: dict, allowed: set, what: str) -> None:
+    _require(isinstance(data, dict), f"{what} must be a mapping, got {type(data).__name__}")
+    unknown = sorted(set(data) - allowed)
+    _require(not unknown, f"{what}: unknown field(s) {unknown}; allowed: {sorted(allowed)}")
+
+
+# ---------------------------------------------------------------------------
+# Spec value objects
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """One search strategy: registered name + flat constructor params.
+
+    ``label`` keys the strategy inside the study's outcomes (and in
+    job labels / ledger rows); it defaults to ``name``, and must be
+    set when the same strategy appears twice with different params.
+    """
+
+    name: str
+    params: dict = field(default_factory=dict)
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.name, str) and bool(self.name),
+            "strategy spec needs a non-empty string 'name'",
+        )
+        object.__setattr__(
+            self, "params", _jsonify(self.params, f"strategy {self.name!r} params")
+        )
+        if self.label is not None:
+            _require(
+                isinstance(self.label, str) and bool(self.label),
+                f"strategy {self.name!r}: 'label' must be a non-empty string",
+            )
+
+    @property
+    def effective_label(self) -> str:
+        return self.label if self.label is not None else self.name
+
+    def to_dict(self) -> dict:
+        out: dict = {"name": self.name, "params": _jsonify(self.params, "params")}
+        if self.label is not None:
+            out["label"] = self.label
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StrategySpec":
+        _check_fields(data, {"name", "params", "label"}, "strategy spec")
+        return cls(
+            name=data.get("name"),
+            params=data.get("params") or {},
+            label=data.get("label"),
+        )
+
+
+@dataclass(frozen=True)
+class EvaluatorSpec:
+    """The accuracy source behind ``E(s)``: registered name + params."""
+
+    source: str = "database"
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.source, str) and bool(self.source),
+            "evaluator spec needs a non-empty string 'source'",
+        )
+        object.__setattr__(
+            self,
+            "params",
+            _jsonify(self.params, f"evaluator source {self.source!r} params"),
+        )
+
+    def to_dict(self) -> dict:
+        return {"source": self.source, "params": _jsonify(self.params, "params")}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EvaluatorSpec":
+        _check_fields(data, {"source", "params"}, "evaluator spec")
+        return cls(source=data.get("source", "database"), params=data.get("params") or {})
+
+
+@dataclass(frozen=True)
+class ExecutionSpec:
+    """How the grid runs: budget, seeding, backend, persistence.
+
+    ``num_steps`` / ``num_repeats`` left as ``None`` resolve from the
+    ambient :class:`repro.experiments.common.Scale` at run time, so one
+    preset serves smoke, default, and paper scales.  ``cache`` /
+    ``ledger`` are file paths (the live objects can also be passed to
+    :func:`run_study` directly, overriding the spec).
+    """
+
+    num_steps: int | None = None
+    num_repeats: int | None = None
+    master_seed: int = 0
+    batch_size: int = 1
+    backend: str = "serial"
+    workers: int | None = None
+    cache: str | None = None
+    ledger: str | None = None
+    checkpoint_every: int = 10
+
+    def __post_init__(self) -> None:
+        _check_int(self.num_steps, "execution.num_steps", 1, optional=True)
+        _check_int(self.num_repeats, "execution.num_repeats", 1, optional=True)
+        _check_int(self.master_seed, "execution.master_seed")
+        _check_int(self.batch_size, "execution.batch_size", 1)
+        _check_int(self.checkpoint_every, "execution.checkpoint_every", 1)
+        _check_int(self.workers, "execution.workers", 1, optional=True)
+        _require(
+            self.backend in ("serial", "process"),
+            f"execution.backend must be 'serial' or 'process', got {self.backend!r}",
+        )
+        for name in ("cache", "ledger"):
+            value = getattr(self, name)
+            _require(
+                value is None or (isinstance(value, str) and bool(value)),
+                f"execution.{name} must be null or a file path string, got {value!r}",
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "num_steps": self.num_steps,
+            "num_repeats": self.num_repeats,
+            "master_seed": self.master_seed,
+            "batch_size": self.batch_size,
+            "backend": self.backend,
+            "workers": self.workers,
+            "cache": self.cache,
+            "ledger": self.ledger,
+            "checkpoint_every": self.checkpoint_every,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExecutionSpec":
+        _check_fields(
+            data,
+            {
+                "num_steps",
+                "num_repeats",
+                "master_seed",
+                "batch_size",
+                "backend",
+                "workers",
+                "cache",
+                "ledger",
+                "checkpoint_every",
+            },
+            "execution spec",
+        )
+        defaults = cls()
+        fields = (
+            "num_steps", "num_repeats", "master_seed", "batch_size", "backend",
+            "workers", "cache", "ledger", "checkpoint_every",
+        )
+        return cls(**{f: data.get(f, getattr(defaults, f)) for f in fields})
+
+
+def _scenario_key(entry) -> str:
+    """The outcome/label key of one scenarios entry."""
+    if isinstance(entry, str):
+        return entry
+    return entry.get("name", "<unnamed>")
+
+
+@dataclass(frozen=True)
+class StudySpec:
+    """A complete, serializable experiment-grid definition."""
+
+    name: str
+    strategies: tuple = ()
+    scenarios: tuple = ()
+    evaluator: EvaluatorSpec = field(default_factory=EvaluatorSpec)
+    execution: ExecutionSpec = field(default_factory=ExecutionSpec)
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.name, str) and bool(self.name),
+            "study spec needs a non-empty string 'name'",
+        )
+        strategies = tuple(
+            s if isinstance(s, StrategySpec) else StrategySpec.from_dict(s)
+            for s in self.strategies
+        )
+        _require(bool(strategies), f"study {self.name!r}: 'strategies' must not be empty")
+        object.__setattr__(self, "strategies", strategies)
+        labels = [s.effective_label for s in strategies]
+        dupes = sorted({l for l in labels if labels.count(l) > 1})
+        _require(
+            not dupes,
+            f"study {self.name!r}: duplicate strategy label(s) {dupes} — give "
+            "repeated strategies distinct 'label' fields",
+        )
+        scenarios = []
+        for entry in self.scenarios:
+            if isinstance(entry, str):
+                _require(
+                    bool(entry),
+                    f"study {self.name!r}: scenario names must be non-empty",
+                )
+                scenarios.append(entry)
+            elif isinstance(entry, dict):
+                scenarios.append(_jsonify(entry, f"study {self.name!r} scenario"))
+            else:
+                raise StudyError(
+                    f"study {self.name!r}: each scenario is a registry name "
+                    f"(string) or an inline spec (mapping), got {entry!r}"
+                )
+        _require(bool(scenarios), f"study {self.name!r}: 'scenarios' must not be empty")
+        keys = [_scenario_key(e) for e in scenarios]
+        dupes = sorted({k for k in keys if keys.count(k) > 1})
+        _require(
+            not dupes,
+            f"study {self.name!r}: scenario(s) {dupes} referenced more than "
+            "once (by name and/or inline spec) — outcomes would collide",
+        )
+        object.__setattr__(self, "scenarios", tuple(scenarios))
+        if not isinstance(self.evaluator, EvaluatorSpec):
+            object.__setattr__(
+                self, "evaluator", EvaluatorSpec.from_dict(self.evaluator)
+            )
+        if not isinstance(self.execution, ExecutionSpec):
+            object.__setattr__(
+                self, "execution", ExecutionSpec.from_dict(self.execution)
+            )
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "strategies": [s.to_dict() for s in self.strategies],
+            "scenarios": [
+                s if isinstance(s, str) else _jsonify(s, "scenario")
+                for s in self.scenarios
+            ],
+            "evaluator": self.evaluator.to_dict(),
+            "execution": self.execution.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, validate: bool = True) -> "StudySpec":
+        _check_fields(
+            data,
+            {"name", "strategies", "scenarios", "evaluator", "execution"},
+            "study spec",
+        )
+        strategies = data.get("strategies")
+        _require(
+            isinstance(strategies, (list, tuple)),
+            "study spec: 'strategies' must be a list",
+        )
+        scenarios = data.get("scenarios")
+        _require(
+            isinstance(scenarios, (list, tuple)),
+            "study spec: 'scenarios' must be a list",
+        )
+        spec = cls(
+            name=data.get("name"),
+            strategies=tuple(strategies),
+            scenarios=tuple(scenarios),
+            evaluator=data.get("evaluator") or EvaluatorSpec(),
+            execution=data.get("execution") or ExecutionSpec(),
+        )
+        if validate:
+            spec.validate()
+        return spec
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str, validate: bool = True) -> "StudySpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as err:
+            raise StudyError(f"study spec is not valid JSON: {err}") from None
+        return cls.from_dict(data, validate=validate)
+
+    @classmethod
+    def from_file(cls, path: str | Path, validate: bool = True) -> "StudySpec":
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            raise StudyError(f"study spec file not found: {path}") from None
+        try:
+            return cls.from_json(text, validate=validate)
+        except StudyError as err:
+            raise StudyError(f"{path}: {err}") from None
+
+    # -- validation --------------------------------------------------------
+    def validate(self) -> "StudySpec":
+        """Resolve every reference against the registries, fail loudly.
+
+        Checks strategy names and parameter names
+        (:mod:`repro.search.registry`), scenario names / inline specs
+        (:mod:`repro.core.scenarios`), and the accuracy source + params
+        (:mod:`repro.core.evaluator`).  Returns ``self`` so call sites
+        can chain.
+        """
+        from repro.core.evaluator import AccuracySourceError, get_accuracy_source
+        from repro.search.registry import StrategyError, validate_strategy_params
+
+        for strategy in self.strategies:
+            try:
+                validate_strategy_params(strategy.name, strategy.params)
+            except StrategyError as err:
+                raise StudyError(f"study {self.name!r}: {err}") from None
+        for entry in self.scenarios:
+            try:
+                if isinstance(entry, str):
+                    get_scenario_builder(entry)
+                else:
+                    scenario_from_dict(entry)
+            except ScenarioError as err:
+                raise StudyError(f"study {self.name!r}: {err}") from None
+        try:
+            get_accuracy_source(self.evaluator.source)
+        except AccuracySourceError as err:
+            raise StudyError(f"study {self.name!r}: {err}") from None
+        return self
+
+    # -- overrides ---------------------------------------------------------
+    def with_overrides(self, assignments: dict[str, Any]) -> "StudySpec":
+        """A new spec with dotted-path fields replaced.
+
+        ``assignments`` maps dotted paths into the :meth:`to_dict`
+        structure to new values — e.g. ``{"execution.batch_size": 16,
+        "strategies.0.params.population_size": 25}``.  List segments
+        are integer indices.  Unknown paths raise :class:`StudyError`
+        (overriding a field that does not exist would silently change
+        nothing).
+        """
+        data = self.to_dict()
+        for path, value in assignments.items():
+            _assign(data, path, value)
+        return StudySpec.from_dict(data)
+
+
+#: Mapping fields that are open key/value bags: overrides may *add*
+#: keys under them (``--set evaluator.params.seed=9``).  Every other
+#: mapping is schema-fixed, so an unknown leaf is a typo, not a new
+#: field.
+_OPEN_MAPPINGS = ("params", "constraints", "bounds")
+
+
+def _assign(data: Any, path: str, value: Any) -> None:
+    parts = path.split(".")
+    target = data
+    parent_key = None
+    for i, part in enumerate(parts[:-1]):
+        target = _descend(target, part, ".".join(parts[: i + 1]))
+        parent_key = part
+    leaf = parts[-1]
+    if isinstance(target, list):
+        index = _list_index(target, leaf, path)
+        target[index] = value
+    elif isinstance(target, dict):
+        if leaf not in target and parent_key not in _OPEN_MAPPINGS:
+            raise StudyError(
+                f"override path {path!r}: no field {leaf!r} "
+                f"(existing: {sorted(target)})"
+            )
+        target[leaf] = value
+    else:
+        raise StudyError(
+            f"override path {path!r}: {'.'.join(parts[:-1])!r} is a "
+            f"{type(target).__name__}, not a mapping or list"
+        )
+
+
+def _descend(target: Any, part: str, sofar: str) -> Any:
+    if isinstance(target, list):
+        return target[_list_index(target, part, sofar)]
+    if isinstance(target, dict):
+        if part not in target:
+            raise StudyError(
+                f"override path {sofar!r}: no field {part!r} "
+                f"(existing: {sorted(target)})"
+            )
+        return target[part]
+    raise StudyError(
+        f"override path {sofar!r}: cannot descend into a {type(target).__name__}"
+    )
+
+
+def _list_index(target: list, part: str, path: str) -> int:
+    try:
+        index = int(part)
+    except ValueError:
+        raise StudyError(
+            f"override path {path!r}: {part!r} must be a list index "
+            f"(0..{len(target) - 1})"
+        ) from None
+    if not 0 <= index < len(target):
+        raise StudyError(
+            f"override path {path!r}: index {index} out of range "
+            f"(list has {len(target)} item(s))"
+        )
+    return index
+
+
+def parse_assignments(pairs: list[str]) -> dict[str, Any]:
+    """Parse CLI ``--set path=value`` pairs into an override mapping.
+
+    Values parse as JSON when possible (``16``, ``true``, ``null``,
+    ``[1,2]``) and fall back to plain strings (``process``).
+    """
+    out: dict[str, Any] = {}
+    for pair in pairs:
+        path, sep, raw = pair.partition("=")
+        if not sep or not path:
+            raise StudyError(
+                f"--set expects path=value, got {pair!r} "
+                "(e.g. --set execution.batch_size=16)"
+            )
+        try:
+            out[path] = json.loads(raw)
+        except json.JSONDecodeError:
+            out[path] = raw
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Materialization
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Study:
+    """A spec materialized against the registries, ready to run."""
+
+    spec: StudySpec
+    jobs: list  # list[repro.search.runner.RepeatJob]
+    job_meta: dict[str, tuple[str, str]]  # label -> (scenario, strategy)
+    scenario_configs: dict[str, RewardConfig]
+    pareto_top100: dict[str, list[dict]]
+    scale: object  # repro.experiments.common.Scale
+    num_steps: int
+    num_repeats: int
+    namespace: str = ""  # accuracy source's eval-cache namespace
+
+
+def _resolve_scenarios(spec: StudySpec, bounds) -> dict[str, RewardConfig]:
+    """Scenario key -> built RewardConfig (bounds filled from the space)."""
+    configs: dict[str, RewardConfig] = {}
+    for entry in spec.scenarios:
+        try:
+            if isinstance(entry, str):
+                configs[entry] = get_scenario_builder(entry)(bounds)
+            else:
+                config = scenario_from_dict(entry, bounds)
+                configs[config.name] = config
+        except ScenarioError as err:
+            raise StudyError(f"study {spec.name!r}: {err}") from None
+    return configs
+
+
+def build_study(spec: StudySpec, bundle=None, scale=None, store=None) -> Study:
+    """Materialize ``spec`` into runnable :class:`RepeatJob` bags.
+
+    ``bundle`` supplies the enumerated joint space for table-backed
+    sources (loaded on demand for the ``database`` source);  ``scale``
+    fills ``num_steps`` / ``num_repeats`` left as ``None`` in the spec
+    (default: :meth:`repro.experiments.common.Scale.from_env`).
+    ``store`` (an :class:`repro.parallel.EvalCache`) is handed to the
+    accuracy-source builder — a training source persists per-cell
+    outcomes through it, so warm re-runs pay no repeat training.
+    """
+    from repro.core.evaluator import (
+        accuracy_source_namespace,
+        build_evaluator,
+        get_accuracy_source,
+    )
+    from repro.core.search_space import JointSearchSpace
+    from repro.experiments.common import Scale
+    from repro.search.registry import build_strategy
+    from repro.search.runner import RepeatJob
+
+    spec.validate()
+    source = get_accuracy_source(spec.evaluator.source)
+    if source.requires_bundle and bundle is None:
+        from repro.experiments.common import load_bundle
+
+        bundle = load_bundle()
+    scale = scale or Scale.from_env()
+    num_steps = spec.execution.num_steps or scale.search_steps
+    num_repeats = spec.execution.num_repeats or scale.num_repeats
+
+    bounds = bundle.bounds if bundle is not None else None
+    scenario_configs = _resolve_scenarios(spec, bounds)
+    namespace = accuracy_source_namespace(
+        spec.evaluator.source, spec.evaluator.params, bundle=bundle
+    )
+    if bundle is not None:
+        search_space = JointSearchSpace(cell_encoding=bundle.cell_encoding)
+    else:
+        search_space = JointSearchSpace()
+
+    pareto_top100: dict[str, list[dict]] = {}
+    if bundle is not None:
+        from repro.core.pareto import product_space_pareto, reward_ranked_points
+
+        front = product_space_pareto(
+            bundle.accuracy, bundle.area_mm2, bundle.latency_ms
+        )
+        for key, config in scenario_configs.items():
+            pareto_top100[key] = reward_ranked_points(front, config, 100)
+
+    jobs: list[RepeatJob] = []
+    job_meta: dict[str, tuple[str, str]] = {}
+    for scenario_key, scenario in scenario_configs.items():
+        # One evaluator per scenario: its metric caches are shared by
+        # every strategy's repeats through per-job with_reward clones,
+        # exactly like the historic closure path.
+        evaluator = build_evaluator(
+            spec.evaluator.source,
+            scenario,
+            spec.evaluator.params,
+            bundle=bundle,
+            store=store,
+        )
+        for strategy in spec.strategies:
+            label = f"{scenario_key}/{strategy.effective_label}"
+            job_meta[label] = (scenario_key, strategy.effective_label)
+            jobs.append(
+                RepeatJob(
+                    label=label,
+                    strategy_factory=(
+                        lambda seed, _s=strategy: build_strategy(
+                            _s.name, seed, search_space, **_s.params
+                        )
+                    ),
+                    evaluator_factory=(
+                        lambda _ev=evaluator, _sc=scenario: _ev.with_reward(_sc)
+                    ),
+                    cache_scenario=namespace,
+                )
+            )
+    return Study(
+        spec=spec,
+        jobs=jobs,
+        job_meta=job_meta,
+        scenario_configs=scenario_configs,
+        pareto_top100=pareto_top100,
+        scale=scale,
+        num_steps=num_steps,
+        num_repeats=num_repeats,
+        namespace=namespace,
+    )
+
+
+def run_study(
+    spec: StudySpec,
+    bundle=None,
+    scale=None,
+    eval_cache=None,
+    ledger=None,
+):
+    """Run the whole spec-defined grid; returns a ``SearchStudyResult``.
+
+    The ledger (``spec.execution.ledger`` path, or a live
+    :class:`repro.parallel.RunLedger` passed in) automatically pins
+    ``spec.to_dict()`` alongside the grid configuration — **plus** the
+    fully *resolved* scenario definitions and the accuracy source's
+    cache namespace, so a resume is refused not only when the spec
+    text changes but also when a registry name quietly resolves to a
+    different definition or the run targets a different space.
+    ``eval_cache`` likewise falls back to the ``spec.execution.cache``
+    path; it both memoizes pairwise evaluations (via the grid) and
+    persists per-cell training outcomes for trainer-backed sources.
+    """
+    from repro.core.scenarios import scenario_to_dict
+    from repro.experiments.search_study import SearchStudyResult
+    from repro.parallel.cache import EvalCache
+    from repro.search.runner import run_grid
+
+    execution = spec.execution
+    if eval_cache is None and execution.cache is not None:
+        eval_cache = execution.cache
+    if eval_cache is not None and not isinstance(eval_cache, EvalCache):
+        eval_cache = EvalCache(eval_cache)
+    if ledger is None and execution.ledger is not None:
+        ledger = execution.ledger
+    study = build_study(spec, bundle=bundle, scale=scale, store=eval_cache)
+    grid = run_grid(
+        study.jobs,
+        num_steps=study.num_steps,
+        num_repeats=study.num_repeats,
+        master_seed=execution.master_seed,
+        backend=execution.backend,
+        workers=execution.workers,
+        eval_cache=eval_cache,
+        batch_size=execution.batch_size,
+        ledger=ledger,
+        checkpoint_every=execution.checkpoint_every,
+        ledger_context={
+            "study_spec": spec.to_dict(),
+            "space": study.namespace,
+            "scenarios": {
+                key: scenario_to_dict(config)
+                for key, config in study.scenario_configs.items()
+            },
+        },
+    )
+    outcomes: dict[str, dict] = {key: {} for key in study.scenario_configs}
+    for label, (scenario_key, strategy_label) in study.job_meta.items():
+        outcomes[scenario_key][strategy_label] = grid[label]
+    return SearchStudyResult(
+        outcomes=outcomes,
+        pareto_top100=study.pareto_top100,
+        scale=study.scale,
+        extras={"spec": spec},
+    )
+
+
+def replace_execution(spec: StudySpec, **changes) -> StudySpec:
+    """A new spec with ``execution`` fields replaced (None = keep)."""
+    kept = {k: v for k, v in changes.items() if v is not None}
+    if not kept:
+        return spec
+    return replace(spec, execution=replace(spec.execution, **kept))

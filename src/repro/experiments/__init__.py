@@ -13,8 +13,10 @@ from repro.experiments.fig4 import PAPER_FIG4, Fig4Result, run_fig4
 from repro.experiments.fig5 import Fig5Result, run_fig5
 from repro.experiments.fig6 import Fig6Result, run_fig6
 from repro.experiments.fig7 import BaselinePoint, Fig7Result, best_accelerator_for, run_fig7
+from repro.experiments.presets import get_preset, list_presets, resolve_spec
 from repro.experiments.search_study import (
     SearchStudyResult,
+    legacy_study_spec,
     make_bundle_evaluator,
     run_search_study,
     top_pareto_by_reward,
@@ -46,7 +48,11 @@ __all__ = [
     "Fig7Result",
     "best_accelerator_for",
     "run_fig7",
+    "get_preset",
+    "list_presets",
+    "resolve_spec",
     "SearchStudyResult",
+    "legacy_study_spec",
     "make_bundle_evaluator",
     "run_search_study",
     "top_pareto_by_reward",

@@ -18,20 +18,16 @@ same total budget.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.reward import RewardConfig
-from repro.core.scenarios import one_constraint, unconstrained
-from repro.core.search_space import JointSearchSpace
+from repro.core.study import replace_execution, run_study
 from repro.experiments.common import Scale, SpaceBundle, load_bundle
-from repro.experiments.fig7 import CIFAR100_BOUNDS, run_fig7
-from repro.experiments.search_study import make_bundle_evaluator
-from repro.search.combined import CombinedSearch
-from repro.search.random_search import RandomSearch
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.presets import get_preset
+from repro.search.runner import RepeatOutcome
 from repro.search.threshold_schedule import ThresholdRung, default_rungs
-from repro.utils.rng import hash_seed
 from repro.utils.tables import format_markdown
 
 __all__ = [
@@ -54,42 +50,50 @@ class AblationRow:
     extra: str = ""
 
 
-def _mean_best_reward(
-    scenario: RewardConfig,
-    bundle: SpaceBundle,
-    strategy_cls,
-    steps: int,
-    repeats: int,
-    master_seed: int,
-) -> tuple[float, float]:
+def _outcome_stats(outcome: RepeatOutcome) -> tuple[float, float]:
     """(mean best reward, mean feasible fraction) over repeats."""
-    search_space = JointSearchSpace(cell_encoding=bundle.cell_encoding)
-    best_rewards = []
-    feasible_rates = []
-    for repeat in range(repeats):
-        seed = hash_seed("ablation", master_seed, strategy_cls.__name__, repeat)
-        strategy = strategy_cls(search_space, seed=seed)
-        evaluator = make_bundle_evaluator(bundle, scenario)
-        result = strategy.run(evaluator, steps)
-        best = result.best
-        best_rewards.append(best.reward if best is not None else np.nan)
-        feasible_rates.append(result.archive.num_feasible / max(len(result.archive), 1))
-    return float(np.nanmean(best_rewards)), float(np.mean(feasible_rates))
+    best_rewards = [
+        r.best.reward if r.best is not None else np.nan for r in outcome.results
+    ]
+    feasible_rates = [
+        r.archive.num_feasible / max(len(r.archive), 1) for r in outcome.results
+    ]
+    with np.errstate(all="ignore"):
+        mean_best = float(np.nanmean(best_rewards)) if best_rewards else float("nan")
+    return mean_best, float(np.mean(feasible_rates))
+
+
+def _run_ablation_study(
+    preset: str, bundle: SpaceBundle | None, scale: Scale | None, master_seed: int
+):
+    """One ablation preset, rescaled and reseeded, through ``run_study``."""
+    bundle = bundle or load_bundle()
+    scale = scale or Scale.from_env()
+    spec = replace_execution(
+        get_preset(preset),
+        num_steps=scale.search_steps,
+        num_repeats=scale.num_repeats,
+        master_seed=master_seed,
+    )
+    return run_study(spec, bundle=bundle, scale=scale)
 
 
 def run_punishment_ablation(
     bundle: SpaceBundle | None = None, scale: Scale | None = None, master_seed: int = 1
 ) -> list[AblationRow]:
-    """A1: distance-scaled punishment vs a barely-there constant."""
-    bundle = bundle or load_bundle()
-    scale = scale or Scale.from_env()
-    scenario = one_constraint(bundle.bounds)
-    weak = replace(scenario, punishment_scale=1e-3, name="1-constraint-weak-punish")
+    """A1: distance-scaled punishment vs a barely-there constant.
+
+    Runs the declarative ``ablation-punishment`` preset: the combined
+    strategy under the 1-constraint scenario and a
+    ``punishment_scale=1e-3`` variant of it (an inline scenario spec).
+    """
+    study = _run_ablation_study("ablation-punishment", bundle, scale, master_seed)
     rows = []
-    for variant, cfg in (("punishment (paper)", scenario), ("weak punishment", weak)):
-        reward, feasible = _mean_best_reward(
-            cfg, bundle, CombinedSearch, scale.search_steps, scale.num_repeats, master_seed
-        )
+    for variant, scenario in (
+        ("punishment (paper)", "1-constraint"),
+        ("weak punishment", "1-constraint-weak-punish"),
+    ):
+        reward, feasible = _outcome_stats(study.outcomes[scenario]["combined"])
         rows.append(AblationRow("A1-punishment", variant, reward, feasible))
     return rows
 
@@ -97,15 +101,15 @@ def run_punishment_ablation(
 def run_random_ablation(
     bundle: SpaceBundle | None = None, scale: Scale | None = None, master_seed: int = 2
 ) -> list[AblationRow]:
-    """A2: REINFORCE controller vs uniform random proposals."""
-    bundle = bundle or load_bundle()
-    scale = scale or Scale.from_env()
-    scenario = unconstrained(bundle.bounds)
+    """A2: REINFORCE controller vs uniform random proposals.
+
+    Runs the declarative ``ablation-random`` preset: combined and
+    random strategies under the unconstrained scenario, same seeds.
+    """
+    study = _run_ablation_study("ablation-random", bundle, scale, master_seed)
     rows = []
-    for variant, cls in (("combined (RL)", CombinedSearch), ("random", RandomSearch)):
-        reward, feasible = _mean_best_reward(
-            cfg := scenario, bundle, cls, scale.search_steps, scale.num_repeats, master_seed
-        )
+    for variant, strategy in (("combined (RL)", "combined"), ("random", "random")):
+        reward, feasible = _outcome_stats(study.outcomes["unconstrained"][strategy])
         rows.append(AblationRow("A2-controller", variant, reward, feasible))
     return rows
 

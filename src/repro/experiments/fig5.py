@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.experiments.common import Scale, SpaceBundle
-from repro.experiments.search_study import SearchStudyResult, run_search_study
+from repro.experiments.search_study import SearchStudyResult, _run_search_study
 from repro.utils.tables import format_markdown
 
 __all__ = ["Fig5Result", "run_fig5"]
@@ -120,8 +120,12 @@ def run_fig5(
     (``batch_size`` > 1 switches to the documented per-strategy batch
     semantics).  ``scenarios`` selects registry or file-loaded
     scenarios instead of the paper's three.
+
+    The default study is the declarative ``fig5`` preset
+    (:mod:`repro.experiments.presets`) — ``repro study run fig5`` runs
+    the same grid from the command line.
     """
-    study = study or run_search_study(
+    study = study or _run_search_study(
         bundle,
         scale,
         scenarios=scenarios,
@@ -130,5 +134,6 @@ def run_fig5(
         workers=workers,
         eval_cache=eval_cache,
         batch_size=batch_size,
+        name="fig5",
     )
     return Fig5Result(study=study)

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.experiments.common import Scale, SpaceBundle
-from repro.experiments.search_study import SearchStudyResult, run_search_study
+from repro.experiments.search_study import SearchStudyResult, _run_search_study
 from repro.search.runner import mean_reward_trace
 from repro.utils.tables import format_markdown
 
@@ -100,8 +100,12 @@ def run_fig6(
     (``batch_size`` > 1 switches to the documented per-strategy batch
     semantics).  ``scenarios`` selects registry or file-loaded
     scenarios instead of the paper's three.
+
+    The default study is the declarative ``fig6`` preset
+    (:mod:`repro.experiments.presets`) — ``repro study run fig6`` runs
+    the same grid from the command line.
     """
-    study = study or run_search_study(
+    study = study or _run_search_study(
         bundle,
         scale,
         scenarios=scenarios,
@@ -110,5 +114,6 @@ def run_fig6(
         workers=workers,
         eval_cache=eval_cache,
         batch_size=batch_size,
+        name="fig6",
     )
     return Fig6Result(study=study)

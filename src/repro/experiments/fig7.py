@@ -20,7 +20,7 @@ from repro.accelerator.latency import LatencyModel
 from repro.accelerator.scheduler import batch_schedule
 from repro.accelerator.space import AcceleratorSpace
 from repro.core.archive import ArchiveEntry
-from repro.core.evaluator import CodesignEvaluator
+from repro.core.evaluator import CodesignEvaluator, build_evaluator
 from repro.core.reward import MetricBounds
 from repro.core.scenarios import cifar100_threshold
 from repro.core.search_space import JointSearchSpace
@@ -29,11 +29,8 @@ from repro.nasbench.compile import compile_cell_ops
 from repro.nasbench.known_cells import googlenet_cell, resnet_cell
 from repro.nasbench.model_spec import ModelSpec
 from repro.nasbench.skeleton import CIFAR100_SKELETON
-from repro.search.threshold_schedule import (
-    ThresholdRung,
-    ThresholdScheduleSearch,
-    default_rungs,
-)
+from repro.search.registry import build_strategy
+from repro.search.threshold_schedule import ThresholdRung, default_rungs
 from repro.training.cache import CachedTrainer
 from repro.training.surrogate_trainer import SurrogateCifar100Trainer
 from repro.utils.tables import format_markdown
@@ -193,12 +190,14 @@ def run_fig7(
     namespace (``trainer.cache_namespace()``) pins every
     outcome-affecting trainer parameter so differently configured
     surrogates never share rows.
+
+    The search and its evaluator are built through the declarative
+    registries (the ``cifar100-trainer`` accuracy source and the
+    ``threshold-schedule`` strategy), the same construction path the
+    ``fig7`` / ``table2`` / ``table3`` study presets take — ``repro
+    study run fig7`` runs this search spec-driven.
     """
     scale = scale or Scale.from_env()
-    trainer = trainer or SurrogateCifar100Trainer()
-    cached = CachedTrainer(
-        trainer, store=train_store, namespace=trainer.cache_namespace()
-    )
 
     if rungs is None:
         base = default_rungs()
@@ -211,13 +210,30 @@ def run_fig7(
             for r in base
         ]
 
-    evaluator = CodesignEvaluator(
-        accuracy_fn=cached.accuracy_fn,
-        reward_config=cifar100_threshold(rungs[0].threshold, CIFAR100_BOUNDS),
-        skeleton=CIFAR100_SKELETON,
-    )
-    search = ThresholdScheduleSearch(
-        JointSearchSpace(), seed=seed, rungs=rungs, bounds=CIFAR100_BOUNDS
+    reward_config = cifar100_threshold(rungs[0].threshold, CIFAR100_BOUNDS)
+    if trainer is None:
+        evaluator = build_evaluator(
+            "cifar100-trainer", reward_config, store=train_store
+        )
+        trainer = evaluator.source_info["trainer"]
+        cached = evaluator.source_info["cached"]
+    else:
+        # A caller-configured trainer object cannot travel through the
+        # JSON params path; wire it up the way the source builder does.
+        cached = CachedTrainer(
+            trainer, store=train_store, namespace=trainer.cache_namespace()
+        )
+        evaluator = CodesignEvaluator(
+            accuracy_fn=cached.accuracy_fn,
+            reward_config=reward_config,
+            skeleton=CIFAR100_SKELETON,
+        )
+    search = build_strategy(
+        "threshold-schedule",
+        seed,
+        JointSearchSpace(),
+        rungs=rungs,
+        bounds=CIFAR100_BOUNDS,
     )
     result = search.run(evaluator)
 

@@ -6,27 +6,44 @@ independent searches over the enumerated micro space and keep the
 archives.  Fig. 5 consumes the per-repeat best points and the top-100
 reward-ranked Pareto points; Fig. 6 consumes the averaged reward
 traces.
+
+The study itself is **spec-driven**: the grid is declared as a
+:class:`repro.core.study.StudySpec` (see the ``fig5`` / ``fig6``
+presets in :mod:`repro.experiments.presets`) and materialized through
+the strategy and accuracy-source registries by
+:func:`repro.core.study.run_study`.  :func:`run_search_study` survives
+as a deprecated shim that converts its legacy keyword arguments into a
+spec — including arbitrary scenario-builder mappings, which inline as
+declarative scenario dicts — so historical call sites keep producing
+bit-identical results.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from pathlib import Path
 
 from repro.core.evaluator import CodesignEvaluator
 from repro.core.reward import RewardConfig
-from repro.core.scenarios import PAPER_SCENARIOS, resolve_scenarios, scenario_to_dict
-from repro.core.search_space import JointSearchSpace
+from repro.core.scenarios import resolve_scenarios, scenario_to_dict
+from repro.core.study import StudySpec, run_study
 from repro.experiments.common import Scale, SpaceBundle, load_bundle
 from repro.parallel.cache import EvalCache
 from repro.parallel.ledger import RunLedger
 from repro.search.combined import CombinedSearch
 from repro.search.phase import PhaseSearch
-from repro.search.runner import RepeatJob, RepeatOutcome, run_grid
+from repro.search.runner import RepeatOutcome
 from repro.search.separate import SeparateSearch
 
-__all__ = ["SearchStudyResult", "run_search_study", "top_pareto_by_reward", "make_bundle_evaluator"]
+__all__ = [
+    "SearchStudyResult",
+    "run_search_study",
+    "top_pareto_by_reward",
+    "make_bundle_evaluator",
+    "legacy_study_spec",
+]
 
 STRATEGIES = {
     "combined": CombinedSearch,
@@ -98,6 +115,116 @@ class SearchStudyResult:
         }
 
 
+def legacy_study_spec(
+    bundle: SpaceBundle,
+    scale: Scale,
+    scenarios: dict | list | None = None,
+    strategies: dict | None = None,
+    master_seed: int = 0,
+    backend: str = "serial",
+    workers: int | None = None,
+    batch_size: int = 1,
+    checkpoint_every: int = 10,
+    name: str = "search-study",
+) -> StudySpec:
+    """A :class:`StudySpec` equivalent to the legacy keyword arguments.
+
+    ``scenarios`` accepts the historical forms: ``None`` (the paper's
+    three), a list of registry names, or a name -> builder mapping.
+    Builder mappings are *inlined*: each builder runs once against the
+    bundle's bounds and its resulting config is embedded as a
+    declarative scenario dict (the round trip is lossless, so results
+    are unchanged — and the definition becomes serializable, which is
+    what lets the ledger pin it).  ``strategies`` maps outcome keys to
+    strategy classes; classes not yet in
+    :mod:`repro.search.registry` are registered on the fly.
+    """
+    from repro.search.registry import register_strategy, strategy_name_of
+
+    if scenarios is None:
+        scenario_entries: tuple = (
+            "unconstrained",
+            "1-constraint",
+            "2-constraints",
+        )
+    elif isinstance(scenarios, dict):
+        entries = []
+        for key, builder in scenarios.items():
+            spec_dict = scenario_to_dict(builder(bundle.bounds))
+            # The mapping key, not the config's own name, keys the
+            # outcomes (and job labels) — honor it.
+            spec_dict["name"] = key
+            entries.append(spec_dict)
+        scenario_entries = tuple(entries)
+    else:
+        scenario_entries = tuple(scenarios)
+
+    strategy_entries = []
+    for key, cls in (strategies or STRATEGIES).items():
+        registered = strategy_name_of(cls)
+        if registered is None:
+            register_strategy(cls)
+            registered = cls.name
+        strategy_entries.append({"name": registered, "label": key})
+
+    return StudySpec(
+        name=name,
+        strategies=tuple(strategy_entries),
+        scenarios=scenario_entries,
+        evaluator={"source": "database"},
+        execution={
+            "num_steps": scale.search_steps,
+            "num_repeats": scale.num_repeats,
+            "master_seed": master_seed,
+            "batch_size": batch_size,
+            "backend": backend,
+            "workers": workers,
+            "checkpoint_every": checkpoint_every,
+        },
+    )
+
+
+def _run_search_study(
+    bundle: SpaceBundle | None = None,
+    scale: Scale | None = None,
+    scenarios: dict | list | None = None,
+    strategies: dict | None = None,
+    master_seed: int = 0,
+    backend: str = "serial",
+    workers: int | None = None,
+    eval_cache: EvalCache | str | Path | None = None,
+    batch_size: int = 1,
+    ledger: RunLedger | str | Path | None = None,
+    checkpoint_every: int = 10,
+    name: str = "search-study",
+) -> SearchStudyResult:
+    """Legacy-argument front end over the spec-driven study engine."""
+    bundle = bundle or load_bundle()
+    scale = scale or Scale.from_env()
+    if scenarios is not None and not isinstance(scenarios, (dict, list, tuple)):
+        raise TypeError(
+            f"scenarios must be a mapping, a list of names, or None, "
+            f"got {type(scenarios).__name__}"
+        )
+    if isinstance(scenarios, (list, tuple)):
+        scenarios = resolve_scenarios(scenarios)
+    spec = legacy_study_spec(
+        bundle,
+        scale,
+        scenarios=scenarios,
+        strategies=strategies,
+        master_seed=master_seed,
+        backend=backend,
+        workers=workers,
+        batch_size=batch_size,
+        checkpoint_every=checkpoint_every,
+        name=name,
+    )
+    return run_study(
+        spec, bundle=bundle, scale=scale, eval_cache=eval_cache, ledger=ledger
+    )
+
+
 def run_search_study(
     bundle: SpaceBundle | None = None,
     scale: Scale | None = None,
@@ -111,73 +238,27 @@ def run_search_study(
     ledger: RunLedger | str | Path | None = None,
     checkpoint_every: int = 10,
 ) -> SearchStudyResult:
-    """Run the full strategy x scenario grid.
+    """Deprecated: build a :class:`StudySpec` and call ``run_study``.
 
-    All (scenario, strategy, repeat) searches form one task bag handed
-    to :func:`repro.search.runner.run_grid`, so with
-    ``backend="process"`` independent pairs fan out across workers
-    alongside their repeats.  Results match the serial backend
-    result-for-result under the same ``master_seed``; ``eval_cache``
-    (an :class:`repro.parallel.EvalCache` or a path) warm-starts
-    evaluations across repeats, workers, and re-runs.
-
-    ``scenarios`` accepts a name -> builder mapping (as produced by
-    :func:`repro.core.scenarios.resolve_scenarios` or
-    :func:`repro.core.scenarios.load_scenario_file`) or a list of
-    registry scenario names; default: the paper's three.
-    ``batch_size`` passes through to every strategy's ask/tell driver.
-
-    ``ledger`` (a :class:`repro.parallel.RunLedger` or a path) makes
-    the study crash-safe and resumable: finished (scenario, strategy,
-    repeat) searches are persisted as they complete and interrupted
-    ones restart from their last ``checkpoint_every``-batch
-    checkpoint, so re-invoking the study with the same arguments picks
-    up where the crashed run stopped (see :func:`run_grid`).
+    Kept as a thin shim — the arguments convert via
+    :func:`legacy_study_spec` and run through the registry-driven
+    engine, producing results bit-identical to the historic closure
+    implementation (same per-repeat seeds, same evaluator wiring).
+    The ledger now pins the derived ``spec.to_dict()``, so resuming
+    still refuses any change to the experiment definition.
     """
-    bundle = bundle or load_bundle()
-    scale = scale or Scale.from_env()
-    if scenarios is None:
-        scenarios = PAPER_SCENARIOS
-    elif not isinstance(scenarios, dict):
-        scenarios = resolve_scenarios(scenarios)
-    strategies = strategies or STRATEGIES
-
-    search_space = JointSearchSpace(cell_encoding=bundle.cell_encoding)
-    # Every scenario shares the bundle's accuracy source and hardware
-    # models, and the cached triple never depends on the reward — so one
-    # store namespace lets scenarios warm-start from each other.
-    namespace = f"study/micro{bundle.cell_encoding.max_vertices}"
-    pareto_top100: dict[str, list[dict]] = {}
-    jobs: list[RepeatJob] = []
-    # Label -> (scenario, strategy); labels are opaque keys, so scenario
-    # names may contain any characters (including "/").
-    job_meta: dict[str, tuple[str, str]] = {}
-    # Pinned into the ledger alongside steps/seeds: a resume under an
-    # edited scenario *definition* (same name, different constraints)
-    # must be refused, not silently mixed with the old rows.
-    scenario_definitions: dict[str, dict] = {}
-    for scenario_name, scenario_factory in scenarios.items():
-        scenario = scenario_factory(bundle.bounds)
-        scenario_definitions[scenario_name] = scenario_to_dict(scenario)
-        pareto_top100[scenario_name] = top_pareto_by_reward(bundle, scenario)
-        evaluator = make_bundle_evaluator(bundle, scenario)
-        for strategy_name, strategy_cls in strategies.items():
-            label = f"{scenario_name}/{strategy_name}"
-            job_meta[label] = (scenario_name, strategy_name)
-            jobs.append(
-                RepeatJob(
-                    label=label,
-                    strategy_factory=lambda seed, cls=strategy_cls: cls(
-                        search_space, seed=seed
-                    ),
-                    evaluator_factory=lambda ev=evaluator, sc=scenario: ev.with_reward(sc),
-                    cache_scenario=namespace,
-                )
-            )
-    grid = run_grid(
-        jobs,
-        num_steps=scale.search_steps,
-        num_repeats=scale.num_repeats,
+    warnings.warn(
+        "run_search_study is deprecated: declare the experiment as a "
+        "repro.core.study.StudySpec (see repro.experiments.presets) and "
+        "call repro.core.study.run_study",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_search_study(
+        bundle,
+        scale,
+        scenarios=scenarios,
+        strategies=strategies,
         master_seed=master_seed,
         backend=backend,
         workers=workers,
@@ -185,14 +266,4 @@ def run_search_study(
         batch_size=batch_size,
         ledger=ledger,
         checkpoint_every=checkpoint_every,
-        ledger_context={"space": namespace, "scenarios": scenario_definitions},
-    )
-    outcomes: dict[str, dict[str, RepeatOutcome]] = {
-        scenario_name: {} for scenario_name in scenarios
-    }
-    for job in jobs:
-        scenario_name, strategy_name = job_meta[job.label]
-        outcomes[scenario_name][strategy_name] = grid[job.label]
-    return SearchStudyResult(
-        outcomes=outcomes, pareto_top100=pareto_top100, scale=scale
     )

@@ -79,7 +79,10 @@ def run_table3(
     """Build Table III (running the Fig. 7 search if not supplied).
 
     ``train_store`` passes through to :func:`run_fig7` so re-runs
-    warm-start from previously trained cells.
+    warm-start from previously trained cells.  The underlying search
+    is registry-built and preset-addressable: ``repro study run
+    table3`` runs the same threshold-schedule search from its
+    declarative spec (:mod:`repro.experiments.presets`).
     """
     fig7 = fig7 or run_fig7(scale=scale, seed=seed, train_store=train_store)
     return Table3Result(fig7=fig7)

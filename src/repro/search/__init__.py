@@ -3,6 +3,13 @@ random, evolution, threshold schedule — plus the repeat/grid engine."""
 
 from repro.search.base import Checkpoint, Proposal, SearchResult, SearchStrategy
 from repro.search.combined import CombinedSearch
+from repro.search.registry import (
+    StrategyError,
+    build_strategy,
+    get_strategy,
+    list_strategies,
+    register_strategy,
+)
 from repro.search.evolution import EvolutionSearch
 from repro.search.phase import PhaseSearch
 from repro.search.random_search import RandomSearch
@@ -28,6 +35,11 @@ __all__ = [
     "SearchStrategy",
     "CombinedSearch",
     "EvolutionSearch",
+    "StrategyError",
+    "build_strategy",
+    "get_strategy",
+    "list_strategies",
+    "register_strategy",
     "PhaseSearch",
     "RandomSearch",
     "RepeatJob",

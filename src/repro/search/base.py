@@ -140,6 +140,74 @@ class SearchStrategy:
         self.archive = SearchArchive()
         self._evaluator: CodesignEvaluator | None = None
 
+    # --- declarative construction ----------------------------------------
+    @classmethod
+    def allowed_params(cls) -> list[str]:
+        """Parameter names :meth:`from_params` accepts for this class.
+
+        The constructor's keyword hyper-parameters — everything except
+        ``search_space`` and ``seed``, which the caller supplies
+        positionally.  Shared by :meth:`from_params` and the
+        registry's ``validate_strategy_params`` so the two can never
+        disagree on what a strategy accepts.
+        """
+        import inspect
+
+        return [
+            p
+            for p in inspect.signature(cls.__init__).parameters
+            if p not in ("self", "search_space", "seed")
+        ]
+
+    @classmethod
+    def from_params(
+        cls,
+        seed: int | np.random.Generator | None,
+        search_space: JointSearchSpace | None = None,
+        **params,
+    ) -> "SearchStrategy":
+        """Construct from a flat, JSON-ready parameter mapping.
+
+        This is the constructor the strategy registry
+        (:mod:`repro.search.registry`) and the declarative
+        :class:`repro.core.study.StudySpec` path use: ``params`` holds
+        the strategy's keyword hyper-parameters as plain JSON values
+        (nested specs like ``reinforce_config`` dicts are coerced by
+        :meth:`_coerce_params`).  Unknown parameter names and values the
+        constructor rejects raise :class:`ValueError` with a message
+        naming the strategy and the offending field.
+        """
+        allowed = cls.allowed_params()
+        unknown = sorted(set(params) - set(allowed))
+        if unknown:
+            raise ValueError(
+                f"strategy {cls.name!r} got unknown parameter(s) {unknown}; "
+                f"allowed: {sorted(allowed)}"
+            )
+        try:
+            coerced = cls._coerce_params(dict(params))
+            return cls(search_space, seed=seed, **coerced)
+        except (TypeError, ValueError) as err:
+            raise ValueError(
+                f"cannot construct strategy {cls.name!r} from params "
+                f"{params!r}: {err}"
+            ) from err
+
+    @classmethod
+    def _coerce_params(cls, params: dict) -> dict:
+        """Turn JSON-ready parameter values into constructor arguments.
+
+        The base implementation understands the ``reinforce_config``
+        dict shared by the REINFORCE strategies; subclasses extend it
+        (and call super) for their own structured parameters.
+        """
+        config = params.get("reinforce_config")
+        if isinstance(config, dict):
+            from repro.rl.reinforce import ReinforceConfig
+
+            params["reinforce_config"] = ReinforceConfig(**config)
+        return params
+
     # --- ask/tell hooks ---------------------------------------------------
     def setup(self, evaluator: CodesignEvaluator, num_steps: int) -> None:
         """Reset per-run state.  Subclasses extend (and call super)."""

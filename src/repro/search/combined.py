@@ -86,3 +86,8 @@ class CombinedSearch(SearchStrategy):
         self._pending = None
         for result in results:
             self.archive.record(result, phase="combined")
+
+
+from repro.search.registry import register_strategy
+
+register_strategy(CombinedSearch)

@@ -134,3 +134,8 @@ class EvolutionSearch(SearchStrategy):
             )
             if evolving:
                 self.population.popleft()  # age out the oldest
+
+
+from repro.search.registry import register_strategy
+
+register_strategy(EvolutionSearch)

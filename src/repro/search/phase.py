@@ -178,3 +178,8 @@ class PhaseSearch(SearchStrategy):
         self._phase_left -= len(proposals)
         if self._phase_left == 0:
             self._end_phase()
+
+
+from repro.search.registry import register_strategy
+
+register_strategy(PhaseSearch)

@@ -30,3 +30,8 @@ class RandomSearch(SearchStrategy):
     ) -> None:
         for result in results:
             self.archive.record(result, phase="random")
+
+
+from repro.search.registry import register_strategy
+
+register_strategy(RandomSearch)

@@ -1,0 +1,162 @@
+"""Strategy registry: declarative name -> :class:`SearchStrategy` table.
+
+Every shipped strategy registers itself at import time (the bottom of
+its module calls :func:`register_strategy`), so a strategy is
+constructible from nothing but its registered name plus a flat,
+JSON-ready parameter mapping::
+
+    from repro.search.registry import build_strategy
+
+    strategy = build_strategy(
+        "evolution", seed=7, search_space=space, population_size=25
+    )
+
+This is the factory layer behind :class:`repro.core.study.StudySpec`:
+a spec names strategies as ``{"name": ..., "params": {...}}`` and the
+study builder resolves them here.  Third-party strategies join the
+same table with ``register_strategy(MyStrategy)`` (or as a class
+decorator) and become spec-constructible with no further wiring.
+
+Lookups lazily import the built-in strategy modules, so consumers may
+import this module alone without pulling in ``repro.search`` first.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.search.base import SearchStrategy
+
+__all__ = [
+    "StrategyError",
+    "register_strategy",
+    "get_strategy",
+    "strategy_name_of",
+    "list_strategies",
+    "validate_strategy_params",
+    "build_strategy",
+]
+
+#: The six built-in strategy modules; imported lazily on first lookup
+#: so each can register itself without import cycles.
+_BUILTIN_MODULES = (
+    "repro.search.combined",
+    "repro.search.evolution",
+    "repro.search.phase",
+    "repro.search.random_search",
+    "repro.search.separate",
+    "repro.search.threshold_schedule",
+)
+
+_REGISTRY: dict[str, type[SearchStrategy]] = {}
+
+
+class StrategyError(ValueError):
+    """A strategy name or its declarative params could not be resolved."""
+
+
+def _ensure_builtins() -> None:
+    import importlib
+
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+
+
+def register_strategy(
+    cls: type[SearchStrategy] | None = None,
+    name: str | None = None,
+    overwrite: bool = False,
+):
+    """Register a strategy class under ``name`` (default ``cls.name``).
+
+    Usable directly (``register_strategy(MyStrategy)``) or as a class
+    decorator.  Registering a *different* class under a taken name
+    raises unless ``overwrite`` is set; re-registering the same class
+    is a no-op, so modules can register at import time safely.
+    """
+
+    def _register(strategy_cls: type[SearchStrategy]) -> type[SearchStrategy]:
+        key = name or strategy_cls.name
+        existing = _REGISTRY.get(key)
+        if existing is not None and existing is not strategy_cls and not overwrite:
+            raise StrategyError(
+                f"strategy name {key!r} is already registered to "
+                f"{existing.__name__}; pass overwrite=True to replace it"
+            )
+        _REGISTRY[key] = strategy_cls
+        return strategy_cls
+
+    return _register if cls is None else _register(cls)
+
+
+def list_strategies() -> list[str]:
+    """Registered strategy names, sorted."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def get_strategy(name: str) -> type[SearchStrategy]:
+    """The strategy class registered under ``name``."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise StrategyError(
+            f"unknown strategy {name!r}; registered: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def strategy_name_of(cls: type[SearchStrategy]) -> str | None:
+    """The name ``cls`` is registered under, or ``None``."""
+    _ensure_builtins()
+    for name, registered in _REGISTRY.items():
+        if registered is cls:
+            return name
+    return None
+
+
+def validate_strategy_params(name: str, params: dict | None) -> None:
+    """Check ``params`` names against the strategy's constructor.
+
+    Raises :class:`StrategyError` naming the strategy and the unknown
+    field(s); value errors are left to construction time (some require
+    the search space).
+    """
+    cls = get_strategy(name)
+    if not params:
+        return
+    if not isinstance(params, dict):
+        raise StrategyError(
+            f"strategy {name!r}: params must be a mapping, "
+            f"got {type(params).__name__}"
+        )
+    allowed = cls.allowed_params()
+    unknown = sorted(set(params) - set(allowed))
+    if unknown:
+        raise StrategyError(
+            f"strategy {name!r} got unknown parameter(s) {unknown}; "
+            f"allowed: {sorted(allowed)}"
+        )
+
+
+def build_strategy(
+    name: str,
+    seed,
+    search_space=None,
+    **params,
+) -> SearchStrategy:
+    """Construct a registered strategy from its flat parameter mapping."""
+    cls = get_strategy(name)
+    try:
+        return cls.from_params(seed, search_space, **params)
+    except StrategyError:
+        raise
+    except ValueError as err:
+        raise StrategyError(str(err)) from err
+
+
+def iter_registered() -> Iterable[tuple[str, type[SearchStrategy]]]:
+    """(name, class) pairs currently registered."""
+    _ensure_builtins()
+    return sorted(_REGISTRY.items())

@@ -146,6 +146,17 @@ def make_batch_evaluator(
         # Undo the round-robin split, preserving input order.
         results: list = [None] * len(pairs)
         for lane, chunk_results in enumerate(chunked):
+            if len(chunk_results) != len(chunks[lane]):
+                # Same contract SearchStrategy.run enforces on the whole
+                # batch: results pair with proposals positionally, so a
+                # short/long chunk would silently shift every later
+                # lane's results onto the wrong proposals.
+                raise RuntimeError(
+                    f"batch evaluator worker chunk {lane} returned "
+                    f"{len(chunk_results)} results for {len(chunks[lane])} "
+                    "pairs — evaluate_batch must return exactly one "
+                    "result per input pair, in order"
+                )
             for j, result in enumerate(chunk_results):
                 results[lane + j * n_workers] = result
         # Workers counted evaluations on their forked copies only; keep
@@ -443,6 +454,7 @@ def run_repeats(
     batch_size: int = 1,
     ledger: RunLedger | str | Path | None = None,
     checkpoint_every: int = 10,
+    label: str | None = None,
 ) -> RepeatOutcome:
     """Run ``num_repeats`` independent searches of one experiment.
 
@@ -451,9 +463,33 @@ def run_repeats(
     one evaluator across serial repeats is safe and reuses the metric
     caches.  See :func:`run_grid` for ``backend`` / ``workers`` /
     ``eval_cache`` / ``batch_size`` / ``ledger`` semantics.
+
+    ``label`` keys the experiment's ledger task rows.  By default it
+    is derived from the factories as ``"<scenario>/<strategy>"`` — the
+    same convention the grid-level entry points use — so the rows a
+    ``run_repeats`` run persists are interchangeable with those of an
+    equivalent single-job :func:`run_grid` (historically the label was
+    hardcoded to ``"job"``, which made every ``run_repeats`` ledger
+    collide with every other).  Without a ledger the label never
+    leaves this function, so no derivation happens.
     """
+    if label is None:
+        if ledger is None:
+            label = "job"  # internal-only key, nothing persists it
+        else:
+            # Probe the factories once: a throwaway strategy (repeat-0
+            # seed, never run) names the strategy; a throwaway
+            # evaluator names the scenario.  Evaluation state is
+            # untouched — every repeat still builds its own strategy,
+            # and evaluator factories already tolerate per-task
+            # invocation.
+            strategy_name = strategy_factory(
+                hash_seed("repeat", master_seed, 0)
+            ).name
+            scenario_name = evaluator_factory().reward_fn.config.name
+            label = f"{scenario_name}/{strategy_name}"
     outcomes = run_grid(
-        [RepeatJob("job", strategy_factory, evaluator_factory)],
+        [RepeatJob(label, strategy_factory, evaluator_factory)],
         num_steps=num_steps,
         num_repeats=num_repeats,
         master_seed=master_seed,
@@ -464,7 +500,7 @@ def run_repeats(
         ledger=ledger,
         checkpoint_every=checkpoint_every,
     )
-    return outcomes["job"]
+    return outcomes[label]
 
 
 def mean_reward_trace(

@@ -173,3 +173,8 @@ class SeparateSearch(SearchStrategy):
             stage1_best=self._best_spec,
             stage1_accuracy=self._best_accuracy,
         )
+
+
+from repro.search.registry import register_strategy
+
+register_strategy(SeparateSearch)

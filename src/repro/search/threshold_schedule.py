@@ -88,6 +88,42 @@ class ThresholdScheduleSearch(SearchStrategy):
         )
         self.trainer = ReinforceTrainer(self.policy, reinforce_config)
 
+    # --- declarative construction --------------------------------------
+    @classmethod
+    def _coerce_params(cls, params: dict) -> dict:
+        """JSON forms of ``rungs`` / ``bounds`` -> their value objects.
+
+        ``rungs`` entries may be ``[threshold, target, max_steps]``
+        triples or ``{"threshold": ..., "target_valid_points": ...,
+        "max_steps": ...}`` mappings; ``bounds`` is a mapping of metric
+        name to ``[lo, hi]`` (the :class:`MetricBounds` fields).
+        """
+        params = super()._coerce_params(params)
+        rungs = params.get("rungs")
+        if rungs is not None and not all(
+            isinstance(r, ThresholdRung) for r in rungs
+        ):
+            coerced = []
+            for rung in rungs:
+                if isinstance(rung, ThresholdRung):
+                    coerced.append(rung)
+                elif isinstance(rung, dict):
+                    coerced.append(ThresholdRung(**rung))
+                elif isinstance(rung, (list, tuple)) and len(rung) == 3:
+                    coerced.append(ThresholdRung(*rung))
+                else:
+                    raise ValueError(
+                        f"rung {rung!r} must be a [threshold, "
+                        "target_valid_points, max_steps] triple or mapping"
+                    )
+            params["rungs"] = coerced
+        bounds = params.get("bounds")
+        if isinstance(bounds, dict):
+            params["bounds"] = MetricBounds(
+                **{name: tuple(pair) for name, pair in bounds.items()}
+            )
+        return params
+
     # --- checkpoint/resume ---------------------------------------------
     def state_dict(self) -> dict:
         state = super().state_dict()
@@ -235,3 +271,8 @@ class ThresholdScheduleSearch(SearchStrategy):
                 if best is None or entry.metrics.accuracy > best.metrics.accuracy:
                     best = entry
         return best
+
+
+from repro.search.registry import register_strategy
+
+register_strategy(ThresholdScheduleSearch)

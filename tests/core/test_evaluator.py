@@ -196,3 +196,60 @@ class TestEvaluateBatchExactness:
         batched = ev.evaluate_batch(pairs)
         pointwise = [ev.evaluate(s, c) for s, c in pairs]
         self._assert_results_identical(batched, pointwise)
+
+
+class TestAccuracySourceRegistry:
+    def test_builtin_sources_registered(self):
+        from repro.core.evaluator import list_accuracy_sources
+
+        assert set(list_accuracy_sources()) >= {
+            "database", "surrogate", "cifar100-trainer",
+        }
+
+    def test_database_requires_bundle(self):
+        from repro.core.evaluator import AccuracySourceError, build_evaluator
+
+        with pytest.raises(AccuracySourceError, match="bundle"):
+            build_evaluator("database", unconstrained())
+
+    def test_unknown_source_and_params_actionable(self):
+        from repro.core.evaluator import AccuracySourceError, build_evaluator
+
+        with pytest.raises(AccuracySourceError, match="registered:"):
+            build_evaluator("oracle", unconstrained())
+        with pytest.raises(AccuracySourceError, match="noise"):
+            build_evaluator("surrogate", unconstrained(), {"noise": 1.0})
+
+    def test_surrogate_params_reach_surrogate(self):
+        from repro.core.evaluator import build_evaluator
+
+        evaluator = build_evaluator(
+            "surrogate", unconstrained(), {"seed": 7, "noise_std": 0.0}
+        )
+        surrogate = evaluator.source_info["surrogate"]
+        assert (surrogate.seed, surrogate.noise_std) == (7, 0.0)
+
+    def test_skeleton_param_pins_namespace(self):
+        from repro.core.evaluator import accuracy_source_namespace
+
+        for source in ("database", "surrogate", "cifar100-trainer"):
+            plain = accuracy_source_namespace(source)
+            stacked = accuracy_source_namespace(
+                source, {"skeleton": {"num_stacks": 2}}
+            )
+            assert plain != stacked, source
+
+    def test_bad_skeleton_field_rejected(self):
+        from repro.core.evaluator import AccuracySourceError, build_evaluator
+
+        with pytest.raises(AccuracySourceError, match="skeleton"):
+            build_evaluator(
+                "surrogate", unconstrained(), {"skeleton": {"depth": 3}}
+            )
+
+    def test_with_reward_carries_source_info(self):
+        from repro.core.evaluator import build_evaluator
+
+        evaluator = build_evaluator("surrogate", unconstrained())
+        clone = evaluator.with_reward(unconstrained())
+        assert clone.source_info is evaluator.source_info

@@ -1,0 +1,454 @@
+"""Tests for the declarative study API (StudySpec + run_study)."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.scenarios import unconstrained
+from repro.core.search_space import JointSearchSpace
+from repro.core.study import (
+    EvaluatorSpec,
+    ExecutionSpec,
+    StrategySpec,
+    StudyError,
+    StudySpec,
+    build_study,
+    parse_assignments,
+    replace_execution,
+    run_study,
+)
+from repro.experiments.common import Scale
+from repro.experiments.presets import get_preset, list_presets, resolve_spec
+from repro.experiments.search_study import make_bundle_evaluator
+from repro.parallel.ledger import LedgerError
+from repro.search.combined import CombinedSearch
+from repro.search.runner import RepeatJob, run_grid
+
+TINY = Scale(name="tiny", search_steps=25, num_repeats=2, fig7_target_scale=0.05)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def tiny_spec(**execution) -> StudySpec:
+    execution = {"num_steps": 10, "num_repeats": 1, **execution}
+    return StudySpec(
+        name="tiny",
+        strategies=({"name": "random"},),
+        scenarios=("unconstrained",),
+        evaluator={"source": "surrogate"},
+        execution=execution,
+    )
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("preset", [
+        "search-study", "fig5", "fig6", "fig7", "table2", "table3",
+        "ablation-punishment", "ablation-random", "smoke",
+    ])
+    def test_preset_round_trips(self, preset):
+        spec = get_preset(preset)
+        assert StudySpec.from_dict(spec.to_dict()) == spec
+        assert StudySpec.from_json(spec.to_json()) == spec
+        # to_dict must be pure JSON (no tuples / numpy scalars).
+        json.dumps(spec.to_dict())
+
+    def test_parametrized_presets_cover_all_shipped(self):
+        assert set(list_presets()) == {
+            "search-study", "fig5", "fig6", "fig7", "table2", "table3",
+            "ablation-punishment", "ablation-random", "smoke",
+        }
+
+    def test_round_trip_with_inline_scenarios_and_params(self):
+        spec = StudySpec(
+            name="custom",
+            strategies=(
+                {"name": "evolution", "params": {"population_size": 8}},
+                {"name": "evolution", "params": {"population_size": 4},
+                 "label": "evolution-small"},
+            ),
+            scenarios=(
+                "perf-area>=16",
+                {"name": "edge", "weights": [0.2, 0.6, 0.2],
+                 "constraints": {"max_area_mm2": 120.0}},
+            ),
+            evaluator={"source": "surrogate", "params": {"seed": 9}},
+            execution={"num_steps": 50, "batch_size": 4},
+        )
+        assert StudySpec.from_dict(json.loads(spec.to_json())) == spec
+
+    def test_file_round_trip(self, tmp_path):
+        spec = get_preset("smoke")
+        path = tmp_path / "smoke.json"
+        path.write_text(spec.to_json())
+        assert StudySpec.from_file(path) == spec
+
+    def test_shipped_example_matches_fig5_preset(self):
+        example = REPO_ROOT / "examples" / "study_fig5.json"
+        assert StudySpec.from_file(example) == get_preset("fig5")
+
+
+class TestValidation:
+    def base(self) -> dict:
+        return {
+            "name": "x",
+            "strategies": [{"name": "random"}],
+            "scenarios": ["unconstrained"],
+        }
+
+    def test_unknown_strategy_name(self):
+        data = self.base()
+        data["strategies"] = [{"name": "gradient-descent"}]
+        with pytest.raises(StudyError, match="unknown strategy 'gradient-descent'"):
+            StudySpec.from_dict(data)
+
+    def test_unknown_strategy_param(self):
+        data = self.base()
+        data["strategies"] = [{"name": "evolution", "params": {"popsize": 3}}]
+        with pytest.raises(StudyError, match="popsize"):
+            StudySpec.from_dict(data)
+
+    def test_bad_param_type_raises_at_build(self):
+        data = self.base()
+        data["strategies"] = [
+            {"name": "evolution", "params": {"population_size": "big"}}
+        ]
+        spec = StudySpec.from_dict(data)  # names are fine...
+        with pytest.raises(Exception, match="population_size|'<'"):
+            build_study(
+                replace_execution(spec, num_steps=5, num_repeats=1),
+                scale=TINY,
+            ).jobs[0].strategy_factory(0)
+
+    def test_unknown_scenario_name(self):
+        data = self.base()
+        data["scenarios"] = ["zero-latency"]
+        with pytest.raises(StudyError, match="unknown scenario 'zero-latency'"):
+            StudySpec.from_dict(data)
+
+    def test_malformed_inline_scenario(self):
+        data = self.base()
+        data["scenarios"] = [{"name": "bad", "weights": [1.0]}]
+        with pytest.raises(StudyError, match="weights"):
+            StudySpec.from_dict(data)
+
+    def test_conflicting_scenario_refs(self):
+        data = self.base()
+        data["scenarios"] = [
+            "unconstrained",
+            {"name": "unconstrained", "weights": [1.0, 0.0, 0.0]},
+        ]
+        with pytest.raises(StudyError, match="referenced more than once"):
+            StudySpec.from_dict(data)
+
+    def test_duplicate_strategy_labels(self):
+        data = self.base()
+        data["strategies"] = [{"name": "random"}, {"name": "random"}]
+        with pytest.raises(StudyError, match="duplicate strategy label"):
+            StudySpec.from_dict(data)
+
+    def test_unknown_accuracy_source(self):
+        data = self.base()
+        data["evaluator"] = {"source": "oracle"}
+        with pytest.raises(StudyError, match="unknown accuracy source 'oracle'"):
+            StudySpec.from_dict(data)
+
+    def test_unknown_top_level_field(self):
+        data = self.base()
+        data["strategy"] = []
+        with pytest.raises(StudyError, match="unknown field"):
+            StudySpec.from_dict(data)
+
+    def test_bad_execution_values(self):
+        for field, value in (
+            ("batch_size", 0),
+            ("num_steps", 0),
+            ("backend", "gpu"),
+            ("master_seed", 1.5),
+            ("workers", 0),
+        ):
+            data = self.base()
+            data["execution"] = {field: value}
+            with pytest.raises(StudyError, match=field):
+                StudySpec.from_dict(data)
+
+    def test_non_json_param_rejected(self):
+        with pytest.raises(StudyError, match="JSON"):
+            StrategySpec("random", params={"rng": object()})
+
+    def test_empty_strategies_rejected(self):
+        with pytest.raises(StudyError, match="strategies"):
+            StudySpec(name="x", strategies=(), scenarios=("unconstrained",))
+
+    def test_bad_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(StudyError, match="not valid JSON"):
+            StudySpec.from_file(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StudyError, match="not found"):
+            StudySpec.from_file(tmp_path / "missing.json")
+
+
+class TestOverrides:
+    def test_set_nested_field(self):
+        spec = get_preset("fig5").with_overrides(
+            {"execution.batch_size": 16, "strategies.1.name": "random"}
+        )
+        assert spec.execution.batch_size == 16
+        assert spec.strategies[1].name == "random"
+
+    def test_unknown_path_rejected(self):
+        with pytest.raises(StudyError, match="no field 'betch_size'"):
+            get_preset("fig5").with_overrides({"execution.betch_size": 1})
+
+    def test_list_index_out_of_range(self):
+        with pytest.raises(StudyError, match="out of range"):
+            get_preset("fig5").with_overrides({"strategies.7.name": "random"})
+
+    def test_override_validates_result(self):
+        with pytest.raises(StudyError, match="unknown strategy"):
+            get_preset("fig5").with_overrides({"strategies.0.name": "nope"})
+
+    def test_parse_assignments_json_and_string(self):
+        parsed = parse_assignments(
+            ["execution.batch_size=16", "execution.backend=process",
+             "execution.workers=null"]
+        )
+        assert parsed == {
+            "execution.batch_size": 16,
+            "execution.backend": "process",
+            "execution.workers": None,
+        }
+
+    def test_parse_assignments_rejects_bare_word(self):
+        with pytest.raises(StudyError, match="path=value"):
+            parse_assignments(["batch_size"])
+
+
+class TestResolveSpec:
+    def test_preset_name(self):
+        assert resolve_spec("smoke") == get_preset("smoke")
+
+    def test_json_path(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(get_preset("smoke").to_json())
+        assert resolve_spec(path) == get_preset("smoke")
+
+    def test_unknown_preset(self):
+        with pytest.raises(StudyError, match="unknown study preset"):
+            resolve_spec("fig99")
+
+
+class TestRunStudy:
+    def test_spec_path_bit_identical_to_legacy_closures(self, micro4_bundle):
+        """One strategy x scenario: run_study == hand-rolled closures."""
+        scenario = unconstrained(micro4_bundle.bounds)
+        space = JointSearchSpace(cell_encoding=micro4_bundle.cell_encoding)
+        evaluator = make_bundle_evaluator(micro4_bundle, scenario)
+        legacy = run_grid(
+            [
+                RepeatJob(
+                    label="unconstrained/combined",
+                    strategy_factory=lambda seed: CombinedSearch(space, seed=seed),
+                    evaluator_factory=lambda: evaluator.with_reward(scenario),
+                    cache_scenario="study/micro4",
+                )
+            ],
+            num_steps=TINY.search_steps,
+            num_repeats=TINY.num_repeats,
+            master_seed=5,
+        )["unconstrained/combined"]
+
+        spec = StudySpec(
+            name="equivalence",
+            strategies=({"name": "combined"},),
+            scenarios=("unconstrained",),
+            evaluator={"source": "database"},
+            execution={"master_seed": 5, "batch_size": 1},
+        )
+        study = run_study(spec, bundle=micro4_bundle, scale=TINY)
+        outcome = study.outcomes["unconstrained"]["combined"]
+        assert len(outcome.results) == len(legacy.results)
+        for ours, theirs in zip(outcome.results, legacy.results):
+            assert np.array_equal(
+                ours.reward_trace(), theirs.reward_trace(), equal_nan=True
+            )
+            assert (ours.best is None) == (theirs.best is None)
+            if ours.best is not None:
+                assert ours.best.reward == theirs.best.reward
+
+    def test_pareto_reference_only_for_bundle_sources(self, micro4_bundle):
+        spec = StudySpec(
+            name="db",
+            strategies=({"name": "random"},),
+            scenarios=("unconstrained",),
+            evaluator={"source": "database"},
+            execution={"num_steps": 10, "num_repeats": 1},
+        )
+        with_bundle = run_study(spec, bundle=micro4_bundle, scale=TINY)
+        assert list(with_bundle.pareto_top100) == ["unconstrained"]
+        surrogate = run_study(tiny_spec(), scale=TINY)
+        assert surrogate.pareto_top100 == {}
+
+    def test_all_six_strategies_constructible_and_runnable(self, micro4_bundle):
+        spec = StudySpec(
+            name="all-strategies",
+            strategies=(
+                {"name": "random"},
+                {"name": "evolution",
+                 "params": {"population_size": 4, "tournament_size": 2}},
+                {"name": "combined"},
+                {"name": "separate", "params": {"cnn_fraction": 0.5}},
+                {"name": "phase",
+                 "params": {"cnn_phase_steps": 4, "hw_phase_steps": 2}},
+                {"name": "threshold-schedule",
+                 "params": {"rungs": [[2.0, 2, 8], [8.0, 2, 8]]}},
+            ),
+            scenarios=("unconstrained",),
+            evaluator={"source": "database"},
+            execution={"num_steps": 8, "num_repeats": 1},
+        )
+        study = run_study(spec, bundle=micro4_bundle, scale=TINY)
+        by_strategy = study.outcomes["unconstrained"]
+        assert set(by_strategy) == {
+            "random", "evolution", "combined", "separate", "phase",
+            "threshold-schedule",
+        }
+        for outcome in by_strategy.values():
+            assert len(outcome.results) == 1
+            assert len(outcome.results[0].archive) > 0
+
+    def test_both_accuracy_sources_from_spec(self, micro4_bundle):
+        for source, bundle in (("database", micro4_bundle), ("surrogate", None)):
+            spec = StudySpec(
+                name=f"src-{source}",
+                strategies=({"name": "random"},),
+                scenarios=("unconstrained",),
+                evaluator={"source": source},
+                execution={"num_steps": 6, "num_repeats": 1},
+            )
+            study = run_study(spec, bundle=bundle, scale=TINY)
+            assert len(study.outcomes["unconstrained"]["random"].results) == 1
+
+    def test_ledger_pins_spec_and_refuses_edits(self, tmp_path):
+        ledger_path = tmp_path / "study.ledger"
+        spec = tiny_spec(ledger=str(ledger_path))
+        first = run_study(spec, scale=TINY)
+        assert len(first.outcomes["unconstrained"]["random"].results) == 1
+        # Same spec resumes fine (results load from the ledger).
+        again = run_study(spec, scale=TINY)
+        assert np.array_equal(
+            first.outcomes["unconstrained"]["random"].results[0].reward_trace(),
+            again.outcomes["unconstrained"]["random"].results[0].reward_trace(),
+            equal_nan=True,
+        )
+        # Any spec whose to_dict() differs is refused.
+        edited = spec.with_overrides({"evaluator.params.seed": 9})
+        with pytest.raises(LedgerError):
+            run_study(edited, scale=TINY)
+
+    def test_execution_cache_path_used(self, tmp_path):
+        cache_path = tmp_path / "evals.sqlite"
+        spec = tiny_spec(cache=str(cache_path))
+        run_study(spec, scale=TINY)
+        assert cache_path.exists()
+
+    def test_ledger_pins_resolved_scenarios_and_namespace(self, tmp_path):
+        from repro.parallel.ledger import RunLedger
+
+        ledger_path = tmp_path / "pin.ledger"
+        run_study(tiny_spec(), scale=TINY, ledger=str(ledger_path))
+        with RunLedger(ledger_path) as ledger:
+            context = ledger.run_config()["context"]
+        assert context["space"].startswith("study/surrogate")
+        # The *resolved* definition is pinned, not just the name — a
+        # registry builder that quietly changes refuses to resume.
+        assert context["scenarios"]["unconstrained"]["weights"] == [0.1, 0.8, 0.1]
+
+    def test_store_reaches_training_source(self, tmp_path):
+        from repro.parallel.cache import EvalCache
+
+        spec = StudySpec(
+            name="trainer-store",
+            strategies=(
+                {"name": "threshold-schedule",
+                 "params": {"rungs": [[2.0, 2, 8]]}},
+            ),
+            scenarios=(
+                {"name": "cifar100", "weights": [0.0, 0.0, 1.0],
+                 "constraints": {"min_perf_per_area": 2.0}},
+            ),
+            evaluator={"source": "cifar100-trainer"},
+            execution={"num_steps": 4, "num_repeats": 1},
+        )
+        store = EvalCache(tmp_path / "train.sqlite")
+        study = build_study(spec, scale=TINY, store=store)
+        evaluator = study.jobs[0].evaluator_factory()
+        assert evaluator.source_info["cached"].store is store
+
+    def test_spec_in_result_extras(self):
+        spec = tiny_spec()
+        study = run_study(spec, scale=TINY)
+        assert study.extras["spec"] == spec
+
+    def test_scale_fills_unpinned_budget(self, micro4_bundle):
+        spec = StudySpec(
+            name="scaled",
+            strategies=({"name": "random"},),
+            scenarios=("unconstrained",),
+            evaluator={"source": "database"},
+        )
+        study = run_study(spec, bundle=micro4_bundle, scale=TINY)
+        outcome = study.outcomes["unconstrained"]["random"]
+        assert len(outcome.results) == TINY.num_repeats
+        assert len(outcome.results[0].archive) == TINY.search_steps
+
+
+class TestBuildStudy:
+    def test_jobs_and_meta(self, micro4_bundle):
+        study = build_study(get_preset("fig5"), bundle=micro4_bundle, scale=TINY)
+        assert len(study.jobs) == 9  # 3 strategies x 3 scenarios
+        labels = {job.label for job in study.jobs}
+        assert "unconstrained/combined" in labels
+        assert study.job_meta["unconstrained/combined"] == (
+            "unconstrained", "combined",
+        )
+        assert study.num_steps == TINY.search_steps
+        assert study.num_repeats == TINY.num_repeats
+
+    def test_replace_execution_keeps_nones(self):
+        spec = tiny_spec()
+        assert replace_execution(spec) is spec
+        bumped = replace_execution(spec, batch_size=3, workers=None)
+        assert bumped.execution.batch_size == 3
+        assert bumped.execution.num_steps == spec.execution.num_steps
+
+
+class TestLegacyShim:
+    def test_run_search_study_warns_and_matches_run_study(self, micro4_bundle):
+        from repro.experiments.search_study import run_search_study
+
+        with pytest.warns(DeprecationWarning, match="StudySpec"):
+            legacy = run_search_study(micro4_bundle, TINY, master_seed=2)
+        spec = StudySpec(
+            name="search-study",
+            strategies=(
+                {"name": "combined"}, {"name": "phase"}, {"name": "separate"},
+            ),
+            scenarios=("unconstrained", "1-constraint", "2-constraints"),
+            evaluator={"source": "database"},
+            execution={"master_seed": 2},
+        )
+        fresh = run_study(spec, bundle=micro4_bundle, scale=TINY)
+        for scenario in legacy.outcomes:
+            for strategy, outcome in legacy.outcomes[scenario].items():
+                for ours, theirs in zip(
+                    fresh.outcomes[scenario][strategy].results, outcome.results
+                ):
+                    assert np.array_equal(
+                        ours.reward_trace(), theirs.reward_trace(),
+                        equal_nan=True,
+                    )
