@@ -13,7 +13,8 @@ Quick tour
 >>> AreaModel().area_mm2(config)             # doctest: +SKIP
 
 Package map: :mod:`repro.nasbench` (CNN search space),
-:mod:`repro.accelerator` (HW design space + models), :mod:`repro.core`
+:mod:`repro.accelerator` (HW design space + models), :mod:`repro.hw`
+(pluggable hardware-platform registry), :mod:`repro.core`
 (metrics/reward/evaluator/Pareto), :mod:`repro.rl` (numpy REINFORCE),
 :mod:`repro.search` (combined/phase/separate strategies + the repeat
 engine), :mod:`repro.parallel` (process fan-out + persistent eval

@@ -16,11 +16,19 @@ Usage::
     python -m repro study show fig5
     python -m repro study run fig5 --set execution.batch_size=16
     python -m repro study run examples/study_fig5.json --set execution.num_steps=5
+    python -m repro hw list
+    python -m repro hw show dac2020-scaled
+    python -m repro run fig5 --hardware embedded-lite
+    python -m repro study run smoke --hardware dac2020-scaled --set 'hardware.params.clock_mhz=300'
+    python -m repro study run hw-sweep
 
 ``repro study`` drives the declarative experiment API
 (:mod:`repro.core.study`): ``show`` prints a preset (or spec file) as
-JSON, ``run`` materializes it through the strategy / accuracy-source
-registries and runs the grid.  ``--set path=value`` overrides single
+JSON, ``run`` materializes it through the strategy / accuracy-source /
+hardware-platform registries and runs the grid.  ``repro hw`` inspects
+the hardware-platform registry (:mod:`repro.hw`); ``--hardware NAME``
+swaps the platform the search-study experiments (and fig7) evaluate
+on — evaluations from different platforms never share cache rows.  ``--set path=value`` overrides single
 spec fields (dotted paths into the JSON structure, values parsed as
 JSON with a plain-string fallback); a spec whose ``execution.ledger``
 names a file is crash-safe, and resuming it with *any* edited spec is
@@ -71,6 +79,12 @@ from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 from repro.experiments.table3 import run_table3
 from repro.experiments.validation import run_validation
+from repro.hw import (
+    HardwarePlatformError,
+    build_platform,
+    get_platform,
+    list_platforms,
+)
 from repro.parallel import EvalCache, RunLedger
 
 __all__ = ["main", "RunContext", "EXPERIMENTS"]
@@ -88,6 +102,7 @@ class RunContext:
     batch_size: int = 1
     ledger: RunLedger | None = None
     checkpoint_every: int = 10
+    hardware: str | None = None
     _study: object = None
 
     @property
@@ -112,6 +127,7 @@ class RunContext:
                 batch_size=self.batch_size,
                 ledger=self.ledger,
                 checkpoint_every=self.checkpoint_every,
+                hardware=self.hardware,
             )
         return self._study
 
@@ -146,7 +162,12 @@ def _run_fig56(ctx: RunContext) -> str:
 
 
 def _run_fig7(ctx: RunContext) -> str:
-    fig7 = run_fig7(scale=ctx.scale, seed=ctx.seed, train_store=ctx.eval_cache)
+    fig7 = run_fig7(
+        scale=ctx.scale,
+        seed=ctx.seed,
+        train_store=ctx.eval_cache,
+        platform=build_platform(ctx.hardware) if ctx.hardware else None,
+    )
     return "\n\n".join(
         [fig7.to_markdown(), run_table2(fig7).to_markdown(), run_table3(fig7).to_markdown()]
     )
@@ -172,6 +193,10 @@ EXPERIMENTS: dict[str, Callable[[RunContext], str]] = {
 #: --scenario / --scenario-file / --batch-size apply to.
 STUDY_EXPERIMENTS = ("fig5", "fig6", "fig5+6")
 
+#: Experiments that evaluate on a hardware platform — the ones
+#: --hardware applies to (the search study plus the fig7 flow).
+HARDWARE_EXPERIMENTS = STUDY_EXPERIMENTS + ("fig7",)
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -189,6 +214,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "their last checkpoint)",
     )
     _add_run_arguments(resume)
+    hw = sub.add_parser(
+        "hw",
+        help="hardware-platform registry: list registered platforms or "
+        "show one platform's parameters and config space (see repro.hw)",
+    )
+    hw_sub = hw.add_subparsers(dest="hw_command", required=True)
+    hw_sub.add_parser("list", help="list registered hardware platforms")
+    hw_show = hw_sub.add_parser(
+        "show", help="print one platform's description as JSON"
+    )
+    hw_show.add_argument(
+        "platform",
+        metavar="PLATFORM",
+        help="a registered platform name (see 'repro hw list')",
+    )
     study = sub.add_parser(
         "study",
         help="declarative experiments: run/show StudySpec presets or "
@@ -216,6 +256,14 @@ def _build_parser() -> argparse.ArgumentParser:
             help="override one spec field by dotted path, e.g. "
             "--set execution.batch_size=16 (repeatable; values parse "
             "as JSON, falling back to strings)",
+        )
+        sp.add_argument(
+            "--hardware",
+            default=None,
+            metavar="PLATFORM",
+            help="replace the spec's hardware field with this registered "
+            "platform (shorthand for overriding 'hardware'; applied "
+            "before --set, so --set hardware.params.X=... can refine it)",
         )
         if command == "run":
             sp.add_argument(
@@ -275,6 +323,15 @@ def _add_run_arguments(run: argparse.ArgumentParser) -> None:
         help="add every scenario declared in a JSON spec file to the "
         "search study (one spec object or a list; see "
         "docs/reproducing.md for the format)",
+    )
+    run.add_argument(
+        "--hardware",
+        default=None,
+        metavar="PLATFORM",
+        help="evaluate on this registered hardware platform instead of the "
+        "reference dac2020 (see 'repro hw list'; applies to "
+        "fig5/fig6/fig5+6/fig7 — platform evaluations never share "
+        "cache rows with other platforms)",
     )
     run.add_argument(
         "--batch-size",
@@ -343,6 +400,25 @@ def _study_markdown(result) -> str:
     return "\n".join(lines)
 
 
+def _main_hw(args, parser: argparse.ArgumentParser) -> int:
+    import json
+
+    if args.hw_command == "list":
+        for name in list_platforms():
+            print(name)
+        return 0
+    try:
+        entry = get_platform(args.platform)
+        platform = build_platform(args.platform)
+    except HardwarePlatformError as err:
+        parser.error(str(err))
+    description = dict(platform.describe())
+    if entry.description:
+        description["description"] = entry.description
+    print(json.dumps(description, indent=2))
+    return 0
+
+
 def _main_study(args, parser: argparse.ArgumentParser) -> int:
     if args.study_command == "list":
         for name in list_presets():
@@ -350,6 +426,8 @@ def _main_study(args, parser: argparse.ArgumentParser) -> int:
         return 0
     try:
         spec = resolve_spec(args.spec)
+        if args.hardware is not None:
+            spec = spec.with_overrides({"hardware": {"name": args.hardware}})
         overrides = parse_assignments(args.overrides)
         if overrides:
             spec = spec.with_overrides(overrides)
@@ -379,6 +457,8 @@ def _main_study(args, parser: argparse.ArgumentParser) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if args.command == "hw":
+        return _main_hw(args, parser)
     if args.command == "study":
         return _main_study(args, parser)
     if getattr(args, "workers", None) is not None and args.workers < 1:
@@ -425,6 +505,26 @@ def main(argv: list[str] | None = None) -> int:
                 f"{', '.join(uses_study)}; {', '.join(ignored)} run unchanged",
                 file=sys.stderr,
             )
+    if args.hardware is not None:
+        try:
+            get_platform(args.hardware)
+        except HardwarePlatformError as err:
+            parser.error(str(err))
+        selected = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        uses_hw = [name for name in selected if name in HARDWARE_EXPERIMENTS]
+        if not uses_hw:
+            parser.error(
+                f"--hardware only affects the platform-evaluating "
+                f"experiments ({', '.join(HARDWARE_EXPERIMENTS)}); "
+                f"'{args.experiment}' would ignore it"
+            )
+        ignored = [name for name in selected if name not in HARDWARE_EXPERIMENTS]
+        if ignored:
+            print(
+                f"note: --hardware affects only {', '.join(uses_hw)}; "
+                f"{', '.join(ignored)} run unchanged",
+                file=sys.stderr,
+            )
 
     scenarios = None
     if args.scenario or args.scenario_file:
@@ -448,6 +548,7 @@ def main(argv: list[str] | None = None) -> int:
         batch_size=args.batch_size,
         ledger=RunLedger(args.ledger) if args.ledger is not None else None,
         checkpoint_every=args.checkpoint_every,
+        hardware=args.hardware,
     )
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     reports = []

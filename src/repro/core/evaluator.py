@@ -8,15 +8,22 @@ Given a proposed (cell, accelerator) pair the evaluator:
    :class:`repro.nasbench.CellDatabase` (the NASBench-style flow of
    Section III), any callable such as a surrogate or real trainer
    (the CIFAR-100 flow of Section IV);
-3. compiles the cell and schedules it on the accelerator for latency,
-   and runs the area model — both memoized, since searches revisit
+3. compiles the cell and asks its :class:`repro.hw.HardwarePlatform`
+   for latency and area — both memoized, since searches revisit
    configurations frequently;
 4. maps the metric vector through the scenario's reward function.
 
+The hardware side is a swappable backend: the evaluator never
+constructs area/latency models itself, it queries whatever platform it
+was given (default: the registered ``dac2020`` reference platform,
+bit-identical to the historical hardwired models — see
+:mod:`repro.hw`).
+
 Memoization is layered: an optional shared persistent
 :class:`repro.parallel.EvalCache` (consulted first, so repeats, worker
-processes, and re-runs warm-start each other) in front of the private
-in-memory dicts.  Both layers store pure functions of their keys, so
+processes, and re-runs warm-start each other) in front of private
+in-memory LRU maps (bounded, so multi-million-point sweeps run in
+constant memory).  Both layers store pure functions of their keys, so
 caching never changes results — only evaluation cost.
 """
 
@@ -28,9 +35,9 @@ from typing import Callable, Sequence
 from repro.accelerator.area import AreaModel
 from repro.accelerator.config import AcceleratorConfig
 from repro.accelerator.latency import LatencyModel
-from repro.accelerator.lut import LatencyLUT, config_key
-from repro.accelerator.scheduler import schedule_network
+from repro.accelerator.lut import config_key
 from repro.core.metrics import Metrics
+from repro.hw import Dac2020Platform, HardwarePlatform
 from repro.core.reward import RewardConfig, RewardFunction, RewardResult
 from repro.nasbench.compile import compile_cell_ops
 from repro.nasbench.database import CellDatabase
@@ -38,6 +45,7 @@ from repro.nasbench.model_spec import ModelSpec
 from repro.nasbench.skeleton import CIFAR10_SKELETON, SkeletonConfig
 from repro.nasbench.surrogate import Cifar10Surrogate
 from repro.parallel.cache import CacheEntry, EvalCache
+from repro.utils.lru import LRUCache
 
 __all__ = [
     "EvaluationResult",
@@ -48,7 +56,13 @@ __all__ = [
     "list_accuracy_sources",
     "build_evaluator",
     "accuracy_source_namespace",
+    "hardware_namespace",
+    "platform_matches_bundle",
+    "DEFAULT_CACHE_CAPACITY",
 ]
+
+#: Default bound on the evaluator's in-memory latency/area memos.
+DEFAULT_CACHE_CAPACITY = 100_000
 
 #: Accuracy source signature: percent accuracy, or ``None`` for
 #: "this cell is outside the evaluable space" (punished like invalid).
@@ -74,7 +88,7 @@ class EvaluationResult:
 
 
 class CodesignEvaluator:
-    """Memoized ``E(s)`` over a fixed accuracy source and HW models."""
+    """Memoized ``E(s)`` over a fixed accuracy source and HW platform."""
 
     def __init__(
         self,
@@ -83,14 +97,29 @@ class CodesignEvaluator:
         skeleton: SkeletonConfig = CIFAR10_SKELETON,
         area_model: AreaModel | None = None,
         latency_model: LatencyModel | None = None,
+        platform: HardwarePlatform | None = None,
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
     ) -> None:
+        if platform is not None and (
+            area_model is not None or latency_model is not None
+        ):
+            raise ValueError(
+                "pass either 'platform' or the legacy "
+                "area_model/latency_model overrides, not both"
+            )
+        if platform is None:
+            # The legacy model overrides become an anonymous dac2020
+            # variant; with neither given this is the reference
+            # platform, bit-identical to the historic hardwired models.
+            platform = Dac2020Platform(
+                area_model=area_model, latency_model=latency_model
+            )
+        self.platform = platform
         self.accuracy_fn = accuracy_fn
         self.reward_fn = RewardFunction(reward_config)
         self.skeleton = skeleton
-        self.area_model = area_model or AreaModel()
-        self.latency_lut = LatencyLUT(model=latency_model or LatencyModel())
-        self._area_cache: dict[tuple, float] = {}
-        self._latency_cache: dict[tuple, float] = {}
+        self._area_cache: LRUCache = LRUCache(cache_capacity)
+        self._latency_cache: LRUCache = LRUCache(cache_capacity)
         self._accuracy_cache: dict[str, float | None] = {}
         # Batch-path memos: pruned-cell content -> spec_hash (the md5
         # canonicalization dominates per-point cost) and config_key ->
@@ -121,15 +150,50 @@ class CodesignEvaluator:
             self.cache_scenario = scenario
         return self
 
+    # --- legacy accessors (the models now live on the platform) -----------
+    @property
+    def area_model(self):
+        return getattr(self.platform, "area_model", None)
+
+    @property
+    def latency_lut(self):
+        return getattr(self.platform, "latency_lut", None)
+
     def attach_latency_table(self, latency_ms, row_of_hash, space) -> None:
         """Serve latencies from a precomputed (cell x config) matrix.
 
         ``latency_ms`` is (num_cells, space.size); ``row_of_hash`` maps
         spec hashes to rows.  Pairs outside the table fall back to the
-        on-the-fly scheduler, so attaching a table never changes
+        on-the-fly platform query, so attaching a table never changes
         results — only speed (the batch and scalar paths agree exactly;
         see ``tests/accelerator/test_scheduler.py``).
+
+        The table's configuration space must match the active
+        platform's ``config_space()`` exactly: a table enumerated over
+        a different space would silently serve wrong latencies (the
+        column lookup is positional), so a mismatch refuses loudly.
         """
+        table_params = {k: tuple(v) for k, v in space.parameters.items()}
+        platform_params = {
+            k: tuple(v)
+            for k, v in self.platform.config_space().parameters.items()
+        }
+        if table_params != platform_params:
+            differing = sorted(
+                name
+                for name in set(table_params) | set(platform_params)
+                if table_params.get(name) != platform_params.get(name)
+            )
+            raise ValueError(
+                f"latency table's config space does not match platform "
+                f"{self.platform.name!r}: parameter(s) {differing} differ "
+                "— build the table against this platform's config_space()"
+            )
+        if latency_ms.shape[1] != space.size:
+            raise ValueError(
+                f"latency table has {latency_ms.shape[1]} columns but the "
+                f"config space enumerates {space.size} configurations"
+            )
         self._latency_table = (latency_ms, dict(row_of_hash), space)
 
     # --- constructors -----------------------------------------------------
@@ -174,7 +238,7 @@ class CodesignEvaluator:
     def area_mm2(self, config: AcceleratorConfig) -> float:
         key = config_key(config)
         if key not in self._area_cache:
-            self._area_cache[key] = self.area_model.area_mm2(config)
+            self._area_cache[key] = self.platform.area_mm2(config)
         return self._area_cache[key]
 
     def latency_s(self, spec: ModelSpec, config: AcceleratorConfig) -> float:
@@ -187,9 +251,7 @@ class CodesignEvaluator:
         key = (spec_hash, config_key(config))
         if key not in self._latency_cache:
             ir = compile_cell_ops(spec, self.skeleton)
-            durations = self.latency_lut.network_durations(ir, config)
-            result = schedule_network(ir, config, durations=durations)
-            self._latency_cache[key] = result.latency_s
+            self._latency_cache[key] = self.platform.network_latency_s(ir, config)
         return self._latency_cache[key]
 
     def metrics(self, spec: ModelSpec, config: AcceleratorConfig) -> Metrics | None:
@@ -321,7 +383,7 @@ class CodesignEvaluator:
         latency = self._latency_hashed(spec, config, spec_hash, ckey)
         area = self._area_cache.get(ckey)
         if area is None:
-            area = self.area_model.area_mm2(config)
+            area = self.platform.area_mm2(config)
             self._area_cache[ckey] = area
         metrics = Metrics(accuracy=accuracy, latency_s=latency, area_mm2=area)
         if cache is not None:
@@ -350,13 +412,11 @@ class CodesignEvaluator:
         key = (spec_hash, ckey)
         if key not in self._latency_cache:
             ir = compile_cell_ops(spec, self.skeleton)
-            durations = self.latency_lut.network_durations(ir, config)
-            result = schedule_network(ir, config, durations=durations)
-            self._latency_cache[key] = result.latency_s
+            self._latency_cache[key] = self.platform.network_latency_s(ir, config)
         return self._latency_cache[key]
 
     def with_reward(self, reward_config: RewardConfig) -> "CodesignEvaluator":
-        """Same caches and models under a different scenario.
+        """Same caches and platform under a different scenario.
 
         Used by the threshold-schedule search (Section IV), which
         raises the perf/area constraint mid-run without discarding the
@@ -366,8 +426,7 @@ class CodesignEvaluator:
         clone.accuracy_fn = self.accuracy_fn
         clone.reward_fn = RewardFunction(reward_config)
         clone.skeleton = self.skeleton
-        clone.area_model = self.area_model
-        clone.latency_lut = self.latency_lut
+        clone.platform = self.platform
         clone._area_cache = self._area_cache
         clone._latency_cache = self._latency_cache
         clone._accuracy_cache = self._accuracy_cache
@@ -397,16 +456,19 @@ class CodesignEvaluator:
 #
 # Builder signature::
 #
-#     build(reward_config, params, *, bundle=None, store=None)
-#         -> CodesignEvaluator
+#     build(reward_config, params, *, bundle=None, store=None,
+#           platform=None) -> CodesignEvaluator
 #
 # ``bundle`` is the enumerated-space bundle for table-backed sources
 # (duck-typed; see ``repro.experiments.common.SpaceBundle``);
 # ``store`` is an optional :class:`repro.parallel.EvalCache` a training
-# source may persist per-cell outcomes into.  ``namespace`` maps the
+# source may persist per-cell outcomes into; ``platform`` is the
+# :class:`repro.hw.HardwarePlatform` the evaluator should query
+# (default: the reference ``dac2020``).  ``namespace`` maps the
 # same params to the shared-eval-cache namespace, pinning every
 # outcome-affecting parameter so differently configured sources never
-# share cached rows.
+# share cached rows; compose it with :func:`hardware_namespace` to pin
+# the platform as well.
 
 class AccuracySourceError(ValueError):
     """An accuracy-source name or its params could not be resolved."""
@@ -540,15 +602,22 @@ def build_evaluator(
     params: dict | None = None,
     bundle=None,
     store: EvalCache | None = None,
+    platform: HardwarePlatform | None = None,
 ) -> "CodesignEvaluator":
-    """Construct an evaluator from a registered accuracy source."""
+    """Construct an evaluator from a registered accuracy source.
+
+    ``platform`` selects the hardware backend (see :mod:`repro.hw`);
+    ``None`` keeps the reference ``dac2020`` behaviour.
+    """
     entry = get_accuracy_source(source)
     if entry.requires_bundle and bundle is None:
         raise AccuracySourceError(
             f"accuracy source {source!r} needs an enumerated-space bundle "
             "(pass bundle=..., e.g. repro.experiments.common.load_bundle())"
         )
-    return entry.build(reward_config, params, bundle=bundle, store=store)
+    return entry.build(
+        reward_config, params, bundle=bundle, store=store, platform=platform
+    )
 
 
 def accuracy_source_namespace(
@@ -558,15 +627,51 @@ def accuracy_source_namespace(
     return get_accuracy_source(source).namespace(params or {}, bundle=bundle)
 
 
-def _build_database(reward_config, params, bundle=None, store=None):
+def platform_matches_bundle(
+    platform: HardwarePlatform, bundle_platform: HardwarePlatform | None
+) -> bool:
+    """Whether a bundle's precomputed arrays are valid for ``platform``.
+
+    Bundles predating the platform API carry no platform and were
+    enumerated by the reference models; newer bundles pin the platform
+    that built them.  Matching is by ``cache_namespace()`` — the
+    identity that pins every result-affecting parameter — so two
+    equivalent instances (e.g. both built from the same registry
+    params) match without having to be the same object.
+    """
+    if bundle_platform is None:
+        return platform.is_reference
+    return platform.cache_namespace() == bundle_platform.cache_namespace()
+
+
+def hardware_namespace(namespace: str, platform: HardwarePlatform | None) -> str:
+    """``namespace`` with the platform identity pinned.
+
+    The reference ``dac2020`` platform adds nothing, so every cache and
+    ledger row written before the platform API existed stays valid; any
+    other platform appends its ``cache_namespace()`` so differently
+    modelled hardware never shares rows.
+    """
+    if platform is None or platform.is_reference:
+        return namespace
+    return f"{namespace}@{platform.cache_namespace()}"
+
+
+def _build_database(reward_config, params, bundle=None, store=None, platform=None):
     params = _check_params("database", params, ("skeleton",))
     skeleton = _skeleton_from(params, CIFAR10_SKELETON)
     evaluator = CodesignEvaluator.from_database(
-        bundle.database, reward_config, skeleton=skeleton
+        bundle.database, reward_config, skeleton=skeleton, platform=platform
     )
-    evaluator.attach_latency_table(
-        bundle.latency_ms, bundle.row_of_hash(), bundle.space
-    )
+    # The bundle's precomputed latency matrix is only valid for the
+    # platform that enumerated it; any other platform schedules on the
+    # fly through its own models instead.
+    if platform_matches_bundle(
+        evaluator.platform, getattr(bundle, "platform", None)
+    ):
+        evaluator.attach_latency_table(
+            bundle.latency_ms, bundle.row_of_hash(), bundle.space
+        )
     evaluator.source_info = {"source": "database"}
     return evaluator
 
@@ -583,7 +688,7 @@ def _database_namespace(params, bundle=None):
 _SURROGATE_FIELDS = ("seed", "noise_std", "ceiling", "floor")
 
 
-def _build_surrogate(reward_config, params, bundle=None, store=None):
+def _build_surrogate(reward_config, params, bundle=None, store=None, platform=None):
     params = _check_params("surrogate", params, _SURROGATE_FIELDS + ("skeleton",))
     skeleton = _skeleton_from(params, CIFAR10_SKELETON)
     try:
@@ -593,7 +698,7 @@ def _build_surrogate(reward_config, params, bundle=None, store=None):
             f"accuracy source 'surrogate': bad params {params!r}: {err}"
         ) from err
     evaluator = CodesignEvaluator.from_surrogate(
-        reward_config, surrogate=surrogate, skeleton=skeleton
+        reward_config, surrogate=surrogate, skeleton=skeleton, platform=platform
     )
     evaluator.source_info = {"source": "surrogate", "surrogate": surrogate}
     return evaluator
@@ -620,7 +725,9 @@ _TRAINER_FIELDS = (
 )
 
 
-def _build_cifar100_trainer(reward_config, params, bundle=None, store=None):
+def _build_cifar100_trainer(
+    reward_config, params, bundle=None, store=None, platform=None
+):
     # Training-stack imports stay function-local: the training layer
     # sits above core in the dependency graph.
     from repro.nasbench.skeleton import CIFAR100_SKELETON
@@ -638,7 +745,7 @@ def _build_cifar100_trainer(reward_config, params, bundle=None, store=None):
     cached = CachedTrainer(trainer, store=store, namespace=trainer.cache_namespace())
     evaluator = CodesignEvaluator(
         accuracy_fn=cached.accuracy_fn, reward_config=reward_config,
-        skeleton=skeleton,
+        skeleton=skeleton, platform=platform,
     )
     evaluator.source_info = {
         "source": "cifar100-trainer",

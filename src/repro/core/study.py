@@ -15,6 +15,12 @@ that plumbing with one JSON-round-trippable value object:
 * ``evaluator`` — a registered accuracy source (``database`` /
   ``surrogate`` / ``cifar100-trainer``) plus its params
   (:mod:`repro.core.evaluator`);
+* ``hardware`` — one registered hardware platform (``dac2020`` /
+  ``dac2020-scaled`` / ``embedded-lite``, :mod:`repro.hw`) plus its
+  params, or a *list* of them for a cross-platform sweep: the grid
+  then runs once per platform, outcomes key as
+  ``<platform>:<scenario>`` and each platform's evaluations live in
+  their own cache/ledger namespace;
 * ``execution`` — steps, repeats, seed, batch size, backend, workers,
   cache/ledger paths, checkpoint cadence.
 
@@ -57,6 +63,7 @@ __all__ = [
     "StudyError",
     "StrategySpec",
     "EvaluatorSpec",
+    "HardwareSpec",
     "ExecutionSpec",
     "StudySpec",
     "Study",
@@ -201,6 +208,54 @@ class EvaluatorSpec:
 
 
 @dataclass(frozen=True)
+class HardwareSpec:
+    """The hardware backend of ``E(s)``: registered platform + params.
+
+    ``label`` keys the platform inside a cross-platform sweep's
+    outcomes (and in job labels / ledger rows); it defaults to
+    ``name`` and must be set when the same platform appears twice with
+    different params.
+    """
+
+    name: str = "dac2020"
+    params: dict = field(default_factory=dict)
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.name, str) and bool(self.name),
+            "hardware spec needs a non-empty string 'name'",
+        )
+        object.__setattr__(
+            self, "params", _jsonify(self.params, f"hardware {self.name!r} params")
+        )
+        if self.label is not None:
+            _require(
+                isinstance(self.label, str) and bool(self.label),
+                f"hardware {self.name!r}: 'label' must be a non-empty string",
+            )
+
+    @property
+    def effective_label(self) -> str:
+        return self.label if self.label is not None else self.name
+
+    def to_dict(self) -> dict:
+        out: dict = {"name": self.name, "params": _jsonify(self.params, "params")}
+        if self.label is not None:
+            out["label"] = self.label
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HardwareSpec":
+        _check_fields(data, {"name", "params", "label"}, "hardware spec")
+        return cls(
+            name=data.get("name", "dac2020"),
+            params=data.get("params") or {},
+            label=data.get("label"),
+        )
+
+
+@dataclass(frozen=True)
 class ExecutionSpec:
     """How the grid runs: budget, seeding, backend, persistence.
 
@@ -292,6 +347,7 @@ class StudySpec:
     strategies: tuple = ()
     scenarios: tuple = ()
     evaluator: EvaluatorSpec = field(default_factory=EvaluatorSpec)
+    hardware: tuple = ()
     execution: ExecutionSpec = field(default_factory=ExecutionSpec)
 
     def __post_init__(self) -> None:
@@ -340,14 +396,56 @@ class StudySpec:
             object.__setattr__(
                 self, "evaluator", EvaluatorSpec.from_dict(self.evaluator)
             )
+        hardware = self.hardware
+        if hardware is None or (isinstance(hardware, tuple) and not hardware):
+            hardware = (HardwareSpec(),)
+        elif isinstance(hardware, (str, dict, HardwareSpec)):
+            hardware = (hardware,)
+        elif not isinstance(hardware, (list, tuple)):
+            raise StudyError(
+                f"study {self.name!r}: 'hardware' is a platform name, a "
+                f"hardware spec mapping, or a list of them, got {hardware!r}"
+            )
+        normalized = []
+        for entry in hardware:
+            if isinstance(entry, HardwareSpec):
+                normalized.append(entry)
+            elif isinstance(entry, str):
+                _require(
+                    bool(entry),
+                    f"study {self.name!r}: hardware names must be non-empty",
+                )
+                normalized.append(HardwareSpec(name=entry))
+            elif isinstance(entry, dict):
+                normalized.append(HardwareSpec.from_dict(entry))
+            else:
+                raise StudyError(
+                    f"study {self.name!r}: each hardware entry is a platform "
+                    f"name (string) or a spec (mapping), got {entry!r}"
+                )
+        labels = [h.effective_label for h in normalized]
+        dupes = sorted({l for l in labels if labels.count(l) > 1})
+        _require(
+            not dupes,
+            f"study {self.name!r}: duplicate hardware label(s) {dupes} — give "
+            "repeated platforms distinct 'label' fields",
+        )
+        object.__setattr__(self, "hardware", tuple(normalized))
         if not isinstance(self.execution, ExecutionSpec):
             object.__setattr__(
                 self, "execution", ExecutionSpec.from_dict(self.execution)
             )
 
+    def _hardware_dict(self):
+        return (
+            self.hardware[0].to_dict()
+            if len(self.hardware) == 1
+            else [h.to_dict() for h in self.hardware]
+        )
+
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        out = {
             "name": self.name,
             "strategies": [s.to_dict() for s in self.strategies],
             "scenarios": [
@@ -355,14 +453,23 @@ class StudySpec:
                 for s in self.scenarios
             ],
             "evaluator": self.evaluator.to_dict(),
+            "hardware": self._hardware_dict(),
             "execution": self.execution.to_dict(),
         }
+        if self.hardware == (HardwareSpec(),):
+            # The implicit reference platform serializes to nothing, so
+            # pre-platform spec dicts — including the ones crash-safe
+            # ledgers pinned before this field existed — stay
+            # byte-identical and remain resumable.
+            del out["hardware"]
+        return out
 
     @classmethod
     def from_dict(cls, data: dict, validate: bool = True) -> "StudySpec":
         _check_fields(
             data,
-            {"name", "strategies", "scenarios", "evaluator", "execution"},
+            {"name", "strategies", "scenarios", "evaluator", "hardware",
+             "execution"},
             "study spec",
         )
         strategies = data.get("strategies")
@@ -380,6 +487,7 @@ class StudySpec:
             strategies=tuple(strategies),
             scenarios=tuple(scenarios),
             evaluator=data.get("evaluator") or EvaluatorSpec(),
+            hardware=data.get("hardware") or (),
             execution=data.get("execution") or ExecutionSpec(),
         )
         if validate:
@@ -415,11 +523,14 @@ class StudySpec:
 
         Checks strategy names and parameter names
         (:mod:`repro.search.registry`), scenario names / inline specs
-        (:mod:`repro.core.scenarios`), and the accuracy source + params
-        (:mod:`repro.core.evaluator`).  Returns ``self`` so call sites
-        can chain.
+        (:mod:`repro.core.scenarios`), the accuracy source + params
+        (:mod:`repro.core.evaluator`), and the hardware platform(s) +
+        params (:mod:`repro.hw` — platforms are cheap to construct, so
+        params are validated by building).  Returns ``self`` so call
+        sites can chain.
         """
         from repro.core.evaluator import AccuracySourceError, get_accuracy_source
+        from repro.hw import HardwarePlatformError, build_platform
         from repro.search.registry import StrategyError, validate_strategy_params
 
         for strategy in self.strategies:
@@ -439,6 +550,11 @@ class StudySpec:
             get_accuracy_source(self.evaluator.source)
         except AccuracySourceError as err:
             raise StudyError(f"study {self.name!r}: {err}") from None
+        for hw in self.hardware:
+            try:
+                build_platform(hw.name, hw.params)
+            except HardwarePlatformError as err:
+                raise StudyError(f"study {self.name!r}: {err}") from None
         return self
 
     # -- overrides ---------------------------------------------------------
@@ -453,6 +569,9 @@ class StudySpec:
         nothing).
         """
         data = self.to_dict()
+        # to_dict omits the implicit default platform (ledger
+        # byte-compat); overrides still address it by path.
+        data.setdefault("hardware", self._hardware_dict())
         for path, value in assignments.items():
             _assign(data, path, value)
         return StudySpec.from_dict(data)
@@ -552,13 +671,15 @@ class Study:
 
     spec: StudySpec
     jobs: list  # list[repro.search.runner.RepeatJob]
-    job_meta: dict[str, tuple[str, str]]  # label -> (scenario, strategy)
+    job_meta: dict[str, tuple[str, str]]  # label -> (outcome key, strategy)
     scenario_configs: dict[str, RewardConfig]
     pareto_top100: dict[str, list[dict]]
     scale: object  # repro.experiments.common.Scale
     num_steps: int
     num_repeats: int
-    namespace: str = ""  # accuracy source's eval-cache namespace
+    namespace: str = ""  # eval-cache namespace (single-platform studies)
+    platforms: dict = field(default_factory=dict)  # hw label -> platform
+    namespaces: dict = field(default_factory=dict)  # hw label -> namespace
 
 
 def _resolve_scenarios(spec: StudySpec, bounds) -> dict[str, RewardConfig]:
@@ -586,14 +707,23 @@ def build_study(spec: StudySpec, bundle=None, scale=None, store=None) -> Study:
     ``store`` (an :class:`repro.parallel.EvalCache`) is handed to the
     accuracy-source builder — a training source persists per-cell
     outcomes through it, so warm re-runs pay no repeat training.
+
+    Cross-platform sweeps (more than one ``hardware`` entry) expand
+    the grid once per platform.  Each platform searches over its own
+    ``config_space()``, evaluates through its own models, and caches
+    under its own namespace; outcome keys gain a ``<platform>:``
+    prefix so per-platform results never collide.
     """
     from repro.core.evaluator import (
         accuracy_source_namespace,
         build_evaluator,
         get_accuracy_source,
+        hardware_namespace,
+        platform_matches_bundle,
     )
     from repro.core.search_space import JointSearchSpace
     from repro.experiments.common import Scale
+    from repro.hw import HardwarePlatformError, build_platform
     from repro.search.registry import build_strategy
     from repro.search.runner import RepeatJob
 
@@ -609,54 +739,82 @@ def build_study(spec: StudySpec, bundle=None, scale=None, store=None) -> Study:
 
     bounds = bundle.bounds if bundle is not None else None
     scenario_configs = _resolve_scenarios(spec, bounds)
-    namespace = accuracy_source_namespace(
+    source_namespace = accuracy_source_namespace(
         spec.evaluator.source, spec.evaluator.params, bundle=bundle
     )
-    if bundle is not None:
-        search_space = JointSearchSpace(cell_encoding=bundle.cell_encoding)
-    else:
-        search_space = JointSearchSpace()
+    try:
+        platforms = {
+            hw.effective_label: build_platform(hw.name, hw.params)
+            for hw in spec.hardware
+        }
+    except HardwarePlatformError as err:
+        raise StudyError(f"study {spec.name!r}: {err}") from None
+    multi_platform = len(platforms) > 1
+    namespaces = {
+        label: hardware_namespace(source_namespace, platform)
+        for label, platform in platforms.items()
+    }
 
-    pareto_top100: dict[str, list[dict]] = {}
+    front = None
     if bundle is not None:
         from repro.core.pareto import product_space_pareto, reward_ranked_points
 
         front = product_space_pareto(
             bundle.accuracy, bundle.area_mm2, bundle.latency_ms
         )
-        for key, config in scenario_configs.items():
-            pareto_top100[key] = reward_ranked_points(front, config, 100)
 
+    pareto_top100: dict[str, list[dict]] = {}
     jobs: list[RepeatJob] = []
     job_meta: dict[str, tuple[str, str]] = {}
-    for scenario_key, scenario in scenario_configs.items():
-        # One evaluator per scenario: its metric caches are shared by
-        # every strategy's repeats through per-job with_reward clones,
-        # exactly like the historic closure path.
-        evaluator = build_evaluator(
-            spec.evaluator.source,
-            scenario,
-            spec.evaluator.params,
-            bundle=bundle,
-            store=store,
+    for hw_label, platform in platforms.items():
+        search_space = JointSearchSpace(
+            accelerator_space=platform.config_space(),
+            **(
+                {"cell_encoding": bundle.cell_encoding}
+                if bundle is not None
+                else {}
+            ),
         )
-        for strategy in spec.strategies:
-            label = f"{scenario_key}/{strategy.effective_label}"
-            job_meta[label] = (scenario_key, strategy.effective_label)
-            jobs.append(
-                RepeatJob(
-                    label=label,
-                    strategy_factory=(
-                        lambda seed, _s=strategy: build_strategy(
-                            _s.name, seed, search_space, **_s.params
-                        )
-                    ),
-                    evaluator_factory=(
-                        lambda _ev=evaluator, _sc=scenario: _ev.with_reward(_sc)
-                    ),
-                    cache_scenario=namespace,
-                )
+        for scenario_key, scenario in scenario_configs.items():
+            outcome_key = (
+                f"{hw_label}:{scenario_key}" if multi_platform else scenario_key
             )
+            if front is not None and platform_matches_bundle(
+                platform, getattr(bundle, "platform", None)
+            ):
+                # The bundle's metric arrays are only a valid Pareto
+                # reference for the platform that enumerated them.
+                pareto_top100[outcome_key] = reward_ranked_points(
+                    front, scenario, 100
+                )
+            # One evaluator per (platform, scenario): its metric caches
+            # are shared by every strategy's repeats through per-job
+            # with_reward clones, exactly like the historic closure path.
+            evaluator = build_evaluator(
+                spec.evaluator.source,
+                scenario,
+                spec.evaluator.params,
+                bundle=bundle,
+                store=store,
+                platform=platform,
+            )
+            for strategy in spec.strategies:
+                label = f"{outcome_key}/{strategy.effective_label}"
+                job_meta[label] = (outcome_key, strategy.effective_label)
+                jobs.append(
+                    RepeatJob(
+                        label=label,
+                        strategy_factory=(
+                            lambda seed, _s=strategy, _sp=search_space: (
+                                build_strategy(_s.name, seed, _sp, **_s.params)
+                            )
+                        ),
+                        evaluator_factory=(
+                            lambda _ev=evaluator, _sc=scenario: _ev.with_reward(_sc)
+                        ),
+                        cache_scenario=namespaces[hw_label],
+                    )
+                )
     return Study(
         spec=spec,
         jobs=jobs,
@@ -666,7 +824,9 @@ def build_study(spec: StudySpec, bundle=None, scale=None, store=None) -> Study:
         scale=scale,
         num_steps=num_steps,
         num_repeats=num_repeats,
-        namespace=namespace,
+        namespace=next(iter(namespaces.values())) if not multi_platform else "",
+        platforms=platforms,
+        namespaces=namespaces,
     )
 
 
@@ -716,16 +876,19 @@ def run_study(
         checkpoint_every=execution.checkpoint_every,
         ledger_context={
             "study_spec": spec.to_dict(),
-            "space": study.namespace,
+            # Single-platform studies pin the one namespace string
+            # (byte-compatible with pre-platform ledgers under the
+            # reference platform); sweeps pin the per-platform mapping.
+            "space": study.namespace or study.namespaces,
             "scenarios": {
                 key: scenario_to_dict(config)
                 for key, config in study.scenario_configs.items()
             },
         },
     )
-    outcomes: dict[str, dict] = {key: {} for key in study.scenario_configs}
-    for label, (scenario_key, strategy_label) in study.job_meta.items():
-        outcomes[scenario_key][strategy_label] = grid[label]
+    outcomes: dict[str, dict] = {}
+    for label, (outcome_key, strategy_label) in study.job_meta.items():
+        outcomes.setdefault(outcome_key, {})[strategy_label] = grid[label]
     return SearchStudyResult(
         outcomes=outcomes,
         pareto_top100=study.pareto_top100,

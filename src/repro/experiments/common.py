@@ -21,17 +21,16 @@ paper      10000      10        full paper-fidelity runs
 
 from __future__ import annotations
 
+import hashlib
 import os
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
-from repro.accelerator.area import AreaModel
-from repro.accelerator.latency import LatencyModel
-from repro.accelerator.scheduler import batch_schedule
 from repro.accelerator.space import AcceleratorSpace
 from repro.core.reward import MetricBounds
+from repro.hw import default_platform
 from repro.nasbench.compile import compile_cell_ops
 from repro.nasbench.database import CellDatabase, enumerate_unique_cells
 from repro.nasbench.encoding import CellEncoding
@@ -98,9 +97,10 @@ class SpaceBundle:
     cell_encoding: CellEncoding
     space: AcceleratorSpace
     accuracy: np.ndarray       # (Nc,) percent
-    area_mm2: np.ndarray       # (8640,)
-    latency_ms: np.ndarray     # (Nc, 8640)
+    area_mm2: np.ndarray       # (space.size,)
+    latency_ms: np.ndarray     # (Nc, space.size)
     bounds: MetricBounds
+    platform: object = None    # the repro.hw platform that enumerated it
 
     @property
     def num_pairs(self) -> int:
@@ -118,33 +118,49 @@ def load_bundle(
     max_vertices: int = 5,
     use_disk_cache: bool = True,
     cache_dir: Path | None = None,
+    platform=None,
 ) -> SpaceBundle:
-    """Build (or reload) the enumerated micro-space bundle."""
-    key = (max_vertices,)
+    """Build (or reload) the enumerated micro-space bundle.
+
+    ``platform`` (a :class:`repro.hw.HardwarePlatform`) supplies the
+    area/latency models and the configuration space; the default is
+    the reference ``dac2020`` platform, whose bundle is bit-identical
+    to the pre-platform builds (and shares their disk cache files).
+    Non-reference platforms cache under a namespace-tagged filename so
+    differently modelled bundles never collide on disk.
+    """
+    platform = platform or default_platform()
+    key = (max_vertices, platform.cache_namespace())
     if key in _BUNDLE_MEMO:
         return _BUNDLE_MEMO[key]
 
     database = CellDatabase.from_specs(enumerate_unique_cells(max_vertices))
-    space = AcceleratorSpace()
+    space = platform.config_space()
+    cols = space.columns()
     # Vectorized over the full space; bit-identical to the per-config
     # path (tests/accelerator/test_area.py::TestBatchArea).
-    area_mm2 = AreaModel().batch_area_mm2(space.columns())
+    area_mm2 = platform.batch_area_mm2(cols)
     accuracy = database.accuracies()
 
     cache_dir = cache_dir or default_cache_dir()
-    cache_file = cache_dir / f"bundle_v{max_vertices}_n{len(database)}_h{space.size}.npz"
+    tag = (
+        ""
+        if platform.is_reference
+        else "_" + hashlib.md5(platform.cache_namespace().encode()).hexdigest()[:10]
+    )
+    cache_file = (
+        cache_dir / f"bundle_v{max_vertices}_n{len(database)}_h{space.size}{tag}.npz"
+    )
     latency_ms: np.ndarray | None = None
     if use_disk_cache and cache_file.exists():
         cached = np.load(cache_file)
         if cached["latency_ms"].shape == (len(database), space.size):
             latency_ms = cached["latency_ms"].astype(np.float64)
     if latency_ms is None:
-        model = LatencyModel()
-        cols = space.columns()
         latency_ms = np.empty((len(database), space.size), dtype=np.float64)
         for i, record in enumerate(database.records):
             ir = compile_cell_ops(record.spec, CIFAR10_SKELETON)
-            latency_ms[i] = batch_schedule(ir, cols, model) * 1e3
+            latency_ms[i] = platform.batch_network_latency_s(ir, cols) * 1e3
         # The disk cache stores float32; round-trip the fresh build
         # through the same precision so the first run of a bundle is
         # bit-identical to every warm reload after it.
@@ -162,6 +178,7 @@ def load_bundle(
         area_mm2=area_mm2,
         latency_ms=latency_ms,
         bounds=bounds,
+        platform=platform,
     )
     _BUNDLE_MEMO[key] = bundle
     return bundle

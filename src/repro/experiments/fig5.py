@@ -45,7 +45,7 @@ class Fig5Result:
         Smaller is better; measured in reward units (the paper reads
         this off the plots as proximity to the ideal points).
         """
-        reference = self.study.pareto_top100[scenario]
+        reference = self.study.pareto_top100.get(scenario)
         if not reference:
             return {}
         best_ref = reference[0]["reward"]
@@ -61,22 +61,31 @@ class Fig5Result:
         lines = []
         for scenario in self.study.outcomes:
             lines.append(f"### Fig. 5 — {scenario}")
-            reference = self.study.pareto_top100[scenario][:10]
-            lines.append("Top reward-ranked Pareto points (reference, first 10):")
-            lines.append(
-                format_markdown(
-                    ["reward", "latency_ms", "accuracy_%", "area_mm2"],
-                    [
-                        (
-                            round(r["reward"], 4),
-                            round(r["latency_ms"], 2),
-                            round(r["accuracy"], 2),
-                            round(r["area_mm2"], 1),
-                        )
-                        for r in reference
-                    ],
+            reference = self.study.pareto_top100.get(scenario)
+            if reference is not None:
+                lines.append(
+                    "Top reward-ranked Pareto points (reference, first 10):"
                 )
-            )
+                lines.append(
+                    format_markdown(
+                        ["reward", "latency_ms", "accuracy_%", "area_mm2"],
+                        [
+                            (
+                                round(r["reward"], 4),
+                                round(r["latency_ms"], 2),
+                                round(r["accuracy"], 2),
+                                round(r["area_mm2"], 1),
+                            )
+                            for r in reference[:10]
+                        ],
+                    )
+                )
+            else:
+                # Non-reference platforms have no enumerated Pareto
+                # overlay — the bundle's metric arrays don't apply.
+                lines.append(
+                    "(no enumerated Pareto reference for this platform)"
+                )
             lines.append("")
             lines.append("Best point of each repeat (per strategy):")
             lines.append(

@@ -15,9 +15,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.accelerator.area import AreaModel
-from repro.accelerator.latency import LatencyModel
-from repro.accelerator.scheduler import batch_schedule
 from repro.accelerator.space import AcceleratorSpace
 from repro.core.archive import ArchiveEntry
 from repro.core.evaluator import CodesignEvaluator, build_evaluator
@@ -25,6 +22,7 @@ from repro.core.reward import MetricBounds
 from repro.core.scenarios import cifar100_threshold
 from repro.core.search_space import JointSearchSpace
 from repro.experiments.common import Scale
+from repro.hw import HardwarePlatform, default_platform
 from repro.nasbench.compile import compile_cell_ops
 from repro.nasbench.known_cells import googlenet_cell, resnet_cell
 from repro.nasbench.model_spec import ModelSpec
@@ -64,13 +62,15 @@ def best_accelerator_for(
     accuracy: float,
     name: str,
     space: AcceleratorSpace | None = None,
+    platform: HardwarePlatform | None = None,
 ) -> BaselinePoint:
-    """Sweep all accelerators; return the pair maximizing perf/area."""
-    space = space or AcceleratorSpace()
-    area_model = AreaModel()
-    areas = np.array([area_model.area_mm2(space.config_at(i)) for i in range(space.size)])
+    """Sweep the platform's accelerators; return the max-perf/area pair."""
+    platform = platform or default_platform()
+    space = space or platform.config_space()
+    cols = space.columns()
+    areas = platform.batch_area_mm2(cols)
     ir = compile_cell_ops(spec, CIFAR100_SKELETON)
-    latency_ms = batch_schedule(ir, space, LatencyModel()) * 1e3
+    latency_ms = platform.batch_network_latency_s(ir, cols) * 1e3
     ppa = (1000.0 / latency_ms) / (areas / 100.0)
     best = int(np.argmax(ppa))
     return BaselinePoint(
@@ -181,6 +181,7 @@ def run_fig7(
     trainer: SurrogateCifar100Trainer | None = None,
     rungs: list[ThresholdRung] | None = None,
     train_store=None,
+    platform: HardwarePlatform | None = None,
 ) -> Fig7Result:
     """Run the CIFAR-100 threshold-schedule study.
 
@@ -195,9 +196,12 @@ def run_fig7(
     registries (the ``cifar100-trainer`` accuracy source and the
     ``threshold-schedule`` strategy), the same construction path the
     ``fig7`` / ``table2`` / ``table3`` study presets take — ``repro
-    study run fig7`` runs this search spec-driven.
+    study run fig7`` runs this search spec-driven.  ``platform`` swaps
+    the hardware backend for both the search and the baseline sweeps
+    (default: the reference ``dac2020``).
     """
     scale = scale or Scale.from_env()
+    platform = platform or default_platform()
 
     if rungs is None:
         base = default_rungs()
@@ -213,7 +217,8 @@ def run_fig7(
     reward_config = cifar100_threshold(rungs[0].threshold, CIFAR100_BOUNDS)
     if trainer is None:
         evaluator = build_evaluator(
-            "cifar100-trainer", reward_config, store=train_store
+            "cifar100-trainer", reward_config, store=train_store,
+            platform=platform,
         )
         trainer = evaluator.source_info["trainer"]
         cached = evaluator.source_info["cached"]
@@ -227,11 +232,12 @@ def run_fig7(
             accuracy_fn=cached.accuracy_fn,
             reward_config=reward_config,
             skeleton=CIFAR100_SKELETON,
+            platform=platform,
         )
     search = build_strategy(
         "threshold-schedule",
         seed,
-        JointSearchSpace(),
+        JointSearchSpace(accelerator_space=platform.config_space()),
         rungs=rungs,
         bounds=CIFAR100_BOUNDS,
     )
@@ -239,10 +245,12 @@ def run_fig7(
 
     baselines = {
         "resnet": best_accelerator_for(
-            resnet_cell(), trainer.mean_accuracy(resnet_cell()), "ResNet"
+            resnet_cell(), trainer.mean_accuracy(resnet_cell()), "ResNet",
+            platform=platform,
         ),
         "googlenet": best_accelerator_for(
-            googlenet_cell(), trainer.mean_accuracy(googlenet_cell()), "GoogLeNet"
+            googlenet_cell(), trainer.mean_accuracy(googlenet_cell()),
+            "GoogLeNet", platform=platform,
         ),
     }
     feasible = [

@@ -155,6 +155,37 @@ register_preset("table2", lambda: _cifar100_study("table2"))
 register_preset("table3", lambda: _cifar100_study("table3"))
 
 
+@register_preset("hw-sweep")
+def _hw_sweep() -> StudySpec:
+    """Cross-platform sweep: one search grid per registered platform.
+
+    The same strategies and scenario run on the reference ``dac2020``,
+    a faster-clocked / budget-capped ``dac2020-scaled`` variant, and
+    the ``embedded-lite`` profile.  Outcomes key as
+    ``<platform>:<scenario>`` and every platform's evaluations live in
+    their own eval-cache/ledger namespace, so results from differently
+    modelled hardware never mix.
+    """
+    return StudySpec(
+        name="hw-sweep",
+        strategies=(
+            {"name": "random"},
+            {"name": "combined"},
+        ),
+        scenarios=("unconstrained",),
+        evaluator={"source": "surrogate"},
+        hardware=(
+            {"name": "dac2020"},
+            {
+                "name": "dac2020-scaled",
+                "params": {"clock_mhz": 300.0, "max_pixel_par": 32},
+                "label": "dac2020-fast",
+            },
+            {"name": "embedded-lite"},
+        ),
+    )
+
+
 @register_preset("smoke")
 def _smoke() -> StudySpec:
     """Five-step registry exerciser: the CI drift guard for the spec path.

@@ -56,7 +56,9 @@ def make_bundle_evaluator(
     bundle: SpaceBundle, scenario: RewardConfig
 ) -> CodesignEvaluator:
     """Database evaluator with the bundle's precomputed latency table."""
-    evaluator = CodesignEvaluator.from_database(bundle.database, scenario)
+    evaluator = CodesignEvaluator.from_database(
+        bundle.database, scenario, platform=bundle.platform
+    )
     evaluator.attach_latency_table(
         bundle.latency_ms, bundle.row_of_hash(), bundle.space
     )
@@ -126,6 +128,7 @@ def legacy_study_spec(
     batch_size: int = 1,
     checkpoint_every: int = 10,
     name: str = "search-study",
+    hardware: str | dict | list | None = None,
 ) -> StudySpec:
     """A :class:`StudySpec` equivalent to the legacy keyword arguments.
 
@@ -138,6 +141,9 @@ def legacy_study_spec(
     what lets the ledger pin it).  ``strategies`` maps outcome keys to
     strategy classes; classes not yet in
     :mod:`repro.search.registry` are registered on the fly.
+    ``hardware`` (a platform name, hardware-spec mapping, or a list of
+    them — see :mod:`repro.hw`) selects the hardware backend(s);
+    ``None`` keeps the reference ``dac2020``.
     """
     from repro.search.registry import register_strategy, strategy_name_of
 
@@ -172,6 +178,7 @@ def legacy_study_spec(
         strategies=tuple(strategy_entries),
         scenarios=scenario_entries,
         evaluator={"source": "database"},
+        hardware=() if hardware is None else hardware,
         execution={
             "num_steps": scale.search_steps,
             "num_repeats": scale.num_repeats,
@@ -197,6 +204,7 @@ def _run_search_study(
     ledger: RunLedger | str | Path | None = None,
     checkpoint_every: int = 10,
     name: str = "search-study",
+    hardware: str | dict | list | None = None,
 ) -> SearchStudyResult:
     """Legacy-argument front end over the spec-driven study engine."""
     bundle = bundle or load_bundle()
@@ -219,6 +227,7 @@ def _run_search_study(
         batch_size=batch_size,
         checkpoint_every=checkpoint_every,
         name=name,
+        hardware=hardware,
     )
     return run_study(
         spec, bundle=bundle, scale=scale, eval_cache=eval_cache, ledger=ledger

@@ -1,0 +1,35 @@
+"""Pluggable hardware platforms for the codesign evaluator.
+
+A :class:`HardwarePlatform` is the hardware half of ``E(s)``: area and
+latency queries (scalar and batched column-wise), a configuration
+space, and a cache-namespace identity — registered by name so studies,
+the CLI, and the declarative spec path can swap accelerator families
+without touching the evaluator (``repro hw list`` shows what ships).
+"""
+
+from repro.hw.dac2020 import DEFAULT_PLATFORM_NAME, Dac2020Platform
+from repro.hw.platform import (
+    HardwarePlatform,
+    HardwarePlatformError,
+    PlatformEntry,
+    build_platform,
+    default_platform,
+    get_platform,
+    list_platforms,
+    platform_from_spec,
+    register_platform,
+)
+
+__all__ = [
+    "DEFAULT_PLATFORM_NAME",
+    "Dac2020Platform",
+    "HardwarePlatform",
+    "HardwarePlatformError",
+    "PlatformEntry",
+    "build_platform",
+    "default_platform",
+    "get_platform",
+    "list_platforms",
+    "platform_from_spec",
+    "register_platform",
+]

@@ -1,0 +1,45 @@
+"""A bounded mapping with least-recently-used eviction.
+
+The evaluator's latency/area memos are pure key -> value functions, so
+evicting an entry can never change a result — only make a revisit pay
+its computation again.  Bounding them lets multi-million-point sweeps
+run in constant memory: the hot working set (the configurations a
+search keeps revisiting) stays resident while one-off points age out.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache(OrderedDict):
+    """An :class:`OrderedDict` that evicts its oldest entry past ``capacity``.
+
+    Reads (``[]`` and :meth:`get`) refresh an entry's recency; writes
+    insert at the fresh end and evict from the stale end once the
+    capacity is exceeded.  ``capacity <= 0`` means unbounded.
+    """
+
+    def __init__(self, capacity: int = 0) -> None:
+        super().__init__()
+        self.capacity = int(capacity)
+
+    def __getitem__(self, key):
+        value = super().__getitem__(key)
+        self.move_to_end(key)
+        return value
+
+    def get(self, key, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        self.move_to_end(key)
+        if self.capacity > 0:
+            while len(self) > self.capacity:
+                self.popitem(last=False)

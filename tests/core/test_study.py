@@ -45,7 +45,7 @@ def tiny_spec(**execution) -> StudySpec:
 class TestRoundTrips:
     @pytest.mark.parametrize("preset", [
         "search-study", "fig5", "fig6", "fig7", "table2", "table3",
-        "ablation-punishment", "ablation-random", "smoke",
+        "ablation-punishment", "ablation-random", "smoke", "hw-sweep",
     ])
     def test_preset_round_trips(self, preset):
         spec = get_preset(preset)
@@ -57,7 +57,7 @@ class TestRoundTrips:
     def test_parametrized_presets_cover_all_shipped(self):
         assert set(list_presets()) == {
             "search-study", "fig5", "fig6", "fig7", "table2", "table3",
-            "ablation-punishment", "ablation-random", "smoke",
+            "ablation-punishment", "ablation-random", "smoke", "hw-sweep",
         }
 
     def test_round_trip_with_inline_scenarios_and_params(self):

@@ -1,0 +1,208 @@
+"""Tests for the hardware-platform API and registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import (
+    Dac2020Platform,
+    HardwarePlatformError,
+    build_platform,
+    default_platform,
+    get_platform,
+    list_platforms,
+    platform_from_spec,
+    register_platform,
+)
+from repro.hw.platform import HardwarePlatform
+from repro.nasbench.compile import compile_cell_ops
+from repro.nasbench.known_cells import resnet_cell
+from repro.nasbench.skeleton import CIFAR10_SKELETON
+
+
+@pytest.fixture(scope="module")
+def platforms():
+    """Every registered platform, built from empty params."""
+    return {name: build_platform(name) for name in list_platforms()}
+
+
+@pytest.fixture(scope="module")
+def resnet_ir():
+    return compile_cell_ops(resnet_cell(), CIFAR10_SKELETON)
+
+
+class TestRegistry:
+    def test_builtin_platforms_registered(self):
+        assert set(list_platforms()) >= {
+            "dac2020", "dac2020-scaled", "embedded-lite",
+        }
+
+    def test_unknown_platform_names_registered(self):
+        with pytest.raises(HardwarePlatformError, match="registered:"):
+            build_platform("tpu-v9")
+
+    def test_duplicate_registration_refused(self):
+        with pytest.raises(HardwarePlatformError, match="already registered"):
+            register_platform("dac2020", lambda params: None)
+
+    def test_entry_carries_description(self):
+        assert "CHaiDNN" in get_platform("dac2020").description
+
+    def test_unknown_params_actionable(self):
+        with pytest.raises(HardwarePlatformError, match="clock_ghz"):
+            build_platform("dac2020-scaled", {"clock_ghz": 1.0})
+        with pytest.raises(HardwarePlatformError, match="parameter"):
+            build_platform("dac2020", {"anything": 1})
+        with pytest.raises(HardwarePlatformError, match="parameter"):
+            build_platform("embedded-lite", {"clock_mhz": 50})
+
+    def test_bad_param_values_rejected(self):
+        for params in (
+            {"clock_mhz": 0},
+            {"clock_mhz": -5},
+            {"compute_efficiency": 1.5},
+            {"mem_efficiency": 0},
+            {"area_scale": "big"},
+        ):
+            with pytest.raises(HardwarePlatformError):
+                build_platform("dac2020-scaled", params)
+
+    def test_cap_leaving_no_values_rejected(self):
+        with pytest.raises(HardwarePlatformError, match="no allowed values"):
+            build_platform("dac2020-scaled", {"max_pixel_par": 2})
+
+
+class TestRegistryDrift:
+    """Every listed platform must construct and round-trip from params."""
+
+    def test_all_listed_platforms_construct_from_params(self, platforms):
+        for name, platform in platforms.items():
+            assert isinstance(platform, HardwarePlatform), name
+            assert platform.config_space().size > 0, name
+            assert platform.cache_namespace().startswith("hw/"), name
+
+    def test_to_dict_round_trips_through_registry(self, platforms):
+        for name, platform in platforms.items():
+            rebuilt = platform_from_spec(platform.to_dict())
+            assert rebuilt.cache_namespace() == platform.cache_namespace(), name
+            assert (
+                rebuilt.config_space().parameters
+                == platform.config_space().parameters
+            ), name
+
+    def test_parametrized_round_trip(self):
+        platform = build_platform(
+            "dac2020-scaled", {"clock_mhz": 300.0, "max_buffer_depth": 2048}
+        )
+        rebuilt = platform_from_spec(platform.to_dict())
+        assert rebuilt.cache_namespace() == platform.cache_namespace()
+        assert rebuilt.config_space().size == platform.config_space().size
+
+    def test_describe_is_jsonable(self, platforms):
+        import json
+
+        for name, platform in platforms.items():
+            blob = json.loads(json.dumps(platform.describe()))
+            assert blob["name"] == name
+            assert blob["config_space_size"] == platform.config_space().size
+
+    def test_namespaces_distinct_across_platforms(self, platforms):
+        non_reference = {
+            name: p.cache_namespace()
+            for name, p in platforms.items()
+            if not p.is_reference
+        }
+        assert "embedded-lite" in non_reference
+        namespaces = set(non_reference.values()) | {"hw/dac2020"}
+        assert len(namespaces) == len(non_reference) + 1
+
+    def test_namespace_pins_every_param(self):
+        a = build_platform("dac2020-scaled", {"clock_mhz": 200.0})
+        b = build_platform("dac2020-scaled", {"clock_mhz": 250.0})
+        assert a.cache_namespace() != b.cache_namespace()
+
+
+class TestBatchScalarAgreement:
+    """Per platform, the batched column query == the scalar loop, bit for bit."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_batch_area_matches_scalar(self, platforms, data):
+        name = data.draw(st.sampled_from(sorted(platforms)))
+        platform = platforms[name]
+        space = platform.config_space()
+        batch = platform.batch_area_mm2(space.columns())
+        index = data.draw(st.integers(min_value=0, max_value=space.size - 1))
+        assert batch[index] == platform.area_mm2(space.config_at(index))
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_batch_latency_matches_scalar(self, platforms, resnet_ir, data):
+        name = data.draw(st.sampled_from(sorted(platforms)))
+        platform = platforms[name]
+        space = platform.config_space()
+        batch = platform.batch_network_latency_s(resnet_ir, space.columns())
+        index = data.draw(st.integers(min_value=0, max_value=space.size - 1))
+        assert batch[index] == platform.network_latency_s(
+            resnet_ir, space.config_at(index)
+        )
+
+
+class TestReferencePlatform:
+    def test_default_platform_is_reference(self):
+        assert default_platform().is_reference
+        assert default_platform().cache_namespace() == "hw/dac2020"
+
+    def test_scaled_with_default_params_is_reference(self):
+        # Same models, same space — sharing cache rows is correct.
+        assert build_platform("dac2020-scaled").is_reference
+
+    def test_hand_built_variant_is_not_reference(self):
+        from repro.accelerator.latency import LatencyModel, LatencyModelParams
+
+        custom = Dac2020Platform(
+            latency_model=LatencyModel(LatencyModelParams(clock_hz=99e6))
+        )
+        assert not custom.is_reference
+        # The derived params pin the non-default constant.
+        assert custom.cache_namespace() != "hw/dac2020"
+
+
+class TestPlatformSemantics:
+    def test_slower_clock_raises_latency(self, resnet_ir):
+        fast = build_platform("dac2020-scaled", {"clock_mhz": 300.0})
+        slow = build_platform("dac2020-scaled", {"clock_mhz": 75.0})
+        cols = fast.config_space().columns()
+        assert np.all(
+            slow.batch_network_latency_s(resnet_ir, cols)
+            >= fast.batch_network_latency_s(resnet_ir, cols)
+        )
+
+    def test_area_scale_scales_area(self):
+        base = default_platform()
+        shrunk = build_platform("dac2020-scaled", {"area_scale": 0.5})
+        cols = base.config_space().columns()
+        np.testing.assert_allclose(
+            shrunk.batch_area_mm2(cols), 0.5 * base.batch_area_mm2(cols)
+        )
+
+    def test_budget_caps_shrink_config_space(self):
+        capped = build_platform(
+            "dac2020-scaled", {"max_pixel_par": 16, "max_buffer_depth": 2048}
+        )
+        space = capped.config_space()
+        assert space.size < default_platform().config_space().size
+        assert max(space.parameters["pixel_par"]) == 16
+        assert max(space.parameters["input_buffer_depth"]) == 2048
+
+    def test_embedded_profile_is_small_and_low_area(self):
+        embedded = build_platform("embedded-lite")
+        space = embedded.config_space()
+        assert space.size < 1000
+        # Every embedded configuration is cheaper than the default
+        # platform's biggest engines.
+        big = default_platform()
+        assert np.max(embedded.batch_area_mm2(space.columns())) < np.max(
+            big.batch_area_mm2(big.config_space().columns())
+        )
