@@ -32,6 +32,18 @@ class AcceleratorSpace:
     def __post_init__(self) -> None:
         self._names = list(self.parameters)
         self._radices = [len(self.parameters[n]) for n in self._names]
+        strides = []
+        stride = 1
+        for radix in self._radices:
+            strides.append(stride)
+            stride *= radix
+        self._strides = strides
+        # Flat index -> the one AcceleratorConfig object for that point.
+        # Interning makes repeat decodes of the same configuration
+        # return the *same* (frozen, immutable) object, so downstream
+        # identity-keyed memos — the tensorized evaluator's
+        # config-to-index resolution — hit without rebuilding any key.
+        self._interned: dict[int, AcceleratorConfig] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -56,15 +68,20 @@ class AcceleratorSpace:
 
     # ------------------------------------------------------------------
     def config_at(self, index: int) -> AcceleratorConfig:
-        """Configuration at a flat index in ``[0, size)``."""
+        """Configuration at a flat index in ``[0, size)`` (interned)."""
         if not 0 <= index < self.size:
             raise IndexError(f"index {index} out of range for size {self.size}")
-        values = {}
-        remainder = index
-        for name, radix in zip(self._names, self._radices):
-            values[name] = self.parameters[name][remainder % radix]
-            remainder //= radix
-        return AcceleratorConfig(**values)
+        index = int(index)
+        config = self._interned.get(index)
+        if config is None:
+            values = {}
+            remainder = index
+            for name, radix in zip(self._names, self._radices):
+                values[name] = self.parameters[name][remainder % radix]
+                remainder //= radix
+            config = AcceleratorConfig(**values)
+            self._interned[index] = config
+        return config
 
     def index_of(self, config: AcceleratorConfig) -> int:
         """Flat index of ``config`` (inverse of :meth:`config_at`)."""
@@ -76,17 +93,30 @@ class AcceleratorSpace:
             stride *= radix
         return index
 
-    def decode(self, actions: Sequence[int]) -> AcceleratorConfig:
-        """Configuration selected by one controller action per token."""
+    def index_of_actions(self, actions: Sequence[int]) -> int:
+        """Flat index selected by one controller action per token.
+
+        Actions *are* per-parameter value indices, so the flat index is
+        just their mixed-radix composition — no config (or dict) is
+        ever materialized.  This is the index-native decode route the
+        tensorized evaluation path rides:
+        ``decode(a) == config_at(index_of_actions(a))`` always holds.
+        """
         actions = list(actions)
         if len(actions) != self.num_tokens:
             raise ValueError(f"expected {self.num_tokens} actions, got {len(actions)}")
-        values = {}
-        for name, radix, action in zip(self._names, self._radices, actions):
+        index = 0
+        for name, radix, stride, action in zip(
+            self._names, self._radices, self._strides, actions
+        ):
             if not 0 <= action < radix:
                 raise ValueError(f"action {action} out of range for {name}")
-            values[name] = self.parameters[name][action]
-        return AcceleratorConfig(**values)
+            index += int(action) * stride
+        return index
+
+    def decode(self, actions: Sequence[int]) -> AcceleratorConfig:
+        """Configuration selected by one controller action per token."""
+        return self.config_at(self.index_of_actions(actions))
 
     def encode(self, config: AcceleratorConfig) -> list[int]:
         """Controller actions reproducing ``config``."""

@@ -103,6 +103,7 @@ class RunContext:
     ledger: RunLedger | None = None
     checkpoint_every: int = 10
     hardware: str | None = None
+    tensorize: bool = False
     _study: object = None
 
     @property
@@ -128,6 +129,7 @@ class RunContext:
                 ledger=self.ledger,
                 checkpoint_every=self.checkpoint_every,
                 hardware=self.hardware,
+                tensorize=self.tensorize,
             )
         return self._study
 
@@ -265,6 +267,14 @@ def _build_parser() -> argparse.ArgumentParser:
             "platform (shorthand for overriding 'hardware'; applied "
             "before --set, so --set hardware.params.X=... can refine it)",
         )
+        sp.add_argument(
+            "--tensorize",
+            action="store_true",
+            help="shorthand for --set execution.tensorize=true: answer "
+            "batch evaluations from dense full-config-space tensors "
+            "(bit-identical; per-platform 'tensorize' fields in the "
+            "spec's hardware entries override it)",
+        )
         if command == "run":
             sp.add_argument(
                 "--scale",
@@ -332,6 +342,14 @@ def _add_run_arguments(run: argparse.ArgumentParser) -> None:
         "reference dac2020 (see 'repro hw list'; applies to "
         "fig5/fig6/fig5+6/fig7 — platform evaluations never share "
         "cache rows with other platforms)",
+    )
+    run.add_argument(
+        "--tensorize",
+        action="store_true",
+        help="answer batch evaluations from dense full-config-space "
+        "tensors (bit-identical to the memoized path — differentially "
+        "tested per platform; platforms too large to enumerate fall "
+        "back silently; applies to the search-study experiments)",
     )
     run.add_argument(
         "--batch-size",
@@ -428,6 +446,8 @@ def _main_study(args, parser: argparse.ArgumentParser) -> int:
         spec = resolve_spec(args.spec)
         if args.hardware is not None:
             spec = spec.with_overrides({"hardware": {"name": args.hardware}})
+        if args.tensorize:
+            spec = spec.with_overrides({"execution.tensorize": True})
         overrides = parse_assignments(args.overrides)
         if overrides:
             spec = spec.with_overrides(overrides)
@@ -489,6 +509,8 @@ def main(argv: list[str] | None = None) -> int:
         study_flags.append("--batch-size")
     if args.ledger is not None:
         study_flags.append("--ledger")
+    if args.tensorize:
+        study_flags.append("--tensorize")
     if study_flags:
         selected = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
         uses_study = [name for name in selected if name in STUDY_EXPERIMENTS]
@@ -549,6 +571,7 @@ def main(argv: list[str] | None = None) -> int:
         ledger=RunLedger(args.ledger) if args.ledger is not None else None,
         checkpoint_every=args.checkpoint_every,
         hardware=args.hardware,
+        tensorize=args.tensorize,
     )
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     reports = []

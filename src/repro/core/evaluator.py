@@ -99,6 +99,7 @@ class CodesignEvaluator:
         latency_model: LatencyModel | None = None,
         platform: HardwarePlatform | None = None,
         cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+        tensorize: bool = False,
     ) -> None:
         if platform is not None and (
             area_model is not None or latency_model is not None
@@ -130,6 +131,18 @@ class CodesignEvaluator:
         self.eval_cache: EvalCache | None = None
         self.cache_scenario = reward_config.name
         self.num_evaluations = 0
+        # Tensorized full-space fast path (see repro.hw.tensorized):
+        # when enabled and the platform's space is enumerable,
+        # evaluate_batch answers from dense per-index arrays plus a
+        # bounded (spec_hash, index) -> result memo, bypassing the
+        # config_key/LRU machinery entirely.  Lazily constructed so
+        # evaluators that never batch pay nothing.
+        self.tensorize = bool(tensorize)
+        self._cache_capacity = cache_capacity
+        self._tensor = None
+        self._tensor_unavailable = False
+        self._tensor_results: LRUCache = LRUCache(cache_capacity)
+        self._tensor_hash_memo: LRUCache = LRUCache(cache_capacity)
         # Registered accuracy-source builders stash their side objects
         # here (e.g. the CIFAR-100 trainer behind ``accuracy_fn``), so
         # callers can reach cost ledgers without private plumbing.
@@ -195,6 +208,47 @@ class CodesignEvaluator:
                 f"config space enumerates {space.size} configurations"
             )
         self._latency_table = (latency_ms, dict(row_of_hash), space)
+
+    def attach_tensorized(self, tensor) -> "CodesignEvaluator":
+        """Serve batches from a prebuilt :class:`TensorizedSpace`.
+
+        Normally :meth:`evaluate_batch` builds (or reuses the
+        process-wide memo of) the tensor itself when ``tensorize`` is
+        set; attaching explicitly exists for callers that need a
+        specific instance — a custom cache directory in tests, or a
+        tensor shared across evaluators.  The tensor must have been
+        enumerated for this evaluator's platform: matching is by
+        ``cache_namespace()``, the identity that pins every
+        result-affecting parameter, because a tensor from a different
+        platform would silently serve wrong metrics.
+        """
+        if tensor.platform.cache_namespace() != self.platform.cache_namespace():
+            raise ValueError(
+                f"tensorized space was enumerated for platform namespace "
+                f"{tensor.platform.cache_namespace()!r} but this evaluator "
+                f"runs {self.platform.cache_namespace()!r} — build the "
+                "tensor from this evaluator's platform"
+            )
+        self._tensor = tensor
+        self._tensor_unavailable = False
+        self.tensorize = True
+        return self
+
+    def _tensorized(self):
+        """The active tensor, or ``None`` when the space is too large."""
+        if self._tensor is not None:
+            return self._tensor
+        if self._tensor_unavailable:
+            return None
+        from repro.hw.tensorized import enumerable, tensorized_space
+
+        if not enumerable(self.platform):
+            # Cache the verdict: falling back must not re-ask the
+            # platform for its space size on every batch.
+            self._tensor_unavailable = True
+            return None
+        self._tensor = tensorized_space(self.platform, self.skeleton)
+        return self._tensor
 
     # --- constructors -----------------------------------------------------
     @classmethod
@@ -288,6 +342,8 @@ class CodesignEvaluator:
         accuracy = self.accuracy(spec)
         if accuracy is None:
             return None
+        if not self.platform.config_valid(config):
+            return None
         return Metrics(
             accuracy=accuracy,
             latency_s=self.latency_s(spec, config),
@@ -319,7 +375,18 @@ class CodesignEvaluator:
         the reward still come from exactly the same pure lookups and the
         same scalar reward path as :meth:`evaluate`, so batched results
         are bit-identical to pointwise results — only faster.
+
+        With ``tensorize`` set and an enumerable platform space, the
+        batch answers from the tensorized fast path instead (pure
+        ndarray indexing + a persistent result memo — see
+        :meth:`_evaluate_batch_tensorized`); ``evaluate`` always stays
+        on the scalar path, which is the reference the differential
+        suite compares against.
         """
+        if self.tensorize:
+            tensor = self._tensorized()
+            if tensor is not None:
+                return self._evaluate_batch_tensorized(pairs, tensor)
         memo: dict[tuple, EvaluationResult] = {}
         out: list[EvaluationResult] = []
         for spec, config in pairs:
@@ -350,6 +417,109 @@ class CodesignEvaluator:
             out.append(result)
         return out
 
+    def _evaluate_batch_tensorized(
+        self, pairs, tensor
+    ) -> list[EvaluationResult]:
+        """:meth:`evaluate_batch` answered from dense full-space arrays.
+
+        Per pair: resolve the config to its flat index (identity-memoized
+        — interned configs never rebuild a key), then serve the whole
+        (metrics, reward) from a bounded ``(spec_hash, index)`` memo; a
+        miss reads area/validity straight out of the tensor and latency
+        from the attached bundle table or the tensor's per-cell latency
+        row.  Results are bit-identical to the scalar path because every
+        array element *is* the platform's batch output, which the
+        platform contract pins to the scalar call bit for bit, and the
+        reward is the same scalar :class:`RewardFunction` applied once
+        per distinct point (rewards are pure functions of metrics, so
+        memoizing whole results changes cost, never values).
+
+        Deliberately bypassed here: ``config_key`` derivation, the
+        ``_content_hash_memo``/``_area_cache``/``_latency_cache`` memos
+        (never populated — a full-space sweep leaves them empty), and
+        the shared persistent eval cache (the tensor's own disk cache
+        provides the warm start instead).
+        """
+        memo: dict[tuple, EvaluationResult] = {}
+        out: list[EvaluationResult] = []
+        invalid_reward = None
+        for spec, config in pairs:
+            self.num_evaluations += 1
+            if not spec.valid:
+                if invalid_reward is None:
+                    invalid_reward = self.reward_fn(None)
+                out.append(
+                    EvaluationResult(
+                        spec=spec, config=config, metrics=None,
+                        reward=invalid_reward,
+                    )
+                )
+                continue
+            content = (spec.matrix.tobytes(), tuple(spec.ops))
+            spec_hash = self._tensor_hash_memo.get(content)
+            if spec_hash is None:
+                spec_hash = spec.spec_hash()
+                self._tensor_hash_memo[content] = spec_hash
+            index = tensor.index_of(config)
+            key = (spec_hash, index)
+            result = memo.get(key)
+            if result is None:
+                cached = self._tensor_results.get(key)
+                if cached is None:
+                    metrics = self._tensor_metrics(spec, spec_hash, index, tensor)
+                    cached = (metrics, self.reward_fn(metrics))
+                    self._tensor_results[key] = cached
+                # Rebuild the result around *this* batch's spec/config
+                # objects: spec_hash is isomorphism-invariant, so the
+                # memoized entry may have been filled by an isomorphic
+                # but differently laid-out spec.
+                result = EvaluationResult(
+                    spec=spec, config=config,
+                    metrics=cached[0], reward=cached[1],
+                )
+                memo[key] = result
+            out.append(result)
+        return out
+
+    def _tensor_metrics(
+        self, spec: ModelSpec, spec_hash: str, index: int, tensor
+    ) -> Metrics | None:
+        """Metrics for one (cell, flat config index) from the tensor.
+
+        Mirrors :meth:`_metrics_hashed` exactly: accuracy first (same
+        ``_accuracy_cache`` — accuracy depends only on the cell, so the
+        two paths share it), then configuration validity, then
+        latency/area.  Latency prefers the attached bundle table when it
+        has a row for this cell — the scalar path serves the identical
+        float32-round-tripped entry, and the table's space is validated
+        against the platform's at attach time so flat indices align —
+        and otherwise reads the tensor's float64 per-cell row.
+        """
+        if spec_hash in self._accuracy_cache:
+            accuracy = self._accuracy_cache[spec_hash]
+        else:
+            accuracy = self.accuracy_fn(spec)
+            self._accuracy_cache[spec_hash] = accuracy
+        if accuracy is None or not tensor.valid[index]:
+            return None
+        latency = None
+        if self._latency_table is not None:
+            latency_ms, row_of_hash, _space = self._latency_table
+            row = row_of_hash.get(spec_hash)
+            if row is not None:
+                latency = float(latency_ms[row, index]) / 1e3
+        if latency is None:
+            latency = float(
+                tensor.latency_row(
+                    spec_hash, lambda: compile_cell_ops(spec, self.skeleton)
+                )[index]
+            )
+        return Metrics(
+            accuracy=accuracy,
+            latency_s=latency,
+            area_mm2=float(tensor.area_mm2[index]),
+        )
+
     def _metrics_hashed(
         self,
         spec: ModelSpec,
@@ -376,7 +546,7 @@ class CodesignEvaluator:
         else:
             accuracy = self.accuracy_fn(spec)
             self._accuracy_cache[spec_hash] = accuracy
-        if accuracy is None:
+        if accuracy is None or not self.platform.config_valid(config):
             if cache is not None:
                 cache.put(CacheEntry(*cache_key, None, None, None))
             return None
@@ -434,6 +604,15 @@ class CodesignEvaluator:
         clone._config_index_memo = self._config_index_memo
         clone._latency_table = self._latency_table
         clone.eval_cache = self.eval_cache
+        # Tensorized state: the tensor and the content->hash memo are
+        # reward-independent (shared), but the result memo folds the
+        # reward in — a clone under a different scenario needs its own.
+        clone.tensorize = self.tensorize
+        clone._cache_capacity = self._cache_capacity
+        clone._tensor = self._tensor
+        clone._tensor_unavailable = self._tensor_unavailable
+        clone._tensor_hash_memo = self._tensor_hash_memo
+        clone._tensor_results = LRUCache(self._cache_capacity)
         # Clones keep the parent's cache namespace so threshold-schedule
         # rung changes reuse warm rows, mirroring the shared dicts above.
         clone.cache_scenario = self.cache_scenario
@@ -603,11 +782,16 @@ def build_evaluator(
     bundle=None,
     store: EvalCache | None = None,
     platform: HardwarePlatform | None = None,
+    tensorize: bool = False,
 ) -> "CodesignEvaluator":
     """Construct an evaluator from a registered accuracy source.
 
     ``platform`` selects the hardware backend (see :mod:`repro.hw`);
-    ``None`` keeps the reference ``dac2020`` behaviour.
+    ``None`` keeps the reference ``dac2020`` behaviour.  ``tensorize``
+    arms the full-space fast path for batch evaluation (a no-op when
+    the platform's space is too large to enumerate); it is applied
+    after the source builds, so registered builders need not know
+    about it.
     """
     entry = get_accuracy_source(source)
     if entry.requires_bundle and bundle is None:
@@ -615,9 +799,12 @@ def build_evaluator(
             f"accuracy source {source!r} needs an enumerated-space bundle "
             "(pass bundle=..., e.g. repro.experiments.common.load_bundle())"
         )
-    return entry.build(
+    evaluator = entry.build(
         reward_config, params, bundle=bundle, store=store, platform=platform
     )
+    if tensorize:
+        evaluator.tensorize = True
+    return evaluator
 
 
 def accuracy_source_namespace(

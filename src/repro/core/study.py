@@ -215,11 +215,17 @@ class HardwareSpec:
     outcomes (and in job labels / ledger rows); it defaults to
     ``name`` and must be set when the same platform appears twice with
     different params.
+
+    ``tensorize`` is a per-platform override of the study-wide
+    ``execution.tensorize`` toggle (``None`` = inherit): a sweep can
+    tensorize an enumerable platform while a huge scaled platform in
+    the same study stays on the memoized path.
     """
 
     name: str = "dac2020"
     params: dict = field(default_factory=dict)
     label: str | None = None
+    tensorize: bool | None = None
 
     def __post_init__(self) -> None:
         _require(
@@ -234,6 +240,11 @@ class HardwareSpec:
                 isinstance(self.label, str) and bool(self.label),
                 f"hardware {self.name!r}: 'label' must be a non-empty string",
             )
+        _require(
+            self.tensorize is None or isinstance(self.tensorize, bool),
+            f"hardware {self.name!r}: 'tensorize' must be true, false, or "
+            f"null (inherit execution.tensorize), got {self.tensorize!r}",
+        )
 
     @property
     def effective_label(self) -> str:
@@ -243,15 +254,20 @@ class HardwareSpec:
         out: dict = {"name": self.name, "params": _jsonify(self.params, "params")}
         if self.label is not None:
             out["label"] = self.label
+        if self.tensorize is not None:
+            # Omitted when inheriting, so pre-tensorize spec dicts —
+            # including ledger-pinned ones — stay byte-identical.
+            out["tensorize"] = self.tensorize
         return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "HardwareSpec":
-        _check_fields(data, {"name", "params", "label"}, "hardware spec")
+        _check_fields(data, {"name", "params", "label", "tensorize"}, "hardware spec")
         return cls(
             name=data.get("name", "dac2020"),
             params=data.get("params") or {},
             label=data.get("label"),
+            tensorize=data.get("tensorize"),
         )
 
 
@@ -263,7 +279,10 @@ class ExecutionSpec:
     ambient :class:`repro.experiments.common.Scale` at run time, so one
     preset serves smoke, default, and paper scales.  ``cache`` /
     ``ledger`` are file paths (the live objects can also be passed to
-    :func:`run_study` directly, overriding the spec).
+    :func:`run_study` directly, overriding the spec).  ``tensorize``
+    arms the full-space tensorized evaluation fast path for every
+    platform in the study (each :class:`HardwareSpec` may override it;
+    platforms too large to enumerate silently fall back).
     """
 
     num_steps: int | None = None
@@ -275,8 +294,13 @@ class ExecutionSpec:
     cache: str | None = None
     ledger: str | None = None
     checkpoint_every: int = 10
+    tensorize: bool = False
 
     def __post_init__(self) -> None:
+        _require(
+            isinstance(self.tensorize, bool),
+            f"execution.tensorize must be true or false, got {self.tensorize!r}",
+        )
         _check_int(self.num_steps, "execution.num_steps", 1, optional=True)
         _check_int(self.num_repeats, "execution.num_repeats", 1, optional=True)
         _check_int(self.master_seed, "execution.master_seed")
@@ -295,7 +319,7 @@ class ExecutionSpec:
             )
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "num_steps": self.num_steps,
             "num_repeats": self.num_repeats,
             "master_seed": self.master_seed,
@@ -306,6 +330,11 @@ class ExecutionSpec:
             "ledger": self.ledger,
             "checkpoint_every": self.checkpoint_every,
         }
+        if self.tensorize:
+            # Omitted when off, so pre-tensorize spec dicts — including
+            # ledger-pinned ones — stay byte-identical and resumable.
+            out["tensorize"] = True
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExecutionSpec":
@@ -321,13 +350,14 @@ class ExecutionSpec:
                 "cache",
                 "ledger",
                 "checkpoint_every",
+                "tensorize",
             },
             "execution spec",
         )
         defaults = cls()
         fields = (
             "num_steps", "num_repeats", "master_seed", "batch_size", "backend",
-            "workers", "cache", "ledger", "checkpoint_every",
+            "workers", "cache", "ledger", "checkpoint_every", "tensorize",
         )
         return cls(**{f: data.get(f, getattr(defaults, f)) for f in fields})
 
@@ -569,9 +599,18 @@ class StudySpec:
         nothing).
         """
         data = self.to_dict()
-        # to_dict omits the implicit default platform (ledger
-        # byte-compat); overrides still address it by path.
+        # to_dict omits the implicit default platform and the
+        # tensorize toggles when at their defaults (ledger byte-compat);
+        # overrides still address them by path.
         data.setdefault("hardware", self._hardware_dict())
+        data["execution"].setdefault("tensorize", self.execution.tensorize)
+        hw_entries = (
+            data["hardware"]
+            if isinstance(data["hardware"], list)
+            else [data["hardware"]]
+        )
+        for entry, hw in zip(hw_entries, self.hardware):
+            entry.setdefault("tensorize", hw.tensorize)
         for path, value in assignments.items():
             _assign(data, path, value)
         return StudySpec.from_dict(data)
@@ -754,6 +793,16 @@ def build_study(spec: StudySpec, bundle=None, scale=None, store=None) -> Study:
         label: hardware_namespace(source_namespace, platform)
         for label, platform in platforms.items()
     }
+    # Per-platform tensorize: the HardwareSpec override wins, else the
+    # study-wide execution toggle.
+    tensorize_flags = {
+        hw.effective_label: (
+            hw.tensorize
+            if hw.tensorize is not None
+            else spec.execution.tensorize
+        )
+        for hw in spec.hardware
+    }
 
     front = None
     if bundle is not None:
@@ -797,6 +846,7 @@ def build_study(spec: StudySpec, bundle=None, scale=None, store=None) -> Study:
                 bundle=bundle,
                 store=store,
                 platform=platform,
+                tensorize=tensorize_flags[hw_label],
             )
             for strategy in spec.strategies:
                 label = f"{outcome_key}/{strategy.effective_label}"

@@ -129,6 +129,7 @@ def legacy_study_spec(
     checkpoint_every: int = 10,
     name: str = "search-study",
     hardware: str | dict | list | None = None,
+    tensorize: bool = False,
 ) -> StudySpec:
     """A :class:`StudySpec` equivalent to the legacy keyword arguments.
 
@@ -143,7 +144,9 @@ def legacy_study_spec(
     :mod:`repro.search.registry` are registered on the fly.
     ``hardware`` (a platform name, hardware-spec mapping, or a list of
     them — see :mod:`repro.hw`) selects the hardware backend(s);
-    ``None`` keeps the reference ``dac2020``.
+    ``None`` keeps the reference ``dac2020``.  ``tensorize`` arms the
+    full-space tensorized evaluation fast path (see
+    :mod:`repro.hw.tensorized`).
     """
     from repro.search.registry import register_strategy, strategy_name_of
 
@@ -187,6 +190,7 @@ def legacy_study_spec(
             "backend": backend,
             "workers": workers,
             "checkpoint_every": checkpoint_every,
+            "tensorize": bool(tensorize),
         },
     )
 
@@ -205,6 +209,7 @@ def _run_search_study(
     checkpoint_every: int = 10,
     name: str = "search-study",
     hardware: str | dict | list | None = None,
+    tensorize: bool = False,
 ) -> SearchStudyResult:
     """Legacy-argument front end over the spec-driven study engine."""
     bundle = bundle or load_bundle()
@@ -228,6 +233,7 @@ def _run_search_study(
         checkpoint_every=checkpoint_every,
         name=name,
         hardware=hardware,
+        tensorize=tensorize,
     )
     return run_study(
         spec, bundle=bundle, scale=scale, eval_cache=eval_cache, ledger=ledger

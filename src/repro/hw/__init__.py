@@ -19,6 +19,13 @@ from repro.hw.platform import (
     platform_from_spec,
     register_platform,
 )
+from repro.hw.tensorized import (
+    TENSORIZE_MAX_CONFIGS,
+    TensorizedSpace,
+    TensorizeError,
+    enumerable,
+    tensorized_space,
+)
 
 __all__ = [
     "DEFAULT_PLATFORM_NAME",
@@ -26,10 +33,15 @@ __all__ = [
     "HardwarePlatform",
     "HardwarePlatformError",
     "PlatformEntry",
+    "TENSORIZE_MAX_CONFIGS",
+    "TensorizeError",
+    "TensorizedSpace",
     "build_platform",
     "default_platform",
+    "enumerable",
     "get_platform",
     "list_platforms",
     "platform_from_spec",
     "register_platform",
+    "tensorized_space",
 ]

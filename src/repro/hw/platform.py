@@ -105,6 +105,28 @@ class HardwarePlatform:
         """Vectorized :meth:`network_latency_s` over config columns."""
         raise NotImplementedError
 
+    def config_valid(self, config: AcceleratorConfig) -> bool:
+        """Whether a configuration is realizable on this platform.
+
+        The shipped platforms restrict their searchable domains through
+        ``config_space()`` instead, so every enumerated configuration
+        is valid (the default).  A platform with cross-parameter
+        constraints (e.g. a shared DSP budget) overrides this; invalid
+        configurations evaluate to ``None`` metrics and earn the
+        scenario punishment, exactly like invalid cells.
+        """
+        return True
+
+    def batch_config_valid(self, cols: dict[str, np.ndarray]) -> np.ndarray:
+        """Vectorized :meth:`config_valid` over config columns.
+
+        Must agree with the scalar call on every configuration of
+        :meth:`config_space` (the tensorized evaluation path serves
+        validity from this array).
+        """
+        n = len(next(iter(cols.values()))) if cols else 0
+        return np.ones(n, dtype=bool)
+
     # --- identity ---------------------------------------------------------
     def config_space(self) -> AcceleratorSpace:
         """The configuration space this platform can realize."""
@@ -210,7 +232,9 @@ def platform_from_spec(data: dict) -> HardwarePlatform:
             f"a hardware spec is a mapping with a 'name' (and optional "
             f"'params'), got {data!r}"
         )
-    unknown = sorted(set(data) - {"name", "params", "label"})
+    # "label" and "tensorize" are HardwareSpec-level concerns (outcome
+    # keying and the evaluation fast path); they never reach the builder.
+    unknown = sorted(set(data) - {"name", "params", "label", "tensorize"})
     if unknown:
         raise HardwarePlatformError(
             f"hardware spec has unknown field(s) {unknown}"

@@ -452,3 +452,101 @@ class TestLegacyShim:
                         ours.reward_trace(), theirs.reward_trace(),
                         equal_nan=True,
                     )
+
+
+class TestTensorizeSpec:
+    """The --tensorize flag rides through the spec layer untouched:
+    omitted when off (so historical ledgers stay byte-compatible),
+    round-tripping when on, and overridable per hardware entry."""
+
+    def test_defaults_off_and_omitted_from_dict(self):
+        spec = tiny_spec()
+        assert spec.execution.tensorize is False
+        assert "tensorize" not in spec.to_dict()["execution"]
+
+    def test_round_trips_when_set(self):
+        spec = tiny_spec(tensorize=True)
+        data = spec.to_dict()
+        assert data["execution"]["tensorize"] is True
+        assert StudySpec.from_dict(data) == spec
+        json.dumps(data)
+
+    def test_hardware_entry_round_trips(self):
+        spec = StudySpec(
+            name="tiny",
+            strategies=({"name": "random"},),
+            scenarios=("unconstrained",),
+            evaluator={"source": "surrogate"},
+            hardware=(
+                {"name": "embedded-lite", "tensorize": True},
+                {"name": "dac2020"},
+            ),
+            execution={"num_steps": 10, "num_repeats": 1},
+        )
+        data = spec.to_dict()
+        assert data["hardware"][0]["tensorize"] is True
+        assert "tensorize" not in data["hardware"][1]
+        assert StudySpec.from_dict(data) == spec
+
+    def test_rejects_non_bool(self):
+        with pytest.raises(StudyError, match="tensorize"):
+            tiny_spec(tensorize="yes")
+        with pytest.raises(StudyError, match="tensorize"):
+            StudySpec(
+                name="tiny",
+                strategies=({"name": "random"},),
+                scenarios=("unconstrained",),
+                evaluator={"source": "surrogate"},
+                hardware=({"name": "dac2020", "tensorize": 1},),
+                execution={"num_steps": 10, "num_repeats": 1},
+            )
+
+    def test_with_overrides_execution_path(self):
+        spec = tiny_spec().with_overrides({"execution.tensorize": True})
+        assert spec.execution.tensorize is True
+        # ...and flipping it back off drops the key again.
+        off = spec.with_overrides({"execution.tensorize": False})
+        assert "tensorize" not in off.to_dict()["execution"]
+
+    def test_with_overrides_hardware_path(self):
+        spec = StudySpec(
+            name="tiny",
+            strategies=({"name": "random"},),
+            scenarios=("unconstrained",),
+            evaluator={"source": "surrogate"},
+            hardware=({"name": "embedded-lite"},),
+            execution={"num_steps": 10, "num_repeats": 1},
+        )
+        overridden = spec.with_overrides({"hardware.tensorize": True})
+        assert overridden.hardware[0].tensorize is True
+
+    def test_build_study_arms_evaluators_per_platform(self, micro4_bundle):
+        spec = StudySpec(
+            name="tiny",
+            strategies=({"name": "random"},),
+            scenarios=("unconstrained",),
+            evaluator={"source": "surrogate"},
+            hardware=(
+                {"name": "embedded-lite", "tensorize": True},
+                {"name": "dac2020", "tensorize": False},
+            ),
+            execution={"num_steps": 10, "num_repeats": 1, "tensorize": False},
+        )
+        study = build_study(spec, bundle=micro4_bundle, scale=TINY)
+        flags = {
+            job.label.split(":")[0]: job.evaluator_factory().tensorize
+            for job in study.jobs
+        }
+        assert flags == {"embedded-lite": True, "dac2020": False}
+
+    def test_execution_default_covers_unset_hardware(self, micro4_bundle):
+        spec = StudySpec(
+            name="tiny",
+            strategies=({"name": "random"},),
+            scenarios=("unconstrained",),
+            evaluator={"source": "surrogate"},
+            hardware=({"name": "embedded-lite"},),
+            execution={"num_steps": 10, "num_repeats": 1, "tensorize": True},
+        )
+        study = build_study(spec, bundle=micro4_bundle, scale=TINY)
+        assert all(job.evaluator_factory().tensorize for job in study.jobs)

@@ -1,0 +1,85 @@
+"""Regenerate the pinned tensorized-evaluation goldens.
+
+``tensorized_goldens.json`` freezes, for every shipped platform (plus
+one non-reference ``dac2020-scaled`` parameterization), a slice of the
+full-space tensor at 16 evenly-spaced config indices:
+
+* ``area_hex``    — ``float.hex()`` of ``TensorizedSpace.area_mm2``,
+* ``valid``       — the validity mask bits, and
+* ``latency_hex`` — ``float.hex()`` of the ResNet-cell latency row,
+
+all computed hermetically (no disk cache).  The differential suite
+compares live tensors against these strings bit-for-bit, so lockstep
+drift — an analytical-model change that moves the tensorized path and
+the scalar path together, which the tensor==scalar differential tests
+cannot see — fails loudly instead of silently rewriting history.
+
+Do not regenerate casually: new goldens only prove self-consistency of
+the current code.  Regenerate ONLY after an intentional hardware-model
+change, and say so in the commit message.
+
+Run:  PYTHONPATH=src python tests/data/generate_tensorized_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.hw import build_platform, list_platforms
+from repro.hw.tensorized import TensorizedSpace, enumerable
+from repro.nasbench.compile import compile_cell_ops
+from repro.nasbench.known_cells import resnet_cell
+from repro.nasbench.skeleton import CIFAR10_SKELETON
+
+HERE = Path(__file__).resolve().parent
+
+NUM_INDICES = 16
+
+#: Platform label -> (registry name, params).  Covers every shipped
+#: platform at defaults plus one scaled variant with non-default
+#: params, whose namespace (and therefore tensor) differs from the
+#: reference model.
+PLATFORM_BUILDS: dict[str, tuple[str, dict]] = {
+    **{name: (name, {}) for name in list_platforms()},
+    "dac2020-scaled@300MHz": ("dac2020-scaled", {"clock_mhz": 300.0}),
+}
+
+
+def pinned_indices(size: int) -> list[int]:
+    """Sixteen evenly-spaced indices across the full config space."""
+    return sorted(set(np.linspace(0, size - 1, NUM_INDICES).astype(int).tolist()))
+
+
+def main() -> None:
+    resnet_ir = compile_cell_ops(resnet_cell(), CIFAR10_SKELETON)
+    goldens: dict[str, dict] = {}
+    for label, (name, params) in PLATFORM_BUILDS.items():
+        platform = build_platform(name, params or None)
+        if not enumerable(platform):
+            print(f"skipping {label}: not enumerable")
+            continue
+        tensor = TensorizedSpace(platform, use_disk_cache=False)
+        indices = pinned_indices(tensor.size)
+        latency = tensor.latency_row("resnet", lambda: resnet_ir)
+        goldens[label] = {
+            "platform": name,
+            "params": params,
+            "namespace": platform.cache_namespace(),
+            "size": tensor.size,
+            "indices": indices,
+            "area_hex": [float(tensor.area_mm2[i]).hex() for i in indices],
+            "valid": [bool(tensor.valid[i]) for i in indices],
+            "latency_hex": [float(latency[i]).hex() for i in indices],
+        }
+        print(f"{label}: size={tensor.size} indices={len(indices)}")
+    (HERE / "tensorized_goldens.json").write_text(
+        json.dumps(goldens, indent=2) + "\n"
+    )
+    print(f"wrote {len(goldens)} platform slices")
+
+
+if __name__ == "__main__":
+    main()
