@@ -1,0 +1,106 @@
+"""Benchmark the study server against in-process execution.
+
+Boots a :class:`StudyServer` on an ephemeral port, then reports:
+
+1. in-process baseline      one ``run_study`` of the benchmark spec;
+2. served, sequential       N submissions awaited one by one — the
+                            per-study serving overhead (HTTP + queue
+                            lease + runner subprocess spin-up) over
+                            the baseline;
+3. HTTP round-trip          median ``GET /healthz`` latency.
+
+Every served study's outcomes are asserted identical to the
+in-process baseline — serving is a transport and must never change a
+result.  The queue's evaluation-cache shard makes studies after the
+first start warm, so the sequential column also shows the shard doing
+its job.
+
+Run:  PYTHONPATH=src python benchmarks/bench_server.py [--studies 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.study import outcome_summary, run_study
+from repro.experiments.common import Scale
+from repro.experiments.presets import resolve_spec
+from repro.server import StudyClient, StudyServer
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--studies", type=int, default=4)
+    parser.add_argument("--steps", type=int, default=20)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--state-dir", type=Path, default=None,
+        help="server state location (default: a fresh temp dir)",
+    )
+    args = parser.parse_args()
+
+    spec = resolve_spec("smoke").with_overrides(
+        {"execution.num_steps": args.steps}
+    )
+    scale = Scale.named("smoke")
+
+    t0 = time.perf_counter()
+    baseline = outcome_summary(run_study(spec, scale=scale))
+    t_local = time.perf_counter() - t0
+
+    state_dir = args.state_dir or Path(tempfile.mkdtemp(prefix="bench_server_"))
+    server = StudyServer(
+        state_dir, port=0, workers=args.workers, scale="smoke", quiet=True
+    )
+    server.start()
+    try:
+        client = StudyClient(server.url)
+        pings = []
+        for _ in range(50):
+            t0 = time.perf_counter()
+            client.health()
+            pings.append(time.perf_counter() - t0)
+        t_ping_ms = statistics.median(pings) * 1e3
+
+        served_times = []
+        for _ in range(args.studies):
+            t0 = time.perf_counter()
+            study_id = client.submit(spec.to_dict())["id"]
+            doc = client.wait(study_id, timeout=600)
+            served_times.append(time.perf_counter() - t0)
+            assert doc["state"] == "done", doc.get("error")
+            assert doc["result"]["outcomes"] == baseline, (
+                "served outcomes diverged from the in-process run"
+            )
+    finally:
+        server.stop()
+
+    rows = [
+        ("in-process run_study", f"{t_local:.3f}", "1 study"),
+        (
+            "served (sequential)",
+            f"{statistics.mean(served_times):.3f}",
+            f"mean of {args.studies}; first {served_times[0]:.3f}, "
+            f"last {served_times[-1]:.3f}",
+        ),
+        (
+            "serving overhead",
+            f"{statistics.mean(served_times) - t_local:+.3f}",
+            "queue lease + runner spin-up",
+        ),
+        ("HTTP round-trip", f"{t_ping_ms / 1e3:.4f}", "median /healthz"),
+    ]
+    print(f"# Study-server benchmark ({args.steps} steps x {args.studies} studies)\n")
+    print("| what | seconds | notes |")
+    print("|---|---|---|")
+    for name, seconds, notes in rows:
+        print(f"| {name} | {seconds} | {notes} |")
+    print("\nall served outcomes identical to the in-process baseline: OK")
+
+
+if __name__ == "__main__":
+    main()

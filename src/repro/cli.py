@@ -21,6 +21,11 @@ Usage::
     python -m repro run fig5 --hardware embedded-lite
     python -m repro study run smoke --hardware dac2020-scaled --set 'hardware.params.clock_mhz=300'
     python -m repro study run hw-sweep
+    python -m repro serve --state-dir results/server --port 8321
+    python -m repro submit smoke --set execution.num_steps=5 --watch
+    python -m repro status st-1f2e3d4c5b6a
+    python -m repro watch st-1f2e3d4c5b6a --out results/served.md
+    python -m repro cancel st-1f2e3d4c5b6a
 
 ``repro study`` drives the declarative experiment API
 (:mod:`repro.core.study`): ``show`` prints a preset (or spec file) as
@@ -33,6 +38,16 @@ spec fields (dotted paths into the JSON structure, values parsed as
 JSON with a plain-string fallback); a spec whose ``execution.ledger``
 names a file is crash-safe, and resuming it with *any* edited spec is
 refused because the ledger pins ``spec.to_dict()``.
+
+``repro serve`` runs the study server (:mod:`repro.server`): an
+HTTP/JSON API over a ledger-backed study queue, with every study
+executed crash-safely against its own run ledger.  ``repro
+submit|status|watch|cancel`` are its clients — ``submit`` resolves
+specs exactly like ``study run`` (same ``--set``/``--hardware``/
+``--tensorize``) and ``watch`` prints the same report, so a served
+study and a local run are directly comparable.  The server address
+comes from ``--server``, ``REPRO_SERVER``, or the default
+``http://127.0.0.1:8321``.
 
 Each experiment prints the same rows the paper reports (markdown) and
 can optionally write them to a file.  ``--workers N`` (N > 1) fans the
@@ -66,7 +81,12 @@ from pathlib import Path
 from typing import Callable
 
 from repro.core.scenarios import ScenarioError, resolve_scenarios
-from repro.core.study import StudyError, parse_assignments, run_study
+from repro.core.study import (
+    StudyError,
+    outcome_summary,
+    parse_assignments,
+    run_study,
+)
 from repro.experiments.ablations import ablation_markdown, run_all_ablations
 from repro.experiments.common import Scale, eval_cache_path, load_bundle
 from repro.experiments.fig4 import run_fig4
@@ -243,38 +263,7 @@ def _build_parser() -> argparse.ArgumentParser:
         ("run", "materialize the spec through the registries and run it"),
     ):
         sp = study_sub.add_parser(command, help=description)
-        sp.add_argument(
-            "spec",
-            metavar="PRESET|SPEC.json",
-            help="a shipped preset name (see 'repro study list') or a "
-            "JSON spec file path",
-        )
-        sp.add_argument(
-            "--set",
-            action="append",
-            default=[],
-            dest="overrides",
-            metavar="PATH=VALUE",
-            help="override one spec field by dotted path, e.g. "
-            "--set execution.batch_size=16 (repeatable; values parse "
-            "as JSON, falling back to strings)",
-        )
-        sp.add_argument(
-            "--hardware",
-            default=None,
-            metavar="PLATFORM",
-            help="replace the spec's hardware field with this registered "
-            "platform (shorthand for overriding 'hardware'; applied "
-            "before --set, so --set hardware.params.X=... can refine it)",
-        )
-        sp.add_argument(
-            "--tensorize",
-            action="store_true",
-            help="shorthand for --set execution.tensorize=true: answer "
-            "batch evaluations from dense full-config-space tensors "
-            "(bit-identical; per-platform 'tensorize' fields in the "
-            "spec's hardware entries override it)",
-        )
+        _add_spec_arguments(sp)
         if command == "run":
             sp.add_argument(
                 "--scale",
@@ -286,7 +275,154 @@ def _build_parser() -> argparse.ArgumentParser:
             sp.add_argument(
                 "--out", type=Path, default=None, help="write report to file"
             )
+    _add_server_parsers(sub)
     return parser
+
+
+def _add_spec_arguments(sp: argparse.ArgumentParser) -> None:
+    """The spec-selecting arguments 'study show/run' and 'submit' share."""
+    sp.add_argument(
+        "spec",
+        metavar="PRESET|SPEC.json",
+        help="a shipped preset name (see 'repro study list') or a "
+        "JSON spec file path",
+    )
+    sp.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        dest="overrides",
+        metavar="PATH=VALUE",
+        help="override one spec field by dotted path, e.g. "
+        "--set execution.batch_size=16 (repeatable; values parse "
+        "as JSON, falling back to strings)",
+    )
+    sp.add_argument(
+        "--hardware",
+        default=None,
+        metavar="PLATFORM",
+        help="replace the spec's hardware field with this registered "
+        "platform (shorthand for overriding 'hardware'; applied "
+        "before --set, so --set hardware.params.X=... can refine it)",
+    )
+    sp.add_argument(
+        "--tensorize",
+        action="store_true",
+        help="shorthand for --set execution.tensorize=true: answer "
+        "batch evaluations from dense full-config-space tensors "
+        "(bit-identical; per-platform 'tensorize' fields in the "
+        "spec's hardware entries override it)",
+    )
+
+
+def _add_server_arg(sp: argparse.ArgumentParser) -> None:
+    sp.add_argument(
+        "--server",
+        default=None,
+        metavar="URL",
+        help="study server base URL (defaults to REPRO_SERVER or "
+        "http://127.0.0.1:8321)",
+    )
+
+
+def _add_server_parsers(sub) -> None:
+    """The serving side: 'serve' plus its 'submit|status|watch|cancel' clients."""
+    serve = sub.add_parser(
+        "serve",
+        help="run the study server: an HTTP/JSON API over a ledger-backed "
+        "study queue (see repro.server; POST specs with 'repro submit')",
+    )
+    serve.add_argument(
+        "--state-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="server state root: queue ledger, per-study run ledgers, "
+        "sharded eval caches (default <cache-dir>/server)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="bind port (0 picks an ephemeral one and prints it)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="concurrent studies (each runs in its own runner subprocess)",
+    )
+    serve.add_argument(
+        "--scale",
+        choices=("smoke", "default", "paper"),
+        default=None,
+        help="sizing preset for every served study (default REPRO_SCALE "
+        "or 'smoke')",
+    )
+    serve.add_argument(
+        "--import",
+        action="append",
+        default=[],
+        dest="imports",
+        metavar="MODULE",
+        help="import MODULE inside every study runner before the spec is "
+        "materialized (registers plugin accuracy sources, platforms, "
+        "strategies; repeatable)",
+    )
+    serve.add_argument(
+        "--stale-after",
+        type=float,
+        default=15.0,
+        metavar="SECONDS",
+        help="re-lease a running study whose heartbeat is older than this "
+        "(how fast a restarted server resumes studies a killed one "
+        "left behind)",
+    )
+    submit = sub.add_parser(
+        "submit",
+        help="submit a study spec to a running server; prints the study id",
+    )
+    _add_spec_arguments(submit)
+    _add_server_arg(submit)
+    submit.add_argument(
+        "--watch",
+        action="store_true",
+        help="follow the submitted study to completion (same as "
+        "'repro watch <id>')",
+    )
+    submit.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="with --watch, write the final report to a file",
+    )
+    status = sub.add_parser(
+        "status",
+        help="list the server's studies, or show one study's full status",
+    )
+    status.add_argument(
+        "study",
+        nargs="?",
+        default=None,
+        metavar="STUDY_ID",
+        help="a study id (omit to list every study)",
+    )
+    _add_server_arg(status)
+    watch = sub.add_parser(
+        "watch",
+        help="stream one study's progress until it finishes; prints the "
+        "same report 'repro study run' would",
+    )
+    watch.add_argument("study", metavar="STUDY_ID")
+    _add_server_arg(watch)
+    watch.add_argument(
+        "--out", type=Path, default=None, help="write the final report to a file"
+    )
+    cancel = sub.add_parser("cancel", help="cancel a queued or running study")
+    cancel.add_argument("study", metavar="STUDY_ID")
+    _add_server_arg(cancel)
 
 
 def _add_run_arguments(run: argparse.ArgumentParser) -> None:
@@ -385,37 +521,49 @@ def _resolve_scale(name: str | None) -> Scale:
     """An explicit --scale choice, or the REPRO_SCALE/'smoke' default."""
     if name is None:
         return Scale.from_env(default="smoke")
-    return {
-        "smoke": Scale("smoke", 300, 1, 0.1),
-        "default": Scale("default", 1500, 3, 0.25),
-        "paper": Scale("paper", 10000, 10, 1.0),
-    }[name]
+    return Scale.named(name)
+
+
+def _summary_markdown(name: str | None, summary: dict) -> str:
+    """Render a study's JSON outcome summary as the report markdown.
+
+    The one renderer behind both ``repro study run`` (local result)
+    and ``repro watch`` (the summary a server stored), so the two
+    surfaces print byte-identical reports for identical outcomes —
+    which is exactly what the serving CI step diffs.
+    """
+    from repro.utils.tables import format_markdown
+
+    lines = [f"## study {name}" if name else "## study"]
+    for scenario, by_strategy in summary.items():
+        lines.append("")
+        lines.append(f"### {scenario}")
+        rows = []
+        for strategy, cell in by_strategy.items():
+            mean = cell["mean_best_reward"]
+            rows.append(
+                (
+                    strategy,
+                    round(float("nan") if mean is None else mean, 4),
+                    round(cell["hit_rate"], 2),
+                    cell["repeats"],
+                )
+            )
+        lines.append(
+            format_markdown(
+                ["strategy", "mean_best_reward", "feasible_hit_rate", "repeats"],
+                rows,
+            )
+        )
+    return "\n".join(lines)
 
 
 def _study_markdown(result) -> str:
     """Per-scenario summary rows of a spec-driven study run."""
-    from repro.utils.tables import format_markdown
-
     spec = result.extras.get("spec")
-    lines = [f"## study {spec.name}" if spec is not None else "## study"]
-    for scenario, by_strategy in result.outcomes.items():
-        lines.append("")
-        lines.append(f"### {scenario}")
-        lines.append(
-            format_markdown(
-                ["strategy", "mean_best_reward", "feasible_hit_rate", "repeats"],
-                [
-                    (
-                        strategy,
-                        round(outcome.mean_best_reward(), 4),
-                        round(outcome.hit_rate(), 2),
-                        len(outcome.results),
-                    )
-                    for strategy, outcome in by_strategy.items()
-                ],
-            )
-        )
-    return "\n".join(lines)
+    return _summary_markdown(
+        spec.name if spec is not None else None, outcome_summary(result)
+    )
 
 
 def _main_hw(args, parser: argparse.ArgumentParser) -> int:
@@ -437,11 +585,8 @@ def _main_hw(args, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
-def _main_study(args, parser: argparse.ArgumentParser) -> int:
-    if args.study_command == "list":
-        for name in list_presets():
-            print(name)
-        return 0
+def _resolve_cli_spec(args, parser: argparse.ArgumentParser):
+    """Resolve PRESET|SPEC.json + --hardware/--tensorize/--set to a spec."""
     try:
         spec = resolve_spec(args.spec)
         if args.hardware is not None:
@@ -453,6 +598,15 @@ def _main_study(args, parser: argparse.ArgumentParser) -> int:
             spec = spec.with_overrides(overrides)
     except StudyError as err:
         parser.error(str(err))
+    return spec
+
+
+def _main_study(args, parser: argparse.ArgumentParser) -> int:
+    if args.study_command == "list":
+        for name in list_presets():
+            print(name)
+        return 0
+    spec = _resolve_cli_spec(args, parser)
     if args.study_command == "show":
         print(spec.to_json())
         return 0
@@ -474,6 +628,119 @@ def _main_study(args, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+def _client(args, parser: argparse.ArgumentParser):
+    """A StudyClient for --server / REPRO_SERVER / the default URL."""
+    import os
+
+    from repro.server import DEFAULT_SERVER, StudyClient
+
+    url = args.server or os.environ.get("REPRO_SERVER") or DEFAULT_SERVER
+    return StudyClient(url)
+
+
+def _main_serve(args, parser: argparse.ArgumentParser) -> int:
+    from repro.experiments.common import default_cache_dir
+    from repro.server import StudyServer
+
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    state_dir = args.state_dir or (default_cache_dir() / "server")
+    try:
+        server = StudyServer(
+            state_dir,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            scale=args.scale,
+            imports=tuple(args.imports),
+            stale_after=args.stale_after,
+        )
+    except OSError as err:
+        parser.error(f"cannot bind {args.host}:{args.port}: {err}")
+    # Stdout on purpose: scripts (and the CI smoke step) bind port 0
+    # and parse the ephemeral port from this line.
+    print(f"serving on {server.url} (state: {server.queue.state_dir})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down (queued/running studies resume on next boot)",
+              file=sys.stderr)
+        server.queue.stop()
+        server.httpd.server_close()
+    return 0
+
+
+def _watch_study(client, study_id: str, out: Path | None) -> int:
+    """Follow one study to its end; print the final report. 0 iff done."""
+    from repro.server import ServerError
+
+    doc = None
+    try:
+        for doc in client.events(study_id):
+            progress = doc.get("progress") or {}
+            done = progress.get("done_repeats", 0)
+            total = progress.get("total_repeats")
+            print(
+                f"{doc['id']}: {doc['state']}"
+                + (f" — {done}/{total} repeats" if total else ""),
+                file=sys.stderr,
+            )
+    except ServerError as err:
+        # Stream dropped (server restarted?) — fall back to polling.
+        print(f"event stream lost ({err}); polling instead", file=sys.stderr)
+        doc = client.wait(study_id)
+    if doc is None or doc["state"] != "done":
+        state = doc["state"] if doc else "unknown"
+        error = (doc or {}).get("error")
+        print(f"study {study_id} ended {state}"
+              + (f": {error}" if error else ""), file=sys.stderr)
+        return 1
+    result = doc.get("result") or {}
+    report = _summary_markdown(result.get("name"), result.get("outcomes") or {})
+    print(report)
+    if out is not None:
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report + "\n")
+        print(f"\nwritten to {out}", file=sys.stderr)
+    return 0
+
+
+def _main_server_client(args, parser: argparse.ArgumentParser) -> int:
+    from repro.server import ServerError
+
+    client = _client(args, parser)
+    try:
+        if args.command == "submit":
+            spec = _resolve_cli_spec(args, parser)
+            study_id = client.submit(spec.to_dict())["id"]
+            print(study_id)
+            if args.watch:
+                return _watch_study(client, study_id, args.out)
+            return 0
+        if args.command == "status":
+            import json
+
+            if args.study is None:
+                for doc in client.studies():
+                    print(
+                        f"{doc['id']}  {doc['state']:<9}  "
+                        f"{doc.get('name') or '?'}"
+                    )
+                return 0
+            print(json.dumps(client.status(args.study), indent=2))
+            return 0
+        if args.command == "watch":
+            return _watch_study(client, args.study, args.out)
+        if args.command == "cancel":
+            doc = client.cancel(args.study)
+            print(f"{doc['id']}: cancelled (was {doc['was']})")
+            return 0
+    except ServerError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled server command {args.command!r}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -481,6 +748,10 @@ def main(argv: list[str] | None = None) -> int:
         return _main_hw(args, parser)
     if args.command == "study":
         return _main_study(args, parser)
+    if args.command == "serve":
+        return _main_serve(args, parser)
+    if args.command in ("submit", "status", "watch", "cancel"):
+        return _main_server_client(args, parser)
     if getattr(args, "workers", None) is not None and args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
     if getattr(args, "batch_size", 1) < 1:

@@ -70,6 +70,8 @@ __all__ = [
     "build_study",
     "run_study",
     "parse_assignments",
+    "new_study_id",
+    "outcome_summary",
 ]
 
 
@@ -953,3 +955,45 @@ def replace_execution(spec: StudySpec, **changes) -> StudySpec:
     if not kept:
         return spec
     return replace(spec, execution=replace(spec.execution, **kept))
+
+
+# ---------------------------------------------------------------------------
+# Serving plumbing: study ids and JSON-ready outcome summaries
+# ---------------------------------------------------------------------------
+
+def new_study_id() -> str:
+    """A short unique id for a submitted study (``st-`` + 12 hex chars).
+
+    Ids key queue rows, per-study ledger files, and URLs
+    (``/studies/<id>``), so they must be filesystem- and path-safe.
+    """
+    import uuid
+
+    return "st-" + uuid.uuid4().hex[:12]
+
+
+def outcome_summary(result) -> dict:
+    """JSON-ready summary of a study result's outcomes.
+
+    The one shape shared by every reporting surface — ``repro study
+    run``'s markdown, the server's ``/studies/<id>`` result payload,
+    and ``repro watch`` — so a served study and a local run of the
+    same spec are comparable field for field.  ``best_rewards`` keeps
+    the per-repeat best rewards at full float precision (JSON
+    round-trips IEEE-754 doubles exactly), which is what the
+    kill-and-restart durability test compares bit for bit.  NaN means
+    (no feasible point in any repeat) become ``null`` — strict JSON
+    has no NaN literal.
+    """
+    summary: dict[str, dict] = {}
+    for outcome_key, by_strategy in result.outcomes.items():
+        summary[outcome_key] = {}
+        for strategy, outcome in by_strategy.items():
+            mean = outcome.mean_best_reward()
+            summary[outcome_key][strategy] = {
+                "repeats": len(outcome.results),
+                "best_rewards": [float(r) for r in outcome.top_rewards()],
+                "mean_best_reward": None if mean != mean else float(mean),
+                "hit_rate": float(outcome.hit_rate()),
+            }
+    return summary

@@ -57,8 +57,8 @@ class Scale:
     fig7_target_scale: float  # multiplies the per-rung valid-point targets
 
     @classmethod
-    def from_env(cls, default: str = "default") -> "Scale":
-        name = os.environ.get("REPRO_SCALE", default).lower()
+    def named(cls, name: str) -> "Scale":
+        """The shipped sizing preset called ``name`` (smoke/default/paper)."""
         presets = {
             "smoke": cls("smoke", 300, 1, 0.1),
             "default": cls("default", 1500, 3, 0.25),
@@ -66,9 +66,20 @@ class Scale:
         }
         if name not in presets:
             raise ValueError(
-                f"REPRO_SCALE must be one of {sorted(presets)}, got {name!r}"
+                f"scale must be one of {sorted(presets)}, got {name!r}"
             )
         return presets[name]
+
+    @classmethod
+    def from_env(cls, default: str = "default") -> "Scale":
+        name = os.environ.get("REPRO_SCALE", default).lower()
+        try:
+            return cls.named(name)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_SCALE must be one of ['default', 'paper', 'smoke'], "
+                f"got {name!r}"
+            ) from None
 
 
 def default_cache_dir() -> Path:

@@ -222,30 +222,60 @@ class TensorizedSpace:
             return
         if latency_s.ndim != 2 or latency_s.shape[1] != self.size:
             return
-        for spec_hash, row in zip(row_hashes, latency_s):
+        # Rows are stored most-recent-first (see save); replay them
+        # stale-first so the LRU's recency matches the writer's — a
+        # load into a smaller ``max_rows`` then evicts the *oldest*
+        # stored rows, never the newest.
+        for spec_hash, row in zip(row_hashes[::-1], latency_s[::-1]):
             self._rows[str(spec_hash)] = np.ascontiguousarray(
                 row, dtype=np.float64
             )
         self.loaded_rows = len(self._rows)
 
     def save(self) -> Path:
-        """Atomically persist the arrays (most recent rows first)."""
+        """Atomically persist the arrays (most recent rows first).
+
+        ``row_hashes[0]`` is the most recently used row: the LRU
+        iterates stale -> fresh, so the kept slice is reversed before
+        writing.  (Persisting the slice in iteration order — as this
+        method once did — stored the kept rows oldest-first, so any
+        truncating consumer of the file dropped the *newest* rows
+        first, the exact opposite of the retention policy.)
+
+        The write is atomic: arrays go to a pid-suffixed ``.tmp*.npz``
+        sibling first and ``os.replace`` swaps it in.  The ``finally``
+        unlinks the tmp file when the replace never ran (e.g.
+        ``np.savez_compressed`` died on a full disk mid-write) — a
+        failed save must not leak partial archives next to the cache.
+        """
         self.cache_dir.mkdir(parents=True, exist_ok=True)
-        hashes = list(self._rows)[-self._max_disk_rows:]
+        # Snapshot via items(): an LRU __getitem__ would *refresh* each
+        # row while iterating, silently reshuffling recency as a side
+        # effect of saving.
+        kept = (
+            list(self._rows.items())[-self._max_disk_rows:]
+            if self._max_disk_rows > 0
+            else []
+        )
+        kept.reverse()
+        hashes = [spec_hash for spec_hash, _ in kept]
         latency_s = (
-            np.stack([self._rows[h] for h in hashes])
-            if hashes
+            np.stack([row for _, row in kept])
+            if kept
             else np.empty((0, self.size), dtype=np.float64)
         )
         tmp = self.cache_file.with_suffix(f".tmp{os.getpid()}.npz")
-        np.savez_compressed(
-            tmp,
-            area_mm2=self.area_mm2,
-            valid=self.valid,
-            latency_s=latency_s,
-            row_hashes=np.asarray(hashes, dtype=str),
-        )
-        os.replace(tmp, self.cache_file)
+        try:
+            np.savez_compressed(
+                tmp,
+                area_mm2=self.area_mm2,
+                valid=self.valid,
+                latency_s=latency_s,
+                row_hashes=np.asarray(hashes, dtype=str),
+            )
+            os.replace(tmp, self.cache_file)
+        finally:
+            tmp.unlink(missing_ok=True)
         self._new_rows_since_save = 0
         return self.cache_file
 

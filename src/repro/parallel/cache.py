@@ -161,7 +161,25 @@ class EvalCache:
             return conn
 
     def close(self) -> None:
-        self._conn.close()
+        """Flush buffered rows, then release the connection.
+
+        Without the flush, ``with EvalCache(path) as c: c.put(...)``
+        silently dropped every row still buffered in ``_pending`` —
+        the context manager read as "durably persisted" but closing
+        discarded the buffer.  Only the writable owner flushes: a
+        ``read_only`` view must never write (drain it instead), and a
+        fork-inherited cache must not touch the parent's connection at
+        all (closing it could roll back the parent's in-flight
+        transaction), so a non-owner ``close`` abandons the handle
+        exactly like :meth:`__del__` does.
+        """
+        if os.getpid() != self.owner_pid:
+            return
+        try:
+            if not self.read_only:
+                self.flush()
+        finally:
+            self._conn.close()
 
     def __del__(self) -> None:
         # Release the file descriptor as soon as the cache itself is

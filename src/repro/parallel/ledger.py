@@ -15,7 +15,11 @@ layer behind ``run_grid(..., ledger=...)``:
   ``state_dict`` returns);
 * ``meta`` pins the run configuration (steps, repeats, master seed,
   batch size, job labels) so a ledger can never silently mix results
-  from incompatible runs.
+  from incompatible runs;
+* ``studies`` is the serving layer's job queue (:mod:`repro.server`):
+  submitted StudySpecs with a leased/heartbeat lifecycle, so a killed
+  server's in-flight studies are re-leased — and resumed from their
+  per-study ledgers — by the next server to open the same queue file.
 
 On resume, ``run_grid`` loads ``done`` tasks instead of re-running
 them and restarts interrupted tasks from their last checkpoint;
@@ -54,6 +58,8 @@ __all__ = [
     "LedgerError",
     "MemoryCheckpoint",
     "RunLedger",
+    "STUDY_STATES",
+    "TERMINAL_STUDY_STATES",
     "decode_state",
     "encode_state",
 ]
@@ -81,7 +87,29 @@ CREATE TABLE IF NOT EXISTS checkpoints (
     state      TEXT NOT NULL,
     PRIMARY KEY (label, repeat)
 );
+CREATE TABLE IF NOT EXISTS studies (
+    study_id     TEXT PRIMARY KEY,
+    spec         TEXT NOT NULL,
+    state        TEXT NOT NULL DEFAULT 'queued',
+    submitted_at REAL NOT NULL,
+    started_at   REAL,
+    finished_at  REAL,
+    lease_pid    INTEGER,
+    heartbeat    REAL,
+    result       TEXT,
+    error        TEXT
+);
 """
+
+#: Study-queue lifecycle (see the queue methods on :class:`RunLedger`):
+#: ``queued`` -> ``running`` (leased by a worker) -> one of the
+#: terminal states.  A ``running`` study whose lease heartbeat goes
+#: stale is claimable again — that is the whole crash-recovery story:
+#: a SIGKILLed server leaves its in-flight studies ``running``, the
+#: next server (same queue file) re-leases them, and the per-study run
+#: ledger resumes the actual search from its checkpoints.
+STUDY_STATES = ("queued", "running", "done", "failed", "cancelled")
+TERMINAL_STUDY_STATES = ("done", "failed", "cancelled")
 
 
 class LedgerError(RuntimeError):
@@ -384,7 +412,228 @@ class RunLedger:
         """A :class:`~repro.search.base.Checkpoint` bound to one task."""
         return LedgerCheckpoint(self, label, repeat)
 
+    # -- study queue -------------------------------------------------------
+    #
+    # The serving layer (:mod:`repro.server`) keeps its whole queue in
+    # the ledger so queue state shares the crash-safety story of task
+    # results: every transition is one committed transaction, and a
+    # killed server loses nothing but its in-memory worker pool.
+    # Rows hold the submitted StudySpec as JSON; the actual search
+    # state lives in a per-study run ledger (tasks/checkpoints above).
+
+    def submit_study(
+        self, study_id: str, spec: dict, now: float
+    ) -> None:
+        """Enqueue one study (``spec`` is a ``StudySpec.to_dict()``)."""
+        db = self._db()
+        try:
+            db.execute(
+                "INSERT INTO studies (study_id, spec, state, submitted_at)"
+                " VALUES (?, ?, 'queued', ?)",
+                (study_id, json.dumps(spec, separators=(",", ":")), now),
+            )
+        except sqlite3.IntegrityError:
+            raise LedgerError(f"study {study_id!r} is already queued") from None
+        db.commit()
+
+    def study(self, study_id: str) -> dict | None:
+        """One study's queue row as a dict (spec parsed), or ``None``."""
+        row = self._db().execute(
+            "SELECT study_id, spec, state, submitted_at, started_at,"
+            " finished_at, lease_pid, heartbeat, result, error"
+            " FROM studies WHERE study_id=?",
+            (study_id,),
+        ).fetchone()
+        return self._study_row(row) if row is not None else None
+
+    def studies(self) -> list[dict]:
+        """Every queue row, oldest submission first."""
+        rows = self._db().execute(
+            "SELECT study_id, spec, state, submitted_at, started_at,"
+            " finished_at, lease_pid, heartbeat, result, error"
+            " FROM studies ORDER BY submitted_at, study_id"
+        ).fetchall()
+        return [self._study_row(row) for row in rows]
+
+    @staticmethod
+    def _study_row(row) -> dict:
+        return {
+            "id": row[0],
+            "spec": json.loads(row[1]),
+            "state": row[2],
+            "submitted_at": row[3],
+            "started_at": row[4],
+            "finished_at": row[5],
+            "lease_pid": row[6],
+            "heartbeat": row[7],
+            "result": json.loads(row[8]) if row[8] else None,
+            "error": row[9],
+        }
+
+    def claim_study(
+        self, pid: int, now: float, stale_after: float
+    ) -> str | None:
+        """Atomically lease the next runnable study; ``None`` if idle.
+
+        Runnable means ``queued``, or ``running`` with a lease
+        heartbeat older than ``stale_after`` seconds — i.e. abandoned
+        by a crashed server and due for resumption.  The lease is
+        taken under ``BEGIN IMMEDIATE`` so concurrent workers (threads
+        or whole servers sharing one queue file) never claim the same
+        study twice.
+        """
+        db = self._db()
+        db.execute("BEGIN IMMEDIATE")
+        try:
+            row = db.execute(
+                "SELECT study_id FROM studies WHERE state='queued'"
+                " OR (state='running' AND (heartbeat IS NULL OR heartbeat < ?))"
+                " ORDER BY submitted_at, study_id LIMIT 1",
+                (now - stale_after,),
+            ).fetchone()
+            if row is None:
+                db.execute("ROLLBACK")
+                return None
+            db.execute(
+                "UPDATE studies SET state='running', lease_pid=?,"
+                " heartbeat=?, started_at=COALESCE(started_at, ?)"
+                " WHERE study_id=?",
+                (pid, now, now, row[0]),
+            )
+            db.execute("COMMIT")
+        except BaseException:
+            db.execute("ROLLBACK")
+            raise
+        return row[0]
+
+    def heartbeat_study(
+        self, study_id: str, now: float, pid: int | None = None
+    ) -> None:
+        """Refresh a leased study's liveness stamp.
+
+        ``pid`` (when given) re-points ``lease_pid`` at the process
+        actually executing the study — the server leases under its own
+        pid but delegates to a runner subprocess, and cancellation /
+        the durability tests need the runner's process group, not the
+        server's.
+        """
+        db = self._db()
+        if pid is None:
+            db.execute(
+                "UPDATE studies SET heartbeat=?"
+                " WHERE study_id=? AND state='running'",
+                (now, study_id),
+            )
+        else:
+            db.execute(
+                "UPDATE studies SET heartbeat=?, lease_pid=?"
+                " WHERE study_id=? AND state='running'",
+                (now, pid, study_id),
+            )
+        db.commit()
+
+    def finish_study(self, study_id: str, result: dict, now: float) -> None:
+        """Mark a running study ``done`` with its result summary."""
+        self._finish(study_id, "done", now, result=result)
+
+    def fail_study(self, study_id: str, error: str, now: float) -> None:
+        """Mark a running study ``failed`` with a diagnostic."""
+        self._finish(study_id, "failed", now, error=error)
+
+    def _finish(
+        self,
+        study_id: str,
+        state: str,
+        now: float,
+        result: dict | None = None,
+        error: str | None = None,
+    ) -> None:
+        db = self._db()
+        changed = db.execute(
+            "UPDATE studies SET state=?, finished_at=?, result=?, error=?"
+            " WHERE study_id=? AND state='running'",
+            (
+                state,
+                now,
+                json.dumps(result, separators=(",", ":")) if result is not None else None,
+                error,
+                study_id,
+            ),
+        ).rowcount
+        db.commit()
+        if not changed:
+            row = self.study(study_id)
+            raise LedgerError(
+                f"cannot mark study {study_id!r} {state}: "
+                + ("unknown study" if row is None else f"state is {row['state']!r}")
+            )
+
+    def cancel_study(self, study_id: str, now: float) -> str | None:
+        """Cancel a ``queued``/``running`` study; returns its prior state.
+
+        Terminal studies are left untouched (``None`` is returned) —
+        cancellation must never overwrite a concurrently recorded
+        ``done``/``failed`` outcome.  Killing the worker actually
+        running the study is the server's job; the queue only flips
+        the state.
+        """
+        db = self._db()
+        db.execute("BEGIN IMMEDIATE")
+        try:
+            row = db.execute(
+                "SELECT state FROM studies WHERE study_id=?"
+                " AND state IN ('queued', 'running')",
+                (study_id,),
+            ).fetchone()
+            if row is None:
+                db.execute("ROLLBACK")
+                return None
+            db.execute(
+                "UPDATE studies SET state='cancelled', finished_at=?"
+                " WHERE study_id=?",
+                (now, study_id),
+            )
+            db.execute("COMMIT")
+        except BaseException:
+            db.execute("ROLLBACK")
+            raise
+        return row[0]
+
     # -- reporting ---------------------------------------------------------
+    def task_statuses(self) -> dict[str, dict[str, int]]:
+        """Per-label progress: finished repeats and in-flight checkpoints.
+
+        The per-job progress a study server reports.  ``tasks`` rows
+        only exist once a repeat finishes, so per-label *totals* come
+        from the pinned run configuration (``run_config()['labels']``
+        x ``num_repeats``), not from here.
+        """
+        db = self._db()
+        out: dict[str, dict[str, int]] = {}
+        for label, done in db.execute(
+            "SELECT label, COUNT(*) FROM tasks WHERE status='done' GROUP BY label"
+        ):
+            out[label] = {"done": int(done), "checkpointed": 0, "checkpointed_steps": 0}
+        for label, count, steps in db.execute(
+            "SELECT label, COUNT(*), COALESCE(SUM(steps_done), 0)"
+            " FROM checkpoints GROUP BY label"
+        ):
+            entry = out.setdefault(
+                label, {"done": 0, "checkpointed": 0, "checkpointed_steps": 0}
+            )
+            entry["checkpointed"] = int(count)
+            entry["checkpointed_steps"] = int(steps)
+        return out
+
+    def done_results(self, label: str) -> list["SearchResult"]:
+        """Every completed result under one job label, repeat order."""
+        rows = self._db().execute(
+            "SELECT result FROM tasks WHERE label=? AND status='done'"
+            " ORDER BY repeat",
+            (label,),
+        ).fetchall()
+        return [_loads(row[0]) for row in rows]
+
     def progress(self) -> dict:
         """Counts for resuming humans: done / checkpointed / steps."""
         db = self._db()

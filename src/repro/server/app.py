@@ -1,0 +1,96 @@
+"""The study server: one HTTP front end over one :class:`StudyQueue`.
+
+Stdlib only — :class:`http.server.ThreadingHTTPServer` gives each
+request its own thread (the /events streams hold theirs for the life
+of the watch), and the queue's worker threads run studies through
+runner subprocesses.  ``port=0`` binds an ephemeral port (tests, CI);
+the bound address is available as :attr:`StudyServer.url` either way.
+
+Two run modes: :meth:`serve_forever` for the CLI (blocks the main
+thread until interrupted), and :meth:`start`/:meth:`stop` for
+embedding in tests.  Both stop paths leave in-flight studies
+``running`` in the queue so the next boot resumes them — shutdown is
+deliberately indistinguishable from a crash (see
+:meth:`StudyQueue.stop`).
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import ThreadingHTTPServer
+from pathlib import Path
+
+from repro.server.handlers import StudyRequestHandler
+from repro.server.queue import StudyQueue
+
+__all__ = ["StudyServer"]
+
+
+class StudyServer:
+    def __init__(
+        self,
+        state_dir: str | Path,
+        host: str = "127.0.0.1",
+        port: int = 8321,
+        workers: int = 1,
+        scale: str | None = None,
+        imports: tuple[str, ...] = (),
+        stale_after: float = 15.0,
+        events_poll: float = 0.25,
+        quiet: bool = False,
+    ) -> None:
+        self.queue = StudyQueue(
+            state_dir,
+            scale=scale,
+            workers=workers,
+            stale_after=stale_after,
+            imports=imports,
+        )
+        self.httpd = ThreadingHTTPServer((host, port), StudyRequestHandler)
+        self.httpd.daemon_threads = True
+        # The handler reaches everything through its server object.
+        self.httpd.queue = self.queue
+        self.httpd.events_poll = events_poll
+        self.httpd.quiet = quiet
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- embedded mode (tests) -----------------------------------------
+    def start(self) -> None:
+        """Serve in a background thread; returns once accepting."""
+        self.queue.start()
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            name="study-server",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self.queue.stop()
+        self.httpd.server_close()
+
+    # -- foreground mode (CLI) -----------------------------------------
+    def serve_forever(self) -> None:
+        """Block serving requests until KeyboardInterrupt/shutdown."""
+        self.queue.start()
+        try:
+            self.httpd.serve_forever()
+        finally:
+            self.queue.stop()
+            self.httpd.server_close()

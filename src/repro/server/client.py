@@ -1,0 +1,114 @@
+"""Urllib-based client for the study server's HTTP/JSON API.
+
+This is what ``repro submit|status|watch|cancel`` speak; it has no
+dependencies beyond the stdlib and raises :class:`ServerError` (with
+the server's own ``error`` message when one came back) for every
+failure mode — unreachable server, HTTP error status, timeout.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterator
+
+__all__ = ["ServerError", "StudyClient", "DEFAULT_SERVER"]
+
+#: Where the CLI looks when --server/REPRO_SERVER are absent.
+DEFAULT_SERVER = "http://127.0.0.1:8321"
+
+
+class ServerError(RuntimeError):
+    """A request to the study server failed.
+
+    ``status`` carries the HTTP status code when the server answered
+    at all (``None`` for connection-level failures).
+    """
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class StudyClient:
+    def __init__(self, base_url: str = DEFAULT_SERVER, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+    def _open(self, method: str, path: str, payload: dict | None = None, timeout=...):
+        data = json.dumps(payload).encode() if payload is not None else None
+        headers = {"Content-Type": "application/json"} if data else {}
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method, headers=headers
+        )
+        try:
+            return urllib.request.urlopen(
+                request, timeout=self.timeout if timeout is ... else timeout
+            )
+        except urllib.error.HTTPError as err:
+            detail = None
+            try:
+                detail = json.loads(err.read().decode()).get("error")
+            except Exception:
+                pass
+            raise ServerError(
+                detail or f"{method} {path}: HTTP {err.code}", status=err.code
+            ) from None
+        except urllib.error.URLError as err:
+            raise ServerError(
+                f"cannot reach study server at {self.base_url}: {err.reason}"
+            ) from None
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        with self._open(method, path, payload) as response:
+            return json.loads(response.read().decode() or "null")
+
+    # -- API -----------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def submit(self, spec_dict: dict) -> dict:
+        """POST a StudySpec document; returns ``{"id": ..., "state": "queued"}``."""
+        return self._request("POST", "/studies", payload=spec_dict)
+
+    def studies(self) -> list[dict]:
+        return self._request("GET", "/studies")["studies"]
+
+    def status(self, study_id: str) -> dict:
+        return self._request("GET", f"/studies/{study_id}")
+
+    def cancel(self, study_id: str) -> dict:
+        return self._request("DELETE", f"/studies/{study_id}")
+
+    def events(self, study_id: str) -> Iterator[dict]:
+        """Stream status documents until the study reaches a terminal state.
+
+        No read timeout: between checkpoints a healthy study may be
+        silent for a long time, and the server closes the connection
+        when the stream is over.
+        """
+        with self._open("GET", f"/studies/{study_id}/events", timeout=None) as response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode())
+
+    def wait(
+        self, study_id: str, timeout: float | None = None, poll: float = 0.5
+    ) -> dict:
+        """Poll until the study is terminal; returns the final document."""
+        from repro.parallel.ledger import TERMINAL_STUDY_STATES
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            doc = self.status(study_id)
+            if doc["state"] in TERMINAL_STUDY_STATES:
+                return doc
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServerError(
+                    f"study {study_id!r} still {doc['state']!r} after {timeout}s"
+                )
+            time.sleep(poll)

@@ -1,0 +1,163 @@
+"""HTTP request handling for the study server.
+
+Routes (all JSON)::
+
+    GET    /healthz               liveness probe
+    GET    /studies               every queue row (brief form)
+    POST   /studies               submit a StudySpec document -> 201 {id}
+    GET    /studies/<id>          full status document
+    GET    /studies/<id>/events   NDJSON stream of status documents
+    DELETE /studies/<id>          cancel (409 when already terminal)
+
+Invalid spec documents come back as ``400 {"error": ...}`` with the
+field-naming message :meth:`StudySpec.from_dict` raises; unknown ids
+are ``404``.
+
+The ``/events`` stream uses the oldest trick in HTTP: the handler
+speaks HTTP/1.0, sends no ``Content-Length``, and writes one JSON
+document per line whenever the study's status changes — the response
+is framed by connection close, so no chunked encoding is needed and
+any line-reading client (``curl -N``, :class:`repro.server.client.
+StudyClient.events`) consumes it incrementally.  The stream ends with
+the first terminal-state document.
+
+The handler keeps no state of its own: every request reaches the
+:class:`~repro.server.queue.StudyQueue` through ``self.server.queue``
+(attached by :class:`repro.server.app.StudyServer`), and the queue
+opens a fresh ledger handle per call — sqlite connections must never
+cross the server's request threads.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from http.server import BaseHTTPRequestHandler
+from urllib.parse import urlsplit
+
+from repro.core.study import StudyError
+from repro.parallel.ledger import TERMINAL_STUDY_STATES
+
+__all__ = ["StudyRequestHandler"]
+
+_STUDY_ROUTE = re.compile(r"/studies/([^/]+)")
+_EVENTS_ROUTE = re.compile(r"/studies/([^/]+)/events")
+
+
+class StudyRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve"
+    # HTTP/1.0 on purpose: connection-close framing is what lets
+    # /events stream line-delimited JSON without chunked encoding.
+    protocol_version = "HTTP/1.0"
+
+    @property
+    def queue(self):
+        return self.server.queue
+
+    # -- routing -------------------------------------------------------
+    def do_GET(self) -> None:
+        path = urlsplit(self.path).path
+        if path == "/healthz":
+            return self._json(200, {"ok": True})
+        if path == "/studies":
+            return self._json(200, {"studies": self.queue.list_studies()})
+        match = _EVENTS_ROUTE.fullmatch(path)
+        if match:
+            return self._events(match.group(1))
+        match = _STUDY_ROUTE.fullmatch(path)
+        if match:
+            doc = self.queue.status(match.group(1))
+            if doc is None:
+                return self._unknown(match.group(1))
+            return self._json(200, doc)
+        self._json(404, {"error": f"no route for GET {path}"})
+
+    def do_POST(self) -> None:
+        path = urlsplit(self.path).path
+        if path != "/studies":
+            return self._json(404, {"error": f"no route for POST {path}"})
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            body = json.loads(self.rfile.read(length).decode() or "null")
+        except (ValueError, UnicodeDecodeError):
+            return self._json(400, {"error": "body must be a JSON document"})
+        if not isinstance(body, dict):
+            return self._json(
+                400, {"error": "body must be a JSON StudySpec object"}
+            )
+        try:
+            study_id = self.queue.submit(body)
+        except StudyError as err:
+            return self._json(400, {"error": str(err)})
+        self._json(201, {"id": study_id, "state": "queued"})
+
+    def do_DELETE(self) -> None:
+        path = urlsplit(self.path).path
+        match = _STUDY_ROUTE.fullmatch(path)
+        if not match:
+            return self._json(404, {"error": f"no route for DELETE {path}"})
+        study_id = match.group(1)
+        prior = self.queue.cancel(study_id)
+        if prior is not None:
+            return self._json(
+                200, {"id": study_id, "state": "cancelled", "was": prior}
+            )
+        doc = self.queue.status(study_id)
+        if doc is None:
+            return self._unknown(study_id)
+        # Terminal already: cancellation must never overwrite a
+        # recorded outcome, so report the conflict instead.
+        self._json(
+            409,
+            {
+                "error": f"study {study_id!r} is already {doc['state']}",
+                "state": doc["state"],
+            },
+        )
+
+    # -- responses -----------------------------------------------------
+    def _json(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload).encode() + b"\n"
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _unknown(self, study_id: str) -> None:
+        self._json(404, {"error": f"unknown study {study_id!r}"})
+
+    def _events(self, study_id: str) -> None:
+        doc = self.queue.status(study_id)
+        if doc is None:
+            return self._unknown(study_id)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        poll = getattr(self.server, "events_poll", 0.25)
+        last = None
+        try:
+            while True:
+                doc = self.queue.status(study_id)
+                if doc is None:  # row vanished under us; end the stream
+                    return
+                # No sort_keys: the document's own (deterministic) key
+                # order is meaningful — the result summary lists
+                # strategies in run order, and watchers render it as-is.
+                line = json.dumps(doc)
+                if line != last:
+                    self.wfile.write(line.encode() + b"\n")
+                    self.wfile.flush()
+                    last = line
+                if doc["state"] in TERMINAL_STUDY_STATES:
+                    return
+                time.sleep(poll)
+        except (BrokenPipeError, ConnectionResetError):
+            return  # watcher hung up; nothing to clean up
+
+    def log_message(self, format: str, *args) -> None:
+        # One quiet line per request on stderr unless the server was
+        # built with quiet=True (tests); never the default two-line noise.
+        if not getattr(self.server, "quiet", False):
+            super().log_message(format, *args)

@@ -491,6 +491,81 @@ class TestDiskCache:
         with np.load(tensor.cache_file) as data:
             assert data["latency_s"].shape[0] == 2
 
+    def test_disk_rows_stored_most_recent_first(self, tmp_path, resnet_ir):
+        # The regression: save() once persisted the kept slice in LRU
+        # iteration order (stale -> fresh), so on-disk row_hashes[0]
+        # was the OLDEST kept row — any truncating consumer dropped
+        # the newest rows first, contradicting the retention policy.
+        platform = build_platform("embedded-lite")
+        tensor = TensorizedSpace(
+            platform, cache_dir=tmp_path, max_rows=8, max_disk_rows=3
+        )
+        for i in range(5):
+            tensor.latency_row(f"cell{i}", lambda: resnet_ir)
+        # Refresh cell1: it must now outrank cell2/cell3 on disk.
+        tensor.latency_row("cell1", lambda: pytest.fail("row is resident"))
+        tensor.save()
+        with np.load(tensor.cache_file) as data:
+            hashes = [str(h) for h in data["row_hashes"]]
+        assert hashes == ["cell1", "cell4", "cell3"]
+        # Saving must not itself perturb recency (snapshot, not
+        # __getitem__): an immediate re-save keeps the same order.
+        tensor.save()
+        with np.load(tensor.cache_file) as data:
+            assert [str(h) for h in data["row_hashes"]] == hashes
+
+    def test_retention_round_trip_keeps_newest_rows(self, tmp_path, resnet_ir):
+        platform = build_platform("embedded-lite")
+        t1 = TensorizedSpace(platform, cache_dir=tmp_path, max_disk_rows=2)
+        for i in range(4):
+            t1.latency_row(f"cell{i}", lambda: resnet_ir)
+        t1.save()
+        t2 = TensorizedSpace(platform, cache_dir=tmp_path, max_disk_rows=2)
+        assert t2.loaded_rows == 2
+        for newest in ("cell2", "cell3"):
+            t2.latency_row(newest, lambda: pytest.fail("newest rows must survive"))
+        # Reloading into a smaller max_rows evicts the *older* stored
+        # row — the load replays stale-first so LRU recency matches
+        # the writer's.
+        t3 = TensorizedSpace(
+            platform, cache_dir=tmp_path, max_rows=1, max_disk_rows=2
+        )
+        assert t3.num_latency_rows == 1
+        t3.latency_row("cell3", lambda: pytest.fail("the newest row survives"))
+
+    def test_zero_disk_rows_persists_no_rows(self, tmp_path, resnet_ir):
+        platform = build_platform("embedded-lite")
+        tensor = TensorizedSpace(platform, cache_dir=tmp_path, max_disk_rows=0)
+        tensor.latency_row("resnet", lambda: resnet_ir)
+        tensor.save()
+        with np.load(tensor.cache_file) as data:
+            assert data["latency_s"].shape == (0, tensor.size)
+
+    def test_failed_save_leaves_no_tmp_file(self, tmp_path, resnet_ir, monkeypatch):
+        # The regression: np.savez_compressed dying mid-write (full
+        # disk) leaked a .tmp<pid>.npz sibling next to the cache.
+        platform = build_platform("embedded-lite")
+        tensor = TensorizedSpace(platform, cache_dir=tmp_path)
+        tensor.latency_row("resnet", lambda: resnet_ir)
+        tensor.save()
+        good = tensor.cache_file.read_bytes()
+        tensor.latency_row("googlenet", lambda: resnet_ir)
+
+        def die_mid_write(file, **arrays):
+            Path(file).write_bytes(b"half an archive")
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(tensorized_mod.np, "savez_compressed", die_mid_write)
+        with pytest.raises(OSError):
+            tensor.save()
+        monkeypatch.undo()
+        assert list(tmp_path.glob("*.tmp*")) == []
+        # ...and the atomic contract held: the previous archive is intact.
+        assert tensor.cache_file.read_bytes() == good
+        tensor.save()
+        t2 = TensorizedSpace(platform, cache_dir=tmp_path)
+        assert t2.loaded_rows == 2
+
     def test_process_memo_reuses_enumeration(self, tmp_path):
         platform = build_platform("embedded-lite")
         a = tensorized_space(platform, cache_dir=tmp_path)

@@ -116,6 +116,46 @@ class TestMissStaleness:
         assert cache.hits == hits_before + 1
 
 
+class TestCloseDurability:
+    """close()/__exit__ must persist what put() buffered.
+
+    The regression: close() used to drop the connection without
+    flushing, so ``with EvalCache(path) as c: c.put(...)`` — which
+    reads as "durably persisted" — silently discarded every row still
+    sitting in ``_pending``.
+    """
+
+    def test_close_flushes_pending_rows(self, tmp_path):
+        path = tmp_path / "ec.sqlite"
+        cache = EvalCache(path)
+        cache.put(entry())
+        cache.close()  # no explicit flush()
+        assert EvalCache(path).get("s", "abc", "(1,)") is not None
+
+    def test_context_manager_persists_buffered_rows(self, tmp_path):
+        path = tmp_path / "ec.sqlite"
+        with EvalCache(path) as cache:
+            cache.put(entry())
+        assert EvalCache(path).get("s", "abc", "(1,)") is not None
+
+    def test_close_is_idempotent(self, tmp_path):
+        cache = EvalCache(tmp_path / "ec.sqlite")
+        cache.put(entry())
+        cache.close()
+        cache.close()  # flush sees an empty buffer; re-close is a no-op
+
+    def test_read_only_close_never_writes(self, tmp_path):
+        path = tmp_path / "ec.sqlite"
+        with EvalCache(path) as writer:
+            writer.put(entry())
+        view = EvalCache(path, read_only=True)
+        view.put(entry(spec="buffered-in-view"))
+        view.close()  # a read-only view's buffer is drained, not flushed
+        reread = EvalCache(path)
+        assert reread.get("s", "buffered-in-view", "(1,)") is None
+        assert reread.get("s", "abc", "(1,)") is not None
+
+
 class TestCorruption:
     def test_corrupted_file_falls_back_to_cold(self, tmp_path):
         path = tmp_path / "ec.sqlite"

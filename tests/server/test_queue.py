@@ -1,0 +1,194 @@
+"""Tests for the ledger-backed study queue.
+
+Two layers: the :class:`RunLedger` queue primitives (every transition
+one committed transaction, lease semantics under explicit clocks) and
+the :class:`StudyQueue` wrapper (validation, state layout, cache
+sharding).  The worker pool and HTTP surface are covered end to end
+in ``test_server_e2e.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.study import StudyError, StudySpec
+from repro.experiments.presets import resolve_spec
+from repro.parallel.ledger import (
+    STUDY_STATES,
+    TERMINAL_STUDY_STATES,
+    LedgerError,
+    RunLedger,
+)
+from repro.server import StudyQueue
+
+
+@pytest.fixture
+def ledger(tmp_path) -> RunLedger:
+    return RunLedger(tmp_path / "queue.sqlite")
+
+
+class TestLedgerQueue:
+    def test_submit_and_read_back(self, ledger):
+        ledger.submit_study("st-a", {"name": "a"}, now=1.0)
+        row = ledger.study("st-a")
+        assert row["state"] == "queued"
+        assert row["spec"] == {"name": "a"}
+        assert row["submitted_at"] == 1.0
+        assert row["started_at"] is None
+        assert ledger.study("st-missing") is None
+
+    def test_duplicate_submit_refused(self, ledger):
+        ledger.submit_study("st-a", {}, now=1.0)
+        with pytest.raises(LedgerError, match="already queued"):
+            ledger.submit_study("st-a", {}, now=2.0)
+
+    def test_claim_is_fifo_by_submission(self, ledger):
+        ledger.submit_study("st-b", {}, now=2.0)
+        ledger.submit_study("st-a", {}, now=1.0)
+        assert ledger.claim_study(pid=7, now=3.0, stale_after=10.0) == "st-a"
+        assert ledger.claim_study(pid=7, now=3.0, stale_after=10.0) == "st-b"
+        assert ledger.claim_study(pid=7, now=3.0, stale_after=10.0) is None
+
+    def test_claim_records_lease(self, ledger):
+        ledger.submit_study("st-a", {}, now=1.0)
+        ledger.claim_study(pid=42, now=5.0, stale_after=10.0)
+        row = ledger.study("st-a")
+        assert row["state"] == "running"
+        assert row["lease_pid"] == 42
+        assert row["heartbeat"] == 5.0
+        assert row["started_at"] == 5.0
+
+    def test_fresh_heartbeat_blocks_reclaim(self, ledger):
+        ledger.submit_study("st-a", {}, now=0.0)
+        ledger.claim_study(pid=1, now=0.0, stale_after=10.0)
+        ledger.heartbeat_study("st-a", now=8.0)
+        assert ledger.claim_study(pid=2, now=9.0, stale_after=10.0) is None
+
+    def test_stale_heartbeat_is_reclaimed(self, ledger):
+        # The crash-recovery path: a SIGKILLed server stops
+        # heartbeating, and once the lease goes stale any worker may
+        # re-lease the study and resume it.
+        ledger.submit_study("st-a", {}, now=0.0)
+        ledger.claim_study(pid=1, now=0.0, stale_after=10.0)
+        assert ledger.claim_study(pid=2, now=11.0, stale_after=10.0) == "st-a"
+        row = ledger.study("st-a")
+        assert row["lease_pid"] == 2
+        assert row["started_at"] == 0.0  # first start is preserved
+
+    def test_heartbeat_can_repoint_lease_pid(self, ledger):
+        # The server leases under its own pid, then hands the lease to
+        # the runner subprocess it spawned.
+        ledger.submit_study("st-a", {}, now=0.0)
+        ledger.claim_study(pid=1, now=0.0, stale_after=10.0)
+        ledger.heartbeat_study("st-a", now=1.0, pid=999)
+        assert ledger.study("st-a")["lease_pid"] == 999
+
+    def test_finish_round_trips_result(self, ledger):
+        ledger.submit_study("st-a", {}, now=0.0)
+        ledger.claim_study(pid=1, now=0.0, stale_after=10.0)
+        ledger.finish_study("st-a", {"outcomes": {"s": 1}}, now=2.0)
+        row = ledger.study("st-a")
+        assert row["state"] == "done"
+        assert row["result"] == {"outcomes": {"s": 1}}
+        assert row["finished_at"] == 2.0
+
+    def test_fail_records_error(self, ledger):
+        ledger.submit_study("st-a", {}, now=0.0)
+        ledger.claim_study(pid=1, now=0.0, stale_after=10.0)
+        ledger.fail_study("st-a", "Traceback ...", now=2.0)
+        row = ledger.study("st-a")
+        assert row["state"] == "failed"
+        assert row["error"] == "Traceback ..."
+
+    def test_finish_requires_running(self, ledger):
+        ledger.submit_study("st-a", {}, now=0.0)
+        with pytest.raises(LedgerError, match="'queued'"):
+            ledger.finish_study("st-a", {}, now=1.0)
+        with pytest.raises(LedgerError, match="unknown study"):
+            ledger.finish_study("st-missing", {}, now=1.0)
+
+    def test_cancel_from_queued_and_running(self, ledger):
+        ledger.submit_study("st-a", {}, now=0.0)
+        ledger.submit_study("st-b", {}, now=0.0)
+        ledger.claim_study(pid=1, now=0.0, stale_after=10.0)
+        assert ledger.cancel_study("st-a", now=1.0) == "running"
+        assert ledger.cancel_study("st-b", now=1.0) == "queued"
+        assert ledger.study("st-a")["state"] == "cancelled"
+        assert ledger.study("st-b")["state"] == "cancelled"
+
+    def test_cancel_never_overwrites_a_terminal_state(self, ledger):
+        ledger.submit_study("st-a", {}, now=0.0)
+        ledger.claim_study(pid=1, now=0.0, stale_after=10.0)
+        ledger.finish_study("st-a", {"ok": True}, now=1.0)
+        assert ledger.cancel_study("st-a", now=2.0) is None
+        assert ledger.study("st-a")["state"] == "done"
+        assert ledger.cancel_study("st-missing", now=2.0) is None
+
+    def test_cancelled_study_refuses_late_results(self, ledger):
+        # A runner finishing after a concurrent cancel must be refused
+        # — the queue's word stands.
+        ledger.submit_study("st-a", {}, now=0.0)
+        ledger.claim_study(pid=1, now=0.0, stale_after=10.0)
+        ledger.cancel_study("st-a", now=1.0)
+        with pytest.raises(LedgerError, match="'cancelled'"):
+            ledger.finish_study("st-a", {"late": True}, now=2.0)
+
+    def test_studies_lists_oldest_first(self, ledger):
+        ledger.submit_study("st-b", {}, now=2.0)
+        ledger.submit_study("st-a", {}, now=1.0)
+        assert [row["id"] for row in ledger.studies()] == ["st-a", "st-b"]
+
+    def test_state_constants(self):
+        assert set(TERMINAL_STUDY_STATES) < set(STUDY_STATES)
+        assert "running" not in TERMINAL_STUDY_STATES
+
+
+class TestStudyQueue:
+    def test_submit_validates_and_enqueues(self, tmp_path):
+        queue = StudyQueue(tmp_path)
+        with pytest.raises(StudyError, match="bogus"):
+            queue.submit({"name": "x", "bogus": 1})
+        study_id = queue.submit(resolve_spec("smoke").to_dict())
+        assert study_id.startswith("st-")
+        doc = queue.status(study_id)
+        assert doc["state"] == "queued"
+        assert doc["name"] == "smoke"
+        assert doc["progress"] == {
+            "jobs": {},
+            "done_repeats": 0,
+            "total_repeats": None,
+        }
+        assert [row["id"] for row in queue.list_studies()] == [study_id]
+        assert queue.status("st-missing") is None
+
+    def test_cancel_unknown_or_terminal_returns_none(self, tmp_path):
+        queue = StudyQueue(tmp_path)
+        assert queue.cancel("st-missing") is None
+        study_id = queue.submit(resolve_spec("smoke").to_dict())
+        assert queue.cancel(study_id) == "queued"
+        assert queue.cancel(study_id) is None  # already terminal
+
+    def test_state_layout(self, tmp_path):
+        queue = StudyQueue(tmp_path)
+        assert queue.queue_path == tmp_path / "queue.sqlite"
+        assert queue.study_ledger_path("st-x") == (
+            tmp_path / "studies" / "st-x.ledger"
+        )
+        assert queue.study_log_path("st-x").parent == tmp_path / "studies"
+        assert queue.queue_path.exists()  # schema materialized eagerly
+
+    def test_cache_shards_key_on_evaluation_identity(self, tmp_path):
+        queue = StudyQueue(tmp_path)
+        smoke = resolve_spec("smoke")
+        clone = StudySpec.from_dict(smoke.to_dict())
+        other_eval = smoke.with_overrides(
+            {"evaluator": {"source": "surrogate", "params": {"seed": 99}}}
+        )
+        other_hw = smoke.with_overrides({"hardware": {"name": "embedded-lite"}})
+        rescaled = smoke.with_overrides({"execution.num_steps": 7})
+        assert queue.cache_shard_path(smoke) == queue.cache_shard_path(clone)
+        assert queue.cache_shard_path(smoke) != queue.cache_shard_path(other_eval)
+        assert queue.cache_shard_path(smoke) != queue.cache_shard_path(other_hw)
+        # Execution knobs don't change evaluation identity: same shard.
+        assert queue.cache_shard_path(smoke) == queue.cache_shard_path(rescaled)
+        assert queue.cache_shard_path(smoke).parent == tmp_path / "cache"
