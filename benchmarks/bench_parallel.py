@@ -6,7 +6,11 @@ Runs the same repeat experiment four ways and reports a table:
 2. process backend, cold cache     (fan-out speedup; verified identical);
 3. serial backend, warm cache      (pointwise ask/tell loop on re-run);
 4. batched ask/tell, warm cache    (rollout batches + one
-                                    ``evaluate_batch`` call per batch).
+                                    ``evaluate_batch`` call per batch);
+5. process backend, warm cache     (fan-out throughput floor);
+6. cluster backend, warm cache     (ledger-leased workers; the lease /
+                                    heartbeat / record overhead must
+                                    stay within 20% of run 5).
 
 Wall-clock speedup of run 2 scales with available cores — on an N-core
 machine the process backend approaches min(N, workers)x because repeats
@@ -101,9 +105,35 @@ def main() -> None:
     )
     t_batched = time.perf_counter() - t0
 
+    process_warm_cache = EvalCache(cache_path)
+    t0 = time.perf_counter()
+    process_warm = run_repeats(
+        **kwargs,
+        backend="process",
+        workers=args.workers,
+        eval_cache=process_warm_cache,
+    )
+    t_process_warm = time.perf_counter() - t0
+
+    cluster_cache = EvalCache(cache_path)
+    ledger_dir = Path(tempfile.mkdtemp(prefix="bench_cluster_ledger_"))
+    t0 = time.perf_counter()
+    cluster = run_repeats(
+        **kwargs,
+        backend="cluster",
+        workers=args.workers,
+        eval_cache=cluster_cache,
+        ledger=ledger_dir / "bench.ledger",
+    )
+    t_cluster = time.perf_counter() - t0
+
     for a, b in zip(serial.results, process.results):
         assert np.array_equal(a.reward_trace(), b.reward_trace(), equal_nan=True)
     for a, b in zip(serial.results, rerun.results):
+        assert np.array_equal(a.reward_trace(), b.reward_trace(), equal_nan=True)
+    for a, b in zip(serial.results, process_warm.results):
+        assert np.array_equal(a.reward_trace(), b.reward_trace(), equal_nan=True)
+    for a, b in zip(serial.results, cluster.results):
         assert np.array_equal(a.reward_trace(), b.reward_trace(), equal_nan=True)
     assert all(len(r.archive) == args.steps for r in batched.results)
 
@@ -139,8 +169,31 @@ def main() -> None:
                     f"{t_serial / t_batched:.2f}x",
                     f"{100 * batched_cache.stats['hit_rate']:.0f}%",
                 ),
+                (
+                    "5 fan-out (warm cache)",
+                    f"process x{args.workers}",
+                    round(t_process_warm, 2),
+                    f"{t_serial / t_process_warm:.2f}x",
+                    f"{100 * process_warm_cache.stats['hit_rate']:.0f}%",
+                ),
+                (
+                    "6 cluster (warm cache)",
+                    f"cluster x{args.workers}",
+                    round(t_cluster, 2),
+                    f"{t_serial / t_cluster:.2f}x",
+                    # Hits happen inside the cluster workers' own cache
+                    # connections; their counters stay worker-side.
+                    "-",
+                ),
             ],
         )
+    )
+    total_points = args.steps * args.repeats
+    print(
+        "\npoints/sec per backend: "
+        f"serial {total_points / t_serial:.0f}, "
+        f"process(warm x{args.workers}) {total_points / t_process_warm:.0f}, "
+        f"cluster(warm x{args.workers}) {total_points / t_cluster:.0f}"
     )
     batched_speedup = t_warm / t_batched
     print(
@@ -163,6 +216,23 @@ def main() -> None:
         assert batched_speedup >= 2.0, (
             f"batched ask/tell must be >=2x the warm pointwise path, "
             f"got {batched_speedup:.2f}x"
+        )
+    cluster_ratio = t_process_warm / t_cluster
+    print(
+        f"cluster vs process (both warm, x{args.workers}): "
+        f"{cluster_ratio:.2f}x relative throughput "
+        "(lease/heartbeat/record overhead budget: 0.8x)"
+    )
+    if cpus < 2:
+        print(
+            "note: single usable CPU — cluster workers cannot overlap "
+            "their lease/heartbeat bookkeeping with search work, so the "
+            "0.8x floor is only asserted on >=2 cores."
+        )
+    elif args.assert_speedup or args.steps >= 200:
+        assert cluster_ratio >= 0.8, (
+            f"cluster backend must stay within 20% of the warm process "
+            f"backend at the same worker count, got {cluster_ratio:.2f}x"
         )
 
 

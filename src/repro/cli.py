@@ -11,6 +11,8 @@ Usage::
     python -m repro run fig5+6 --scenario-file my_scenarios.json
     python -m repro run fig5+6 --scale paper --ledger results/fig56.ledger
     python -m repro resume fig5+6 --scale paper --ledger results/fig56.ledger
+    python -m repro run fig5+6 --backend cluster --workers 4 --ledger state/f.ledger
+    python -m repro worker --ledger state/f.ledger --cache state/evals.sqlite
     python -m repro run all --scale smoke
     python -m repro study list
     python -m repro study show fig5
@@ -54,7 +56,11 @@ can optionally write them to a file.  ``--workers N`` (N > 1) fans the
 repeat experiments out across a process pool; ``--cache-dir`` persists
 every evaluation to ``<dir>/eval_cache.sqlite`` so re-runs warm-start.
 Neither flag changes search results — determinism comes from ``--seed``
-alone.  ``--scenario`` / ``--scenario-file`` run the search study under
+alone.  ``--backend NAME`` picks the execution backend explicitly from
+the registry (``serial`` / ``process`` / ``cluster`` built in); the
+``cluster`` backend additionally lets external ``repro worker``
+processes — on this machine or any machine sharing the state files —
+join the run elastically, with identical results at any worker count.  ``--scenario`` / ``--scenario-file`` run the search study under
 registry or JSON-declared scenarios instead of the paper's three (see
 ``docs/reproducing.md``); ``--batch-size B`` evaluates B proposals per
 ask/tell step (B=1 reproduces the per-point loop bit for bit, larger B
@@ -105,7 +111,7 @@ from repro.hw import (
     get_platform,
     list_platforms,
 )
-from repro.parallel import EvalCache, RunLedger
+from repro.parallel import EvalCache, RunLedger, list_backends
 
 __all__ = ["main", "RunContext", "EXPERIMENTS"]
 
@@ -124,10 +130,14 @@ class RunContext:
     checkpoint_every: int = 10
     hardware: str | None = None
     tensorize: bool = False
+    backend_name: str | None = None
     _study: object = None
 
     @property
     def backend(self) -> str:
+        """The requested --backend, else derived from --workers."""
+        if self.backend_name is not None:
+            return self.backend_name
         return "process" if (self.workers or 1) > 1 else "serial"
 
     def study(self):
@@ -276,6 +286,15 @@ def _build_parser() -> argparse.ArgumentParser:
                 "--out", type=Path, default=None, help="write report to file"
             )
     _add_server_parsers(sub)
+    # Listed for --help only: `repro worker ...` is intercepted in
+    # main() and delegated to repro.parallel.worker's own parser.
+    sub.add_parser(
+        "worker",
+        add_help=False,
+        help="join a cluster-backend run as an extra worker: claim "
+        "ledger-leased tasks until the run completes (see "
+        "'repro worker --help' and python -m repro.parallel.worker)",
+    )
     return parser
 
 
@@ -439,8 +458,20 @@ def _add_run_arguments(run: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         metavar="N",
-        help="process-pool size for repeat experiments (N>1 enables the "
-        "process backend; results are identical at any N)",
+        help="worker count for repeat experiments (N>1 enables the "
+        "process backend unless --backend says otherwise; results are "
+        "identical at any N)",
+    )
+    run.add_argument(
+        "--backend",
+        choices=list_backends(),
+        default=None,
+        metavar="NAME",
+        help="execution backend for the repeat experiments "
+        f"({', '.join(list_backends())}; default: derived from "
+        "--workers).  'cluster' coordinates through the --ledger file "
+        "and accepts extra 'repro worker' processes joining mid-run; "
+        "every backend produces identical results",
     )
     run.add_argument(
         "--cache-dir",
@@ -742,6 +773,13 @@ def _main_server_client(args, parser: argparse.ArgumentParser) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["worker"]:
+        # The worker owns its argument surface (it is also reachable as
+        # `python -m repro.parallel.worker`); hand the rest through.
+        from repro.parallel.worker import main as worker_main
+
+        return worker_main(argv[1:], prog="repro worker")
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.command == "hw":
@@ -782,6 +820,13 @@ def main(argv: list[str] | None = None) -> int:
         study_flags.append("--ledger")
     if args.tensorize:
         study_flags.append("--tensorize")
+    if args.backend is not None:
+        study_flags.append("--backend")
+        if args.backend == "cluster" and args.ledger is None:
+            parser.error(
+                "--backend cluster requires --ledger FILE: workers "
+                "coordinate through the ledger's task-lease table"
+            )
     if study_flags:
         selected = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
         uses_study = [name for name in selected if name in STUDY_EXPERIMENTS]
@@ -843,6 +888,7 @@ def main(argv: list[str] | None = None) -> int:
         checkpoint_every=args.checkpoint_every,
         hardware=args.hardware,
         tensorize=args.tensorize,
+        backend_name=args.backend,
     )
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     reports = []
@@ -864,6 +910,13 @@ def main(argv: list[str] | None = None) -> int:
             f"{progress['checkpointed']} checkpointed in flight",
             file=sys.stderr,
         )
+        for entry in ctx.ledger.executions():
+            if entry.get("effective") != entry.get("requested"):
+                print(
+                    f"note: backend '{entry.get('requested')}' fell back to "
+                    f"'{entry.get('effective')}' (recorded in the ledger)",
+                    file=sys.stderr,
+                )
     report = "\n\n".join(reports)
     print(report)
     if args.out is not None:

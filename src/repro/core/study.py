@@ -285,6 +285,12 @@ class ExecutionSpec:
     arms the full-space tensorized evaluation fast path for every
     platform in the study (each :class:`HardwareSpec` may override it;
     platforms too large to enumerate silently fall back).
+
+    ``backend`` names a registered execution backend
+    (:func:`repro.parallel.pool.list_backends` — built-ins: serial,
+    process, cluster) and ``backend_params`` is its flat constructor
+    mapping (e.g. ``{"stale_after": 5.0}`` for cluster), validated
+    against the backend class at spec time.
     """
 
     num_steps: int | None = None
@@ -292,6 +298,7 @@ class ExecutionSpec:
     master_seed: int = 0
     batch_size: int = 1
     backend: str = "serial"
+    backend_params: dict = field(default_factory=dict)
     workers: int | None = None
     cache: str | None = None
     ledger: str | None = None
@@ -310,9 +317,23 @@ class ExecutionSpec:
         _check_int(self.checkpoint_every, "execution.checkpoint_every", 1)
         _check_int(self.workers, "execution.workers", 1, optional=True)
         _require(
-            self.backend in ("serial", "process"),
-            f"execution.backend must be 'serial' or 'process', got {self.backend!r}",
+            isinstance(self.backend, str) and bool(self.backend),
+            f"execution.backend must be a backend name string, got {self.backend!r}",
         )
+        object.__setattr__(
+            self,
+            "backend_params",
+            _jsonify(self.backend_params, "execution.backend_params"),
+        )
+        # The registry is the single validator of backend names and
+        # their params — error messages cannot drift from the CLI's or
+        # run_grid's, because they all ask the same table.
+        from repro.parallel.pool import BackendError, validate_backend_params
+
+        try:
+            validate_backend_params(self.backend, self.backend_params)
+        except BackendError as err:
+            raise StudyError(f"execution spec: {err}") from None
         for name in ("cache", "ledger"):
             value = getattr(self, name)
             _require(
@@ -332,6 +353,11 @@ class ExecutionSpec:
             "ledger": self.ledger,
             "checkpoint_every": self.checkpoint_every,
         }
+        if self.backend_params:
+            # Omitted when empty (like tensorize below), so spec dicts
+            # from before backend params existed — including
+            # ledger-pinned ones — stay byte-identical and resumable.
+            out["backend_params"] = _jsonify(self.backend_params, "backend_params")
         if self.tensorize:
             # Omitted when off, so pre-tensorize spec dicts — including
             # ledger-pinned ones — stay byte-identical and resumable.
@@ -348,6 +374,7 @@ class ExecutionSpec:
                 "master_seed",
                 "batch_size",
                 "backend",
+                "backend_params",
                 "workers",
                 "cache",
                 "ledger",
@@ -361,7 +388,10 @@ class ExecutionSpec:
             "num_steps", "num_repeats", "master_seed", "batch_size", "backend",
             "workers", "cache", "ledger", "checkpoint_every", "tensorize",
         )
-        return cls(**{f: data.get(f, getattr(defaults, f)) for f in fields})
+        return cls(
+            backend_params=data.get("backend_params") or {},
+            **{f: data.get(f, getattr(defaults, f)) for f in fields},
+        )
 
 
 def _scenario_key(entry) -> str:
@@ -606,6 +636,7 @@ class StudySpec:
         # overrides still address them by path.
         data.setdefault("hardware", self._hardware_dict())
         data["execution"].setdefault("tensorize", self.execution.tensorize)
+        data["execution"].setdefault("backend_params", dict(self.execution.backend_params))
         hw_entries = (
             data["hardware"]
             if isinstance(data["hardware"], list)
@@ -622,7 +653,7 @@ class StudySpec:
 #: keys under them (``--set evaluator.params.seed=9``).  Every other
 #: mapping is schema-fixed, so an unknown leaf is a typo, not a new
 #: field.
-_OPEN_MAPPINGS = ("params", "constraints", "bounds")
+_OPEN_MAPPINGS = ("params", "constraints", "bounds", "backend_params")
 
 
 def _assign(data: Any, path: str, value: Any) -> None:
@@ -905,6 +936,7 @@ def run_study(
     from repro.core.scenarios import scenario_to_dict
     from repro.experiments.search_study import SearchStudyResult
     from repro.parallel.cache import EvalCache
+    from repro.parallel.pool import BackendError, build_backend
     from repro.search.runner import run_grid
 
     execution = spec.execution
@@ -914,13 +946,17 @@ def run_study(
         eval_cache = EvalCache(eval_cache)
     if ledger is None and execution.ledger is not None:
         ledger = execution.ledger
+    try:
+        backend = build_backend(execution.backend, execution.backend_params)
+    except BackendError as err:
+        raise StudyError(f"study {spec.name!r}: {err}") from None
     study = build_study(spec, bundle=bundle, scale=scale, store=eval_cache)
     grid = run_grid(
         study.jobs,
         num_steps=study.num_steps,
         num_repeats=study.num_repeats,
         master_seed=execution.master_seed,
-        backend=execution.backend,
+        backend=backend,
         workers=execution.workers,
         eval_cache=eval_cache,
         batch_size=execution.batch_size,

@@ -146,7 +146,11 @@ def legacy_study_spec(
     them — see :mod:`repro.hw`) selects the hardware backend(s);
     ``None`` keeps the reference ``dac2020``.  ``tensorize`` arms the
     full-space tensorized evaluation fast path (see
-    :mod:`repro.hw.tensorized`).
+    :mod:`repro.hw.tensorized`).  ``backend`` is an execution-backend
+    registry name (``serial`` / ``process`` / ``cluster`` or a plugin
+    — see :mod:`repro.parallel.pool`); validation happens in
+    :class:`~repro.core.study.ExecutionSpec` against the registry, so
+    every entry point rejects unknown names with the same message.
     """
     from repro.search.registry import register_strategy, strategy_name_of
 

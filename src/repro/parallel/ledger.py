@@ -19,7 +19,15 @@ layer behind ``run_grid(..., ledger=...)``:
 * ``studies`` is the serving layer's job queue (:mod:`repro.server`):
   submitted StudySpecs with a leased/heartbeat lifecycle, so a killed
   server's in-flight studies are re-leased — and resumed from their
-  per-study ledgers — by the next server to open the same queue file.
+  per-study ledgers — by the next server to open the same queue file;
+* ``task_leases`` is the cluster backend's coordination table
+  (:mod:`repro.parallel.cluster`): per-(label, repeat) leases with the
+  same claim/heartbeat/stale-reissue lifecycle as ``studies``, but at
+  task granularity — many worker processes (possibly on different
+  machines sharing the ledger file) each atomically claim the next
+  runnable task, heartbeat while searching it, and record its result;
+  a SIGKILLed worker's leases go stale and are re-claimed, resuming
+  from the task's last checkpoint.
 
 On resume, ``run_grid`` loads ``done`` tasks instead of re-running
 them and restarts interrupted tasks from their last checkpoint;
@@ -98,6 +106,16 @@ CREATE TABLE IF NOT EXISTS studies (
     heartbeat    REAL,
     result       TEXT,
     error        TEXT
+);
+CREATE TABLE IF NOT EXISTS task_leases (
+    label     TEXT NOT NULL,
+    repeat    INTEGER NOT NULL,
+    state     TEXT NOT NULL DEFAULT 'pending',
+    worker    TEXT,
+    lease_pid INTEGER,
+    heartbeat REAL,
+    claims    INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (label, repeat)
 );
 """
 
@@ -598,6 +616,209 @@ class RunLedger:
             db.execute("ROLLBACK")
             raise
         return row[0]
+
+    # -- cluster task leases -----------------------------------------------
+    #
+    # The cluster backend (:mod:`repro.parallel.cluster`) promotes the
+    # ledger from checkpoint store to coordination substrate: every
+    # (label, repeat) task gets a lease row, worker processes claim
+    # the next runnable one under ``BEGIN IMMEDIATE`` (never two
+    # claimants), heartbeat while searching, and record results
+    # through :meth:`record_done_leased` — which refuses stragglers
+    # whose lease was re-issued, so no task is recorded twice.
+
+    def seed_task_leases(self, tasks: list[tuple[str, int]]) -> None:
+        """Ensure a lease row exists for every (label, repeat) task.
+
+        Idempotent: existing rows (live leases of an in-flight run, or
+        ``done`` markers of a finished one) are left untouched, and
+        rows whose task already completed — e.g. under a *different*
+        backend before a resume — are marked ``done`` so the cluster's
+        progress accounting converges.
+        """
+        db = self._db()
+        db.execute("BEGIN IMMEDIATE")
+        try:
+            db.executemany(
+                "INSERT OR IGNORE INTO task_leases (label, repeat) VALUES (?, ?)",
+                [(label, int(repeat)) for label, repeat in tasks],
+            )
+            db.execute(
+                "UPDATE task_leases SET state='done' WHERE state!='done'"
+                " AND EXISTS (SELECT 1 FROM tasks t WHERE t.label=task_leases.label"
+                " AND t.repeat=task_leases.repeat AND t.status='done')"
+            )
+            db.execute("COMMIT")
+        except BaseException:
+            db.execute("ROLLBACK")
+            raise
+
+    def claim_task(
+        self, worker: str, pid: int, now: float, stale_after: float
+    ) -> tuple[str, int] | None:
+        """Atomically lease the next runnable task; ``None`` if none.
+
+        Runnable means ``pending``, or ``leased`` with a heartbeat
+        older than ``stale_after`` seconds (abandoned by a crashed or
+        stalled worker, due for re-issue).  Tasks already ``done`` in
+        the ``tasks`` table are never claimable.  Deterministic claim
+        order (label, then repeat) keeps cluster scheduling easy to
+        reason about, though results never depend on it.
+        """
+        db = self._db()
+        db.execute("BEGIN IMMEDIATE")
+        try:
+            row = db.execute(
+                "SELECT label, repeat FROM task_leases"
+                " WHERE (state='pending' OR (state='leased'"
+                "   AND (heartbeat IS NULL OR heartbeat < ?)))"
+                " AND NOT EXISTS (SELECT 1 FROM tasks t"
+                "   WHERE t.label=task_leases.label"
+                "   AND t.repeat=task_leases.repeat AND t.status='done')"
+                " ORDER BY label, repeat LIMIT 1",
+                (now - stale_after,),
+            ).fetchone()
+            if row is None:
+                db.execute("ROLLBACK")
+                return None
+            db.execute(
+                "UPDATE task_leases SET state='leased', worker=?, lease_pid=?,"
+                " heartbeat=?, claims=claims+1 WHERE label=? AND repeat=?",
+                (worker, pid, now, row[0], row[1]),
+            )
+            db.execute("COMMIT")
+        except BaseException:
+            db.execute("ROLLBACK")
+            raise
+        return (row[0], int(row[1]))
+
+    def heartbeat_task(
+        self, label: str, repeat: int, worker: str, now: float
+    ) -> bool:
+        """Refresh a held lease's liveness stamp.
+
+        Returns ``False`` when the lease is no longer ours (re-issued
+        after going stale) — the worker should abandon the task; the
+        new holder owns it now, and :meth:`record_done_leased` would
+        refuse our result anyway.
+        """
+        db = self._db()
+        changed = db.execute(
+            "UPDATE task_leases SET heartbeat=?"
+            " WHERE label=? AND repeat=? AND worker=? AND state='leased'",
+            (now, label, int(repeat), worker),
+        ).rowcount
+        db.commit()
+        return bool(changed)
+
+    def record_done_leased(
+        self, label: str, repeat: int, worker: str, result: "SearchResult"
+    ) -> bool:
+        """Persist a leased task's result iff the lease is still ours.
+
+        One transaction checks lease ownership, writes the ``tasks``
+        row, drops the task's checkpoint, and marks the lease ``done``.
+        A straggler whose lease was re-issued (its heartbeat went
+        stale and another worker claimed the task) gets ``False`` and
+        must discard its result — the current holder will record the
+        bit-identical one — so no (label, repeat) is ever recorded by
+        two workers.
+        """
+        db = self._db()
+        db.execute("BEGIN IMMEDIATE")
+        try:
+            row = db.execute(
+                "SELECT worker FROM task_leases"
+                " WHERE label=? AND repeat=? AND state='leased'",
+                (label, int(repeat)),
+            ).fetchone()
+            if row is None or row[0] != worker:
+                db.execute("ROLLBACK")
+                return False
+            db.execute(
+                "INSERT OR REPLACE INTO tasks (label, repeat, status, result)"
+                " VALUES (?, ?, 'done', ?)",
+                (label, int(repeat), _dumps(result)),
+            )
+            db.execute(
+                "DELETE FROM checkpoints WHERE label=? AND repeat=?",
+                (label, int(repeat)),
+            )
+            db.execute(
+                "UPDATE task_leases SET state='done' WHERE label=? AND repeat=?",
+                (label, int(repeat)),
+            )
+            db.execute("COMMIT")
+        except BaseException:
+            db.execute("ROLLBACK")
+            raise
+        return True
+
+    def cluster_progress(self) -> dict[str, int]:
+        """Lease-state counts: total / pending / leased / done."""
+        counts = {"pending": 0, "leased": 0, "done": 0}
+        for state, count in self._db().execute(
+            "SELECT state, COUNT(*) FROM task_leases GROUP BY state"
+        ):
+            counts[state] = int(count)
+        counts["total"] = sum(counts.values())
+        return counts
+
+    def task_lease_rows(self) -> list[dict]:
+        """Every lease row as a dict, (label, repeat) order."""
+        rows = self._db().execute(
+            "SELECT label, repeat, state, worker, lease_pid, heartbeat, claims"
+            " FROM task_leases ORDER BY label, repeat"
+        ).fetchall()
+        return [
+            {
+                "label": row[0],
+                "repeat": int(row[1]),
+                "state": row[2],
+                "worker": row[3],
+                "lease_pid": row[4],
+                "heartbeat": row[5],
+                "claims": int(row[6]),
+            }
+            for row in rows
+        ]
+
+    # -- execution records -------------------------------------------------
+    def record_execution(self, entry: dict) -> None:
+        """Append one backend-execution record to the run's history.
+
+        Entries come from :meth:`ExecutionBackend.describe_execution
+        <repro.parallel.pool.ExecutionBackend.describe_execution>` —
+        the requested backend name plus what *effectively* ran (the
+        process backend degrades to serial where ``fork`` is
+        unavailable).  A resumed or served study therefore reports
+        which backend actually executed each of its runs, not just
+        what its spec asked for.
+        """
+        db = self._db()
+        db.execute("BEGIN IMMEDIATE")
+        try:
+            row = db.execute(
+                "SELECT value FROM meta WHERE key='executions'"
+            ).fetchone()
+            entries = json.loads(row[0]) if row is not None else []
+            entries.append(entry)
+            db.execute(
+                "INSERT OR REPLACE INTO meta (key, value)"
+                " VALUES ('executions', ?)",
+                (json.dumps(entries, separators=(",", ":")),),
+            )
+            db.execute("COMMIT")
+        except BaseException:
+            db.execute("ROLLBACK")
+            raise
+
+    def executions(self) -> list[dict]:
+        """Every recorded backend execution, oldest first."""
+        row = self._db().execute(
+            "SELECT value FROM meta WHERE key='executions'"
+        ).fetchone()
+        return json.loads(row[0]) if row is not None else []
 
     # -- reporting ---------------------------------------------------------
     def task_statuses(self) -> dict[str, dict[str, int]]:

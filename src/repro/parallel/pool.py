@@ -1,28 +1,58 @@
-"""Process-pool fan-out for embarrassingly parallel experiment work.
+"""Pluggable execution backends for embarrassingly parallel work.
 
 The repeat experiments (Fig. 5/6, Tables 2-3) are bags of fully
 independent searches: every (strategy, scenario, repeat) task owns its
 seed and shares only read-only inputs (the enumerated space bundle and
-the evaluation cache).  :func:`parallel_map` runs such a bag across a
-process pool and returns results in input order.
+the evaluation cache).  This module defines *how* such a bag executes:
 
-The pool uses the ``fork`` start method so task closures — strategy and
-evaluator factories capturing the multi-hundred-MB latency matrix — are
-inherited by workers copy-on-write instead of being pickled.  Only the
-(small, picklable) task descriptions and results cross the process
-boundary.  Where ``fork`` is unavailable the map degrades to the serial
-path, which is always behaviorally identical: determinism comes from
-per-task seeds, never from execution order.
+* :class:`ExecutionBackend` — the protocol every backend implements
+  (``map`` over a bag of callables, ``run_tasks`` over a prepared
+  :class:`~repro.search.runner.GridRun`);
+* a registry (:func:`register_backend` / :func:`get_backend` /
+  :func:`list_backends` / :func:`build_backend`) mirroring the
+  strategy / hardware / accuracy-source registries, so backend names
+  are validated in exactly one place and third-party backends join
+  the same table;
+* the two built-in single-host backends: :class:`SerialBackend` (the
+  historical in-process loop) and :class:`ProcessBackend` (a
+  fork-based process pool).  The ``cluster`` backend — multiple
+  worker *processes*, possibly on different machines, coordinating
+  through a shared :class:`~repro.parallel.ledger.RunLedger` — lives
+  in :mod:`repro.parallel.cluster` and registers itself on import.
+
+:func:`parallel_map` is the historical map entry point, now routed
+through the registry.  The process pool uses the ``fork`` start method
+so task closures — strategy and evaluator factories capturing the
+multi-hundred-MB latency matrix — are inherited by workers
+copy-on-write instead of being pickled.  Only the (small, picklable)
+task descriptions and results cross the process boundary.  Where
+``fork`` is unavailable the map degrades to the serial path, which is
+always behaviorally identical: determinism comes from per-task seeds,
+never from execution order.
 """
 
 from __future__ import annotations
 
+import inspect
 import multiprocessing
 import os
 import warnings
 from typing import Callable, Sequence, TypeVar
 
-__all__ = ["parallel_map", "resolve_workers"]
+__all__ = [
+    "BackendError",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "register_backend",
+    "get_backend",
+    "list_backends",
+    "build_backend",
+    "validate_backend_params",
+    "fork_available",
+    "parallel_map",
+    "resolve_workers",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -48,6 +78,11 @@ def resolve_workers(workers: int | None) -> int:
         return os.cpu_count() or 1
 
 
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
 def _mark_worker() -> None:
     global _IN_WORKER
     _IN_WORKER = True
@@ -58,6 +93,238 @@ def _call_payload(index: int):
     return fn(items[index])
 
 
+class BackendError(ValueError):
+    """A backend name or its declarative params could not be resolved."""
+
+
+class ExecutionBackend:
+    """How a bag of independent seeded tasks executes.
+
+    Subclasses set :attr:`name` and implement :meth:`run_tasks` (drive
+    a prepared grid of (job, repeat) searches); backends that can also
+    serve plain function maps override :meth:`map`.  Construction
+    parameters become the backend's declarative params — a
+    :class:`~repro.core.study.StudySpec` names a backend as
+    ``execution.backend`` plus ``execution.backend_params`` and the
+    study builder resolves it through :func:`build_backend`.
+
+    Determinism contract: a backend schedules *which process runs
+    which task*, never what a task computes.  Per-repeat seeds depend
+    only on the master seed and the repeat index, so every backend
+    must produce bit-identical results for the same grid.
+    """
+
+    #: Registry key; subclasses must override.
+    name: str = ""
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T], workers: int | None = None) -> list[R]:
+        """Map ``fn`` over ``items``, returning results in input order."""
+        raise BackendError(
+            f"backend {self.name!r} cannot serve parallel_map (it "
+            "coordinates grid tasks, not plain function maps); "
+            "map-capable backends: serial, process"
+        )
+
+    def run_tasks(self, grid) -> dict:
+        """Run ``grid``'s pending (job, repeat) tasks; task -> result.
+
+        ``grid`` is a :class:`repro.search.runner.GridRun`: the
+        prepared task bag plus the serial/worker execution closures a
+        backend composes (``run_one``, ``run_in_worker``,
+        ``merge_worker_payloads``).
+        """
+        raise NotImplementedError
+
+    def describe_execution(self, grid) -> dict:
+        """Ledger-recordable summary of how ``grid`` will execute.
+
+        ``requested`` is the backend's registered name; ``effective``
+        is what will actually run the tasks (e.g. the process backend
+        degrades to ``serial`` where ``fork`` is unavailable).  The
+        run ledger records this per run so resumed or served studies
+        can report which backend really executed them.
+        """
+        return {"requested": self.name, "effective": self.name}
+
+
+class SerialBackend(ExecutionBackend):
+    """The historical in-process loop: tasks run one by one, in order."""
+
+    name = "serial"
+
+    def map(self, fn, items, workers=None):
+        return [fn(item) for item in items]
+
+    def run_tasks(self, grid) -> dict:
+        return {task: grid.run_one(task) for task in grid.pending}
+
+
+class ProcessBackend(ExecutionBackend):
+    """Fork-based process pool spreading tasks across local CPUs."""
+
+    name = "process"
+
+    def _effective(self, n_items: int, workers: int | None) -> str:
+        workers = min(resolve_workers(workers), max(n_items, 1))
+        if workers <= 1 or n_items <= 1 or _IN_WORKER or not fork_available():
+            return "serial"
+        return "process"
+
+    def map(self, fn, items, workers=None):
+        items = list(items)
+        workers = min(resolve_workers(workers), max(len(items), 1))
+        if workers <= 1 or len(items) <= 1 or _IN_WORKER:
+            return [fn(item) for item in items]
+        if not fork_available():
+            warnings.warn(
+                "process backend needs the 'fork' start method; running serially",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return [fn(item) for item in items]
+
+        global _FORK_PAYLOAD
+        if _FORK_PAYLOAD is not None:  # re-entrant call in the parent
+            return [fn(item) for item in items]
+        _FORK_PAYLOAD = (fn, items)
+        try:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(processes=workers, initializer=_mark_worker) as pool:
+                return pool.map(_call_payload, range(len(items)), chunksize=1)
+        finally:
+            _FORK_PAYLOAD = None
+
+    def run_tasks(self, grid) -> dict:
+        grid.prepare_for_workers()
+        payloads = self.map(grid.run_in_worker, grid.pending, workers=grid.workers)
+        return grid.merge_worker_payloads(payloads)
+
+    def describe_execution(self, grid) -> dict:
+        description = super().describe_execution(grid)
+        description["effective"] = self._effective(len(grid.pending), grid.workers)
+        description["workers"] = min(
+            resolve_workers(grid.workers), max(len(grid.pending), 1)
+        )
+        return description
+
+
+#: Backend modules imported lazily on first lookup so each can
+#: register itself without import cycles (cluster pulls in the ledger).
+_BUILTIN_MODULES = ("repro.parallel.cluster",)
+
+_REGISTRY: dict[str, type[ExecutionBackend]] = {}
+
+
+def _ensure_builtins() -> None:
+    import importlib
+
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+
+
+def register_backend(
+    cls: type[ExecutionBackend] | None = None,
+    name: str | None = None,
+    overwrite: bool = False,
+):
+    """Register a backend class under ``name`` (default ``cls.name``).
+
+    Usable directly (``register_backend(MyBackend)``) or as a class
+    decorator.  Registering a *different* class under a taken name
+    raises unless ``overwrite`` is set; re-registering the same class
+    is a no-op, so modules can register at import time safely.
+    """
+
+    def _register(backend_cls: type[ExecutionBackend]) -> type[ExecutionBackend]:
+        key = name or backend_cls.name
+        if not key:
+            raise BackendError(
+                f"backend class {backend_cls.__name__} has no name; set the "
+                "`name` class attribute or pass name= to register_backend"
+            )
+        existing = _REGISTRY.get(key)
+        if existing is not None and existing is not backend_cls and not overwrite:
+            raise BackendError(
+                f"backend name {key!r} is already registered to "
+                f"{existing.__name__}; pass overwrite=True to replace it"
+            )
+        _REGISTRY[key] = backend_cls
+        return backend_cls
+
+    return _register if cls is None else _register(cls)
+
+
+def list_backends() -> list[str]:
+    """Registered backend names, sorted."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def get_backend(name: str) -> type[ExecutionBackend]:
+    """The backend class registered under ``name``."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {name!r}; registered: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def validate_backend_params(name: str, params: dict | None) -> None:
+    """Check ``params`` names against the backend's constructor.
+
+    Raises :class:`BackendError` naming the backend and the unknown
+    field(s); value errors are left to construction time.
+    """
+    cls = get_backend(name)
+    if not params:
+        return
+    if not isinstance(params, dict):
+        raise BackendError(
+            f"backend {name!r}: backend_params must be a mapping, "
+            f"got {type(params).__name__}"
+        )
+    if cls.__init__ is object.__init__:
+        # No constructor at all (e.g. serial/process): params can only
+        # be a mistake — object.__init__'s *args/**kwargs would
+        # otherwise make everything look acceptable here and then
+        # explode at construction time.
+        raise BackendError(
+            f"backend {name!r} takes no parameters, got {sorted(params)}"
+        )
+    signature = inspect.signature(cls.__init__)
+    names = set(signature.parameters) - {"self"}
+    if any(
+        p.kind is inspect.Parameter.VAR_KEYWORD
+        for p in signature.parameters.values()
+    ):
+        return
+    unknown = sorted(set(params) - names)
+    if unknown:
+        raise BackendError(
+            f"backend {name!r} got unknown parameter(s) {unknown}; "
+            f"allowed: {sorted(names)}"
+        )
+
+
+def build_backend(name: str, params: dict | None = None) -> ExecutionBackend:
+    """Construct a registered backend from its flat parameter mapping."""
+    validate_backend_params(name, params)
+    cls = get_backend(name)
+    try:
+        return cls(**(params or {}))
+    except BackendError:
+        raise
+    except (TypeError, ValueError) as err:
+        raise BackendError(f"backend {name!r}: {err}") from err
+
+
+register_backend(SerialBackend)
+register_backend(ProcessBackend)
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
@@ -66,32 +333,11 @@ def parallel_map(
 ) -> list[R]:
     """Map ``fn`` over ``items``, optionally across a process pool.
 
-    ``backend`` is ``"serial"`` or ``"process"``.  The process backend
-    falls back to serial when it cannot help (one item, one worker,
-    already inside a worker) or cannot fork; results are identical
-    either way and always ordered like ``items``.
+    ``backend`` names a registered :class:`ExecutionBackend` (see
+    :func:`list_backends`).  The process backend falls back to serial
+    when it cannot help (one item, one worker, already inside a
+    worker) or cannot fork; results are identical either way and
+    always ordered like ``items``.
     """
-    if backend not in ("serial", "process"):
-        raise ValueError(f"backend must be 'serial' or 'process', got {backend!r}")
-    items = list(items)
-    workers = min(resolve_workers(workers), max(len(items), 1))
-    if backend == "serial" or workers <= 1 or len(items) <= 1 or _IN_WORKER:
-        return [fn(item) for item in items]
-    if "fork" not in multiprocessing.get_all_start_methods():
-        warnings.warn(
-            "process backend needs the 'fork' start method; running serially",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return [fn(item) for item in items]
-
-    global _FORK_PAYLOAD
-    if _FORK_PAYLOAD is not None:  # re-entrant call in the parent
-        return [fn(item) for item in items]
-    _FORK_PAYLOAD = (fn, items)
-    try:
-        ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(processes=workers, initializer=_mark_worker) as pool:
-            return pool.map(_call_payload, range(len(items)), chunksize=1)
-    finally:
-        _FORK_PAYLOAD = None
+    backend_obj = get_backend(backend)()
+    return backend_obj.map(fn, list(items), workers=workers)

@@ -6,11 +6,18 @@ averaged over repeats (Fig. 6).  :func:`run_repeats` drives one such
 bag of repeats; :func:`run_grid` drives many (strategy, scenario) jobs
 at once so whole experiment grids fan out together.
 
-Both support two backends:
+Both dispatch execution through the pluggable backend registry
+(:mod:`repro.parallel.pool`):
 
 * ``"serial"`` — the historical in-process loop;
 * ``"process"`` — repeats (across *all* jobs) spread over a fork-based
-  process pool (:func:`repro.parallel.parallel_map`).
+  process pool;
+* ``"cluster"`` — repeats leased to cooperating worker processes
+  (spawnable on other machines sharing the ledger file) with
+  heartbeats and stale-lease re-issue (:mod:`repro.parallel.cluster`).
+
+Third-party backends registered with
+:func:`repro.parallel.pool.register_backend` are equally valid names.
 
 Every repeat derives its seed as ``hash_seed("repeat", master_seed,
 repeat)`` regardless of backend or scheduling, so results are
@@ -43,11 +50,17 @@ from repro.core.archive import ArchiveEntry
 from repro.core.evaluator import CodesignEvaluator
 from repro.parallel.cache import CacheEntry, EvalCache
 from repro.parallel.ledger import RunLedger
-from repro.parallel.pool import parallel_map, resolve_workers
+from repro.parallel.pool import (
+    ExecutionBackend,
+    build_backend,
+    parallel_map,
+    resolve_workers,
+)
 from repro.search.base import BatchEvaluateFn, SearchResult, SearchStrategy
 from repro.utils.rng import hash_seed
 
 __all__ = [
+    "GridRun",
     "RepeatJob",
     "RepeatOutcome",
     "make_batch_evaluator",
@@ -218,12 +231,192 @@ def _attach(
         evaluator.attach_eval_cache(cache, scenario=job.cache_scenario)
 
 
+@dataclass
+class GridRun:
+    """One prepared grid execution, handed to an execution backend.
+
+    Everything :func:`run_grid` resolves before dispatch lives here:
+    the task bag (``pending`` excludes ledger-restored results), the
+    run parameters, and the execution closures a backend composes —
+    :meth:`run_one` (the historical serial path),
+    :meth:`run_in_worker` / :meth:`merge_worker_payloads` (the
+    fork-pool path), and the raw pieces (``jobs``, ``labels``,
+    ``ledger``, ``cache``) the cluster backend coordinates through
+    lease rows.  Backends schedule *where* tasks run; every method
+    here computes identical results regardless of scheduling.
+    """
+
+    jobs: list[RepeatJob]
+    labels: list[str]
+    tasks: list[tuple[int, int]]
+    pending: list[tuple[int, int]]
+    completed: dict[tuple[int, int], SearchResult]
+    num_steps: int
+    num_repeats: int
+    master_seed: int
+    batch_size: int
+    checkpoint_every: int
+    workers: int | None
+    cache: EvalCache | None
+    ledger: RunLedger | None
+    #: One read-only store view per (process, store path), reused by
+    #: every task a pool worker runs — regardless of whether the
+    #: factory hands out shared or fresh-per-task evaluators — so a
+    #: long-lived worker holds a bounded number of sqlite connections.
+    #: Forked children inherit the parent's (empty or stale) dict
+    #: copy-on-write; stale entries are recognized by ``owner_pid``.
+    _worker_views: dict[str, EvalCache] = field(
+        default_factory=dict, init=False, repr=False
+    )
+
+    def run_strategy(self, job: RepeatJob, repeat: int, evaluator) -> SearchResult:
+        strategy = job.strategy_factory(
+            hash_seed("repeat", self.master_seed, repeat)
+        )
+        checkpoint = (
+            self.ledger.checkpoint(job.label, repeat)
+            if self.ledger is not None
+            else None
+        )
+        result = strategy.run(
+            evaluator,
+            self.num_steps,
+            batch_size=self.batch_size,
+            checkpoint=checkpoint,
+            checkpoint_every=self.checkpoint_every,
+        )
+        if self.ledger is not None:
+            self.ledger.record_done(job.label, repeat, result)
+        return result
+
+    def run_one(self, task: tuple[int, int]) -> SearchResult:
+        """Run one (job, repeat) task in-process (the serial path)."""
+        job_index, repeat = task
+        job = self.jobs[job_index]
+        evaluator = job.evaluator_factory()
+        _attach(evaluator, self.cache, job)
+        result = self.run_strategy(job, repeat, evaluator)
+        if self.cache is not None:
+            self.cache.flush()
+        return result
+
+    def worker_view(self, store_path) -> EvalCache:
+        key = str(store_path)
+        view = self._worker_views.get(key)
+        if view is None or view.owner_pid != os.getpid():
+            view = EvalCache(store_path, read_only=True)
+            self._worker_views[key] = view
+        return view
+
+    def prepare_for_workers(self) -> None:
+        """Pre-fork checks + flush so pool workers see a coherent store."""
+        if self.cache is not None and self.cache.path is None:
+            warnings.warn(
+                "process backend cannot share a path-less (in-memory) "
+                "EvalCache with workers; evaluations will not be cached "
+                "— give the cache a file path",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        if self.ledger is not None and self.ledger.path is None:
+            raise ValueError(
+                "the process backend requires a file-backed ledger "
+                "(an in-memory RunLedger cannot cross a fork)"
+            )
+        if self.cache is not None:
+            self.cache.flush()  # workers must see everything known so far
+
+    def run_in_worker(self, task: tuple[int, int]):
+        # Runs in a forked child: evaluate against a per-process
+        # read-only view of the store (never the parent's inherited
+        # connection) and return the new rows alongside the result for
+        # the parent to merge.  Stats are reported as per-task deltas
+        # and pending rows drain per task.  (The ledger needs no such
+        # dance: RunLedger reopens its connection when it notices the
+        # pid changed.)
+        job_index, repeat = task
+        job = self.jobs[job_index]
+        cache = self.cache
+        evaluator = job.evaluator_factory()
+        inherited = evaluator.eval_cache
+        if inherited is not None and inherited.owner_pid != os.getpid():
+            # Same parent-pid guard as make_batch_evaluator.run_chunk:
+            # the factory closed over an evaluator whose cache (and
+            # live sqlite connection) we inherited through fork —
+            # detach it and fall back to the read-only view.  A cache
+            # the factory opened post-fork (owner_pid matches) is safe
+            # and stays.
+            evaluator.eval_cache = None
+        worker_cache = evaluator.eval_cache
+        store_path = cache.path if cache is not None else None
+        if store_path is None and inherited is not None and evaluator.eval_cache is None:
+            store_path = inherited.path  # keep warm-starts after a detach
+        if worker_cache is None and store_path is not None:
+            worker_cache = self.worker_view(store_path)
+            evaluator.attach_eval_cache(worker_cache, scenario=job.cache_scenario)
+        if worker_cache is None:
+            return self.run_strategy(job, repeat, evaluator), [], (0, 0), None
+        hits0, misses0 = worker_cache.hits, worker_cache.misses
+        result = self.run_strategy(job, repeat, evaluator)
+        delta = worker_cache.drain_pending()
+        stats = (worker_cache.hits - hits0, worker_cache.misses - misses0)
+        # Rows the parent cannot route into `cache` (it was never given
+        # one) still need a writable home: name the store they came from.
+        delta_path = (
+            str(worker_cache.path)
+            if cache is None and delta and worker_cache.path is not None
+            else None
+        )
+        # No explicit cleanup: a pooled view stays attached (a shared
+        # evaluator reuses it next task; a task-local evaluator just
+        # drops the reference, and the pool keeps the view alive and
+        # bounded), while a cache the factory opened itself lives
+        # exactly as long as the factory's objects do —
+        # ``EvalCache.__del__`` closes the connection the moment it
+        # becomes unreachable, so per-task caches release their fd at
+        # task end and deliberately shared ones stay open.
+        return result, delta, stats, delta_path
+
+    def merge_worker_payloads(self, payloads) -> dict[tuple[int, int], SearchResult]:
+        """Absorb pool workers' (result, cache delta, stats) payloads."""
+        cache = self.cache
+        fresh: dict[tuple[int, int], SearchResult] = {}
+        # Stores reached only through factory-attached caches (run_grid
+        # was given no eval_cache of its own): the parent persists the
+        # workers' deltas through one writable connection per file.
+        path_sinks: dict[str, EvalCache] = {}
+        for task, (result, delta, (hits, misses), delta_path) in zip(
+            self.pending, payloads
+        ):
+            if cache is not None:
+                cache.merge(delta)
+                # Fold worker-side lookups into the parent's counters so
+                # hit-rate reporting covers the whole run.
+                cache.hits += hits
+                cache.misses += misses
+            elif delta_path is not None:
+                sink = path_sinks.get(delta_path)
+                if sink is None:
+                    sink = path_sinks[delta_path] = EvalCache(delta_path)
+                sink.merge(delta)
+            fresh[task] = result
+        for sink in path_sinks.values():
+            sink.close()
+        for view in self._worker_views.values():
+            # Views opened in the parent (the pool's inline-degraded
+            # path) are closed here; the workers' copies died with
+            # their processes.
+            if view.owner_pid == os.getpid():
+                view.close()
+        return fresh
+
+
 def run_grid(
     jobs: list[RepeatJob],
     num_steps: int,
     num_repeats: int = 10,
     master_seed: int = 0,
-    backend: str = "serial",
+    backend: str | ExecutionBackend = "serial",
     workers: int | None = None,
     eval_cache: EvalCache | str | Path | None = None,
     batch_size: int = 1,
@@ -238,6 +431,14 @@ def run_grid(
     not just their own repeats.  Per-repeat seeds depend only on
     ``master_seed`` and the repeat index (matching the historical
     serial harness), never on the job or the backend.
+
+    ``backend`` names a registered
+    :class:`~repro.parallel.pool.ExecutionBackend` (see
+    :func:`repro.parallel.pool.list_backends`) or is an already-built
+    backend instance (how :func:`repro.core.study.run_study` passes
+    ``execution.backend_params`` through).  Built-ins: ``"serial"``,
+    ``"process"`` (fork pool), and ``"cluster"`` (ledger-coordinated
+    worker processes; see :mod:`repro.parallel.cluster`).
 
     ``batch_size`` is handed to every strategy's ask/tell driver: each
     iteration proposes up to that many points and evaluates them in one
@@ -263,6 +464,9 @@ def run_grid(
     """
     if num_repeats <= 0:
         raise ValueError("num_repeats must be positive")
+    backend_obj = (
+        backend if isinstance(backend, ExecutionBackend) else build_backend(backend)
+    )
     if not jobs:
         return {}
     cache = _coerce_cache(eval_cache)
@@ -290,145 +494,26 @@ def run_grid(
                 completed[(job_index, repeat)] = result
     pending = [task for task in tasks if task not in completed]
 
-    def run_strategy(job: RepeatJob, repeat: int, evaluator) -> SearchResult:
-        strategy = job.strategy_factory(hash_seed("repeat", master_seed, repeat))
-        checkpoint = (
-            ledger.checkpoint(job.label, repeat) if ledger is not None else None
-        )
-        result = strategy.run(
-            evaluator,
-            num_steps,
-            batch_size=batch_size,
-            checkpoint=checkpoint,
-            checkpoint_every=checkpoint_every,
-        )
-        if ledger is not None:
-            ledger.record_done(job.label, repeat, result)
-        return result
-
-    def run_serial(task: tuple[int, int]) -> SearchResult:
-        job_index, repeat = task
-        job = jobs[job_index]
-        evaluator = job.evaluator_factory()
-        _attach(evaluator, cache, job)
-        result = run_strategy(job, repeat, evaluator)
-        if cache is not None:
-            cache.flush()
-        return result
-
-    #: One read-only store view per (process, store path), reused by
-    #: every task a pool worker runs — regardless of whether the
-    #: factory hands out shared or fresh-per-task evaluators — so a
-    #: long-lived worker holds a bounded number of sqlite connections.
-    #: Forked children inherit the parent's (empty or stale) dict
-    #: copy-on-write; stale entries are recognized by ``owner_pid``.
-    worker_views: dict[str, EvalCache] = {}
-
-    def worker_view(store_path) -> EvalCache:
-        key = str(store_path)
-        view = worker_views.get(key)
-        if view is None or view.owner_pid != os.getpid():
-            view = EvalCache(store_path, read_only=True)
-            worker_views[key] = view
-        return view
-
-    def run_in_worker(task: tuple[int, int]):
-        # Runs in a forked child: evaluate against a per-process
-        # read-only view of the store (never the parent's inherited
-        # connection) and return the new rows alongside the result for
-        # the parent to merge.  Stats are reported as per-task deltas
-        # and pending rows drain per task.  (The ledger needs no such
-        # dance: RunLedger reopens its connection when it notices the
-        # pid changed.)
-        job_index, repeat = task
-        job = jobs[job_index]
-        evaluator = job.evaluator_factory()
-        inherited = evaluator.eval_cache
-        if inherited is not None and inherited.owner_pid != os.getpid():
-            # Same parent-pid guard as make_batch_evaluator.run_chunk:
-            # the factory closed over an evaluator whose cache (and
-            # live sqlite connection) we inherited through fork —
-            # detach it and fall back to the read-only view.  A cache
-            # the factory opened post-fork (owner_pid matches) is safe
-            # and stays.
-            evaluator.eval_cache = None
-        worker_cache = evaluator.eval_cache
-        store_path = cache.path if cache is not None else None
-        if store_path is None and inherited is not None and evaluator.eval_cache is None:
-            store_path = inherited.path  # keep warm-starts after a detach
-        if worker_cache is None and store_path is not None:
-            worker_cache = worker_view(store_path)
-            evaluator.attach_eval_cache(worker_cache, scenario=job.cache_scenario)
-        if worker_cache is None:
-            return run_strategy(job, repeat, evaluator), [], (0, 0), None
-        hits0, misses0 = worker_cache.hits, worker_cache.misses
-        result = run_strategy(job, repeat, evaluator)
-        delta = worker_cache.drain_pending()
-        stats = (worker_cache.hits - hits0, worker_cache.misses - misses0)
-        # Rows the parent cannot route into `cache` (it was never given
-        # one) still need a writable home: name the store they came from.
-        delta_path = (
-            str(worker_cache.path)
-            if cache is None and delta and worker_cache.path is not None
-            else None
-        )
-        # No explicit cleanup: a pooled view stays attached (a shared
-        # evaluator reuses it next task; a task-local evaluator just
-        # drops the reference, and the pool keeps the view alive and
-        # bounded), while a cache the factory opened itself lives
-        # exactly as long as the factory's objects do —
-        # ``EvalCache.__del__`` closes the connection the moment it
-        # becomes unreachable, so per-task caches release their fd at
-        # task end and deliberately shared ones stay open.
-        return result, delta, stats, delta_path
-
-    if backend == "serial":
-        fresh = dict(zip(pending, parallel_map(run_serial, pending, backend="serial")))
-    elif backend == "process":
-        if cache is not None and cache.path is None:
-            warnings.warn(
-                "process backend cannot share a path-less (in-memory) "
-                "EvalCache with workers; evaluations will not be cached "
-                "— give the cache a file path",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-        if ledger is not None and ledger.path is None:
-            raise ValueError(
-                "the process backend requires a file-backed ledger "
-                "(an in-memory RunLedger cannot cross a fork)"
-            )
-        if cache is not None:
-            cache.flush()  # workers must see everything known so far
-        pairs = parallel_map(run_in_worker, pending, workers=workers, backend="process")
-        fresh = {}
-        # Stores reached only through factory-attached caches (run_grid
-        # was given no eval_cache of its own): the parent persists the
-        # workers' deltas through one writable connection per file.
-        path_sinks: dict[str, EvalCache] = {}
-        for task, (result, delta, (hits, misses), delta_path) in zip(pending, pairs):
-            if cache is not None:
-                cache.merge(delta)
-                # Fold worker-side lookups into the parent's counters so
-                # hit-rate reporting covers the whole run.
-                cache.hits += hits
-                cache.misses += misses
-            elif delta_path is not None:
-                sink = path_sinks.get(delta_path)
-                if sink is None:
-                    sink = path_sinks[delta_path] = EvalCache(delta_path)
-                sink.merge(delta)
-            fresh[task] = result
-        for sink in path_sinks.values():
-            sink.close()
-        for view in worker_views.values():
-            # Views opened in the parent (the pool's inline-degraded
-            # path) are closed here; the workers' copies died with
-            # their processes.
-            if view.owner_pid == os.getpid():
-                view.close()
-    else:
-        raise ValueError(f"backend must be 'serial' or 'process', got {backend!r}")
+    grid = GridRun(
+        jobs=jobs,
+        labels=labels,
+        tasks=tasks,
+        pending=pending,
+        completed=completed,
+        num_steps=num_steps,
+        num_repeats=num_repeats,
+        master_seed=master_seed,
+        batch_size=batch_size,
+        checkpoint_every=checkpoint_every,
+        workers=workers,
+        cache=cache,
+        ledger=ledger,
+    )
+    if ledger is not None:
+        # Pin what actually executes this run (requested vs effective
+        # backend) so resumed/served studies can report it faithfully.
+        ledger.record_execution(backend_obj.describe_execution(grid))
+    fresh = backend_obj.run_tasks(grid)
 
     outcomes: dict[str, RepeatOutcome] = {}
     for task in tasks:
@@ -448,7 +533,7 @@ def run_repeats(
     num_steps: int,
     num_repeats: int = 10,
     master_seed: int = 0,
-    backend: str = "serial",
+    backend: str | ExecutionBackend = "serial",
     workers: int | None = None,
     eval_cache: EvalCache | str | Path | None = None,
     batch_size: int = 1,

@@ -196,10 +196,15 @@ class StudyQueue:
         finishes.  ``best_rewards`` lists the best reward of each
         *finished* repeat (``None`` for repeats with no feasible
         point), so a watcher sees outcomes accrue before the study is
-        done.
+        done.  ``executions`` is the ledger's record of which
+        execution backend actually ran each attempt (requested vs
+        effective — a resumed study may have fallen back to serial,
+        or been picked up by a different backend than the first
+        attempt used).
         """
         path = self.study_ledger_path(study_id)
-        empty = {"jobs": {}, "done_repeats": 0, "total_repeats": None}
+        empty = {"jobs": {}, "done_repeats": 0, "total_repeats": None,
+                 "executions": []}
         if not path.exists():
             return empty
         ledger = RunLedger(path)
@@ -228,6 +233,7 @@ class StudyQueue:
             "jobs": jobs,
             "done_repeats": done_repeats,
             "total_repeats": repeats * len(labels) if repeats else None,
+            "executions": ledger.executions(),
         }
 
     # -- worker pool ---------------------------------------------------

@@ -550,3 +550,61 @@ class TestTensorizeSpec:
         )
         study = build_study(spec, bundle=micro4_bundle, scale=TINY)
         assert all(job.evaluator_factory().tensorize for job in study.jobs)
+
+
+class TestBackendSpec:
+    """execution.backend names are validated against the execution-backend
+    registry, and execution.backend_params ride along declaratively —
+    omitted when empty so historical ledgers stay byte-compatible."""
+
+    def test_registry_backends_all_accepted(self):
+        from repro.parallel import list_backends
+
+        for name in list_backends():
+            assert tiny_spec(backend=name).execution.backend == name
+
+    def test_unknown_backend_error_lists_registered(self):
+        with pytest.raises(StudyError, match="serial"):
+            tiny_spec(backend="gpu")
+
+    def test_params_default_empty_and_omitted_from_dict(self):
+        spec = tiny_spec()
+        assert spec.execution.backend_params == {}
+        assert "backend_params" not in spec.to_dict()["execution"]
+
+    def test_params_round_trip(self):
+        spec = tiny_spec(
+            backend="cluster", backend_params={"stale_after": 5.0}
+        )
+        data = spec.to_dict()
+        assert data["execution"]["backend_params"] == {"stale_after": 5.0}
+        assert StudySpec.from_dict(data) == spec
+        json.dumps(data)
+
+    def test_unknown_param_rejected_at_spec_time(self):
+        with pytest.raises(StudyError, match="bogus"):
+            tiny_spec(backend="cluster", backend_params={"bogus": 1})
+
+    def test_params_against_wrong_backend_rejected(self):
+        # stale_after belongs to cluster, not serial.
+        with pytest.raises(StudyError, match="stale_after"):
+            tiny_spec(backend="serial", backend_params={"stale_after": 5.0})
+
+    def test_with_overrides_sets_nested_param(self):
+        spec = tiny_spec(backend="cluster").with_overrides(
+            {"execution.backend_params.poll_every": 0.5}
+        )
+        assert spec.execution.backend == "cluster"
+        assert spec.execution.backend_params == {"poll_every": 0.5}
+
+    def test_with_overrides_validates_new_backend(self):
+        with pytest.raises(StudyError, match="unknown backend"):
+            tiny_spec().with_overrides({"execution.backend": "gpu"})
+
+    def test_bad_param_value_surfaces_at_run_time(self, tmp_path):
+        # Names validate at spec time; values only at construction.
+        spec = tiny_spec(
+            backend="cluster", backend_params={"stale_after": -1.0}
+        )
+        with pytest.raises(StudyError, match="stale_after"):
+            run_study(spec, ledger=tmp_path / "x.ledger")

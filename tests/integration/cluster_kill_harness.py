@@ -1,0 +1,60 @@
+"""Subprocess harness for the kill-one-cluster-worker test.
+
+Runs the kill-resume harness's two-strategy grid on the ``cluster``
+backend with two forked local workers and aggressive lease timing, so
+the test can SIGKILL *one* worker process mid-task and watch its lease
+go stale, get re-issued, and the run still converge — while the
+harness process itself survives to completion.
+
+The coordinator's pid is printed first (stdout, one line) so the test
+can tell local worker pids (``lease_pid`` in the ledger's lease rows)
+apart from the coordinator's own mop-up loop.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from kill_resume_harness import (  # noqa: E402
+    CHECKPOINT_EVERY,
+    MASTER_SEED,
+    NUM_REPEATS,
+    NUM_STEPS,
+    build_jobs,
+)
+
+from repro.parallel.cluster import ClusterBackend  # noqa: E402
+from repro.search.runner import run_grid  # noqa: E402
+
+# Fast re-issue so a killed worker's task comes back within the test's
+# patience; heartbeats well inside the staleness window so live leases
+# are never mistaken for abandoned ones.
+STALE_AFTER = 2.0
+HEARTBEAT_EVERY = 0.25
+POLL_EVERY = 0.05
+
+
+def run(ledger_path, eval_delay: float = 0.0):
+    backend = ClusterBackend(
+        stale_after=STALE_AFTER,
+        heartbeat_every=HEARTBEAT_EVERY,
+        poll_every=POLL_EVERY,
+    )
+    return run_grid(
+        build_jobs(eval_delay),
+        num_steps=NUM_STEPS,
+        num_repeats=NUM_REPEATS,
+        master_seed=MASTER_SEED,
+        backend=backend,
+        workers=2,
+        ledger=ledger_path,
+        checkpoint_every=CHECKPOINT_EVERY,
+    )
+
+
+if __name__ == "__main__":
+    print(os.getpid(), flush=True)
+    run(sys.argv[1], eval_delay=float(sys.argv[2]) if len(sys.argv) > 2 else 0.0)

@@ -157,6 +157,7 @@ class TestStudyQueue:
             "jobs": {},
             "done_repeats": 0,
             "total_repeats": None,
+            "executions": [],
         }
         assert [row["id"] for row in queue.list_studies()] == [study_id]
         assert queue.status("st-missing") is None
