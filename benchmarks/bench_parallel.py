@@ -28,6 +28,7 @@ Run:  PYTHONPATH=src python benchmarks/bench_parallel.py [--workers 4]
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import tempfile
 import time
@@ -61,6 +62,10 @@ def main() -> None:
     parser.add_argument(
         "--cache-dir", type=Path, default=None,
         help="eval-cache location (default: a fresh temp dir, i.e. cold)",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="also write the measured timings and ratios as JSON",
     )
     args = parser.parse_args()
 
@@ -205,6 +210,52 @@ def main() -> None:
         f"cache: {warm_stats['persisted']} persisted rows at {cache_path}; "
         "runs 1-3 produced identical results (batch size 1 is exact)."
     )
+    if args.json is not None:
+        # Written before the speedup gates below so a failing gate still
+        # leaves the measured numbers on disk for inspection.
+        args.json.write_text(
+            json.dumps(
+                {
+                    "benchmark": "bench_parallel",
+                    "workload": {
+                        "repeats": args.repeats,
+                        "steps": args.steps,
+                        "batch_size": args.batch_size,
+                        "workers": args.workers,
+                        "max_vertices": args.max_vertices,
+                        "usable_cpus": cpus,
+                    },
+                    "wall_clock_s": {
+                        "serial": t_serial,
+                        "process_cold": t_process,
+                        "serial_warm": t_warm,
+                        "batched_warm": t_batched,
+                        "process_warm": t_process_warm,
+                        "cluster_warm": t_cluster,
+                    },
+                    "points_per_s": {
+                        "serial": total_points / t_serial,
+                        "process_warm": total_points / t_process_warm,
+                        "cluster_warm": total_points / t_cluster,
+                        "batched_per_repeat": args.steps / t_batched,
+                        "pointwise_per_repeat": args.steps / t_warm,
+                    },
+                    "ratios": {
+                        "batched_vs_pointwise_warm": batched_speedup,
+                        "cluster_vs_process_warm": t_process_warm / t_cluster,
+                    },
+                    "cache": {
+                        "persisted_rows": warm_stats["persisted"],
+                        "cold_hit_rate": cold_stats["hit_rate"],
+                        "warm_hit_rate": warm_stats["hit_rate"],
+                    },
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"wrote JSON report to {args.json}")
     if cpus < 2:
         print(
             "note: single usable CPU — process-backend speedup needs >=2 cores "

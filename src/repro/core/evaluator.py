@@ -620,6 +620,42 @@ class CodesignEvaluator:
         clone.source_info = self.source_info
         return clone
 
+    def with_platform(self, platform: HardwarePlatform) -> "CodesignEvaluator":
+        """Same accuracy source and scenario on a different platform.
+
+        Used by the two-tier search mode, which scores proposals on a
+        :class:`repro.hw.SurrogatePlatform` twin of the exact platform:
+        the accuracy function, its cache, and the content-hash memo are
+        shared (cell accuracy is platform-independent — re-deriving it
+        would re-train trainer-backed sources), but every
+        hardware-derived cache starts empty, the precomputed latency
+        table is dropped, and no persistent eval cache is attached —
+        approximate metrics must never reach (or be served from) the
+        exact platform's cached rows.
+        """
+        clone = CodesignEvaluator.__new__(CodesignEvaluator)
+        clone.accuracy_fn = self.accuracy_fn
+        clone.reward_fn = RewardFunction(self.reward_fn.config)
+        clone.skeleton = self.skeleton
+        clone.platform = platform
+        clone._area_cache = LRUCache(self._cache_capacity)
+        clone._latency_cache = LRUCache(self._cache_capacity)
+        clone._accuracy_cache = self._accuracy_cache
+        clone._content_hash_memo = self._content_hash_memo
+        clone._config_index_memo = {}
+        clone._latency_table = None
+        clone.eval_cache = None
+        clone.tensorize = False
+        clone._cache_capacity = self._cache_capacity
+        clone._tensor = None
+        clone._tensor_unavailable = False
+        clone._tensor_hash_memo = LRUCache(self._cache_capacity)
+        clone._tensor_results = LRUCache(self._cache_capacity)
+        clone.cache_scenario = self.cache_scenario
+        clone.num_evaluations = 0
+        clone.source_info = self.source_info
+        return clone
+
 
 # ---------------------------------------------------------------------------
 # Accuracy-source registry

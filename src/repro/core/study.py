@@ -304,12 +304,26 @@ class ExecutionSpec:
     ledger: str | None = None
     checkpoint_every: int = 10
     tensorize: bool = False
+    surrogate: bool = False
+    exact_fraction: float = 0.25
 
     def __post_init__(self) -> None:
         _require(
             isinstance(self.tensorize, bool),
             f"execution.tensorize must be true or false, got {self.tensorize!r}",
         )
+        _require(
+            isinstance(self.surrogate, bool),
+            f"execution.surrogate must be true or false, got {self.surrogate!r}",
+        )
+        _require(
+            isinstance(self.exact_fraction, (int, float))
+            and not isinstance(self.exact_fraction, bool)
+            and 0.0 < float(self.exact_fraction) <= 1.0,
+            "execution.exact_fraction must be a number in (0, 1], got "
+            f"{self.exact_fraction!r}",
+        )
+        object.__setattr__(self, "exact_fraction", float(self.exact_fraction))
         _check_int(self.num_steps, "execution.num_steps", 1, optional=True)
         _check_int(self.num_repeats, "execution.num_repeats", 1, optional=True)
         _check_int(self.master_seed, "execution.master_seed")
@@ -362,6 +376,12 @@ class ExecutionSpec:
             # Omitted when off, so pre-tensorize spec dicts — including
             # ledger-pinned ones — stay byte-identical and resumable.
             out["tensorize"] = True
+        if self.surrogate:
+            # Same omission contract: two-tier fields only appear when
+            # the mode is armed, so pre-surrogate spec dicts —
+            # including ledger-pinned ones — stay byte-identical.
+            out["surrogate"] = True
+            out["exact_fraction"] = self.exact_fraction
         return out
 
     @classmethod
@@ -380,6 +400,8 @@ class ExecutionSpec:
                 "ledger",
                 "checkpoint_every",
                 "tensorize",
+                "surrogate",
+                "exact_fraction",
             },
             "execution spec",
         )
@@ -387,6 +409,7 @@ class ExecutionSpec:
         fields = (
             "num_steps", "num_repeats", "master_seed", "batch_size", "backend",
             "workers", "cache", "ledger", "checkpoint_every", "tensorize",
+            "surrogate", "exact_fraction",
         )
         return cls(
             backend_params=data.get("backend_params") or {},
@@ -637,6 +660,8 @@ class StudySpec:
         data.setdefault("hardware", self._hardware_dict())
         data["execution"].setdefault("tensorize", self.execution.tensorize)
         data["execution"].setdefault("backend_params", dict(self.execution.backend_params))
+        data["execution"].setdefault("surrogate", self.execution.surrogate)
+        data["execution"].setdefault("exact_fraction", self.execution.exact_fraction)
         hw_entries = (
             data["hardware"]
             if isinstance(data["hardware"], list)
@@ -795,9 +820,10 @@ def build_study(spec: StudySpec, bundle=None, scale=None, store=None) -> Study:
     )
     from repro.core.search_space import JointSearchSpace
     from repro.experiments.common import Scale
-    from repro.hw import HardwarePlatformError, build_platform
+    from repro.hw import SURROGATE_PREFIX, HardwarePlatformError, build_platform
     from repro.search.registry import build_strategy
     from repro.search.runner import RepeatJob
+    from repro.search.two_tier import TwoTierFilter
 
     spec.validate()
     source = get_accuracy_source(spec.evaluator.source)
@@ -821,6 +847,25 @@ def build_study(spec: StudySpec, bundle=None, scale=None, store=None) -> Study:
         }
     except HardwarePlatformError as err:
         raise StudyError(f"study {spec.name!r}: {err}") from None
+    # Two-tier mode: each platform gets a fitted surrogate twin that
+    # ranks inflated proposal batches; only the top exact_fraction
+    # slice reaches the exact evaluator (and hence the archive, the
+    # eval cache, and the ledger).
+    surrogate_twins: dict[str, Any] = {}
+    if spec.execution.surrogate:
+        for hw in spec.hardware:
+            if hw.name.startswith(SURROGATE_PREFIX):
+                raise StudyError(
+                    f"study {spec.name!r}: execution.surrogate cannot wrap "
+                    f"platform {hw.name!r} — it is already a surrogate "
+                    "(searching a surrogate directly needs no two-tier mode)"
+                )
+            try:
+                surrogate_twins[hw.effective_label] = build_platform(
+                    f"{SURROGATE_PREFIX}{hw.name}", hw.params
+                )
+            except HardwarePlatformError as err:
+                raise StudyError(f"study {spec.name!r}: {err}") from None
     multi_platform = len(platforms) > 1
     namespaces = {
         label: hardware_namespace(source_namespace, platform)
@@ -896,6 +941,16 @@ def build_study(spec: StudySpec, bundle=None, scale=None, store=None) -> Study:
                             lambda _ev=evaluator, _sc=scenario: _ev.with_reward(_sc)
                         ),
                         cache_scenario=namespaces[hw_label],
+                        two_tier_factory=(
+                            (
+                                lambda exact, _tw=surrogate_twins[hw_label],
+                                _fr=spec.execution.exact_fraction: TwoTierFilter(
+                                    exact.with_platform(_tw), _fr
+                                )
+                            )
+                            if hw_label in surrogate_twins
+                            else None
+                        ),
                     )
                 )
     return Study(

@@ -130,6 +130,8 @@ def legacy_study_spec(
     name: str = "search-study",
     hardware: str | dict | list | None = None,
     tensorize: bool = False,
+    surrogate: bool = False,
+    exact_fraction: float = 0.25,
 ) -> StudySpec:
     """A :class:`StudySpec` equivalent to the legacy keyword arguments.
 
@@ -195,6 +197,8 @@ def legacy_study_spec(
             "workers": workers,
             "checkpoint_every": checkpoint_every,
             "tensorize": bool(tensorize),
+            "surrogate": bool(surrogate),
+            "exact_fraction": exact_fraction,
         },
     )
 
@@ -214,6 +218,8 @@ def _run_search_study(
     name: str = "search-study",
     hardware: str | dict | list | None = None,
     tensorize: bool = False,
+    surrogate: bool = False,
+    exact_fraction: float = 0.25,
 ) -> SearchStudyResult:
     """Legacy-argument front end over the spec-driven study engine."""
     bundle = bundle or load_bundle()
@@ -238,6 +244,8 @@ def _run_search_study(
         name=name,
         hardware=hardware,
         tensorize=tensorize,
+        surrogate=surrogate,
+        exact_fraction=exact_fraction,
     )
     return run_study(
         spec, bundle=bundle, scale=scale, eval_cache=eval_cache, ledger=ledger

@@ -19,6 +19,16 @@ from repro.hw.platform import (
     platform_from_spec,
     register_platform,
 )
+from repro.hw.surrogate import (
+    DEFAULT_ERROR_BUDGET,
+    SURROGATE_PREFIX,
+    SurrogateModel,
+    SurrogatePlatform,
+    fit_surrogate,
+    register_surrogate_platforms,
+    surrogate_model_for,
+    validate_surrogate,
+)
 from repro.hw.tensorized import (
     TENSORIZE_MAX_CONFIGS,
     TensorizedSpace,
@@ -28,20 +38,28 @@ from repro.hw.tensorized import (
 )
 
 __all__ = [
+    "DEFAULT_ERROR_BUDGET",
     "DEFAULT_PLATFORM_NAME",
     "Dac2020Platform",
     "HardwarePlatform",
     "HardwarePlatformError",
     "PlatformEntry",
+    "SURROGATE_PREFIX",
+    "SurrogateModel",
+    "SurrogatePlatform",
     "TENSORIZE_MAX_CONFIGS",
     "TensorizeError",
     "TensorizedSpace",
     "build_platform",
     "default_platform",
     "enumerable",
+    "fit_surrogate",
     "get_platform",
     "list_platforms",
     "platform_from_spec",
     "register_platform",
+    "register_surrogate_platforms",
+    "surrogate_model_for",
     "tensorized_space",
+    "validate_surrogate",
 ]

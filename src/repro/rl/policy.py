@@ -9,6 +9,7 @@ and the forward caches for the manual backward pass.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -53,6 +54,38 @@ class PolicyBatch:
     def actions_list(self, i: int) -> list[int]:
         """Rollout ``i``'s action sequence as a plain list."""
         return [int(a) for a in self.actions[i]]
+
+    def subset(self, indices: Sequence[int]) -> "PolicyBatch":
+        """The batch restricted to rollouts ``indices`` (in that order).
+
+        Used by the two-tier search mode: a strategy asks for an
+        inflated rollout batch, the surrogate tier discards most of it,
+        and only the surviving rollouts are REINFORCE-updated.  The
+        per-token lists (``caches``/``hiddens``/``probs``, one entry
+        per token ``t``) keep their length; the rollout dimension —
+        the *leading* axis of every array inside them — is sliced.
+        """
+        indices = list(indices)
+        return PolicyBatch(
+            actions=self.actions[indices],
+            log_probs=self.log_probs[indices],
+            entropies=self.entropies[indices],
+            caches=[
+                LSTMCache(
+                    x=c.x[indices],
+                    h_prev=c.h_prev[indices],
+                    c_prev=c.c_prev[indices],
+                    i=c.i[indices],
+                    f=c.f[indices],
+                    g=c.g[indices],
+                    o=c.o[indices],
+                    c=c.c[indices],
+                )
+                for c in self.caches
+            ],
+            hiddens=[h[indices] for h in self.hiddens],
+            probs=[p[indices] for p in self.probs],
+        )
 
 
 class SequencePolicy:

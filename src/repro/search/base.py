@@ -41,7 +41,10 @@ implementation (see ``tests/search/test_ask_tell_equivalence.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:
+    from repro.search.two_tier import TwoTierFilter
 
 import numpy as np
 
@@ -219,9 +222,20 @@ class SearchStrategy:
         raise NotImplementedError
 
     def tell(
-        self, proposals: list[Proposal], results: list[EvaluationResult]
+        self,
+        proposals: list[Proposal],
+        results: list[EvaluationResult],
+        indices: Sequence[int] | None = None,
     ) -> None:
-        """Consume results of the last ask (update state + archive)."""
+        """Consume results of the last ask (update state + archive).
+
+        ``indices`` is set by the two-tier driver when only a filtered
+        subset of the last ask was evaluated: the ascending positions
+        of ``proposals`` within that ask.  Strategies holding
+        per-rollout state from :meth:`ask` (the REINFORCE pending
+        batch) must slice it accordingly; strategies that only consume
+        the passed pairs can ignore it.
+        """
         raise NotImplementedError
 
     def finish(self) -> SearchResult:
@@ -269,6 +283,7 @@ class SearchStrategy:
         evaluate_fn: BatchEvaluateFn | None = None,
         checkpoint: Checkpoint | None = None,
         checkpoint_every: int = 1,
+        two_tier: "TwoTierFilter | None" = None,
     ) -> SearchResult:
         """Drive the ask/tell loop for ``num_steps`` evaluations.
 
@@ -277,6 +292,13 @@ class SearchStrategy:
         per-point loop.  ``evaluate_fn`` overrides how a batch of
         (spec, config) pairs is evaluated — by default one
         ``evaluator.evaluate_batch`` call.
+
+        ``two_tier`` arms the surrogate-filtered mode
+        (:class:`repro.search.two_tier.TwoTierFilter`): each iteration
+        asks for an inflated batch, keeps only the top surrogate-ranked
+        slice, and exact-evaluates just that slice — which is also all
+        that is told, archived, and counted against ``num_steps``, so
+        every recorded result still comes from ``evaluate_fn``.
 
         ``checkpoint`` makes the run resumable: a state found in it is
         restored (skipping the already-told steps) before the loop, and
@@ -309,9 +331,17 @@ class SearchStrategy:
                 remaining = num_steps - int(saved["steps_done"])
         batches = 0
         while remaining > 0:
-            proposals = self.ask(min(batch_size, remaining))
+            k = min(batch_size, remaining)
+            proposals = self.ask(two_tier.ask_size(k) if two_tier else k)
             if not proposals:
                 break
+            indices = None
+            if two_tier is not None and len(proposals) > k:
+                # Surrogate tier: rank the inflated ask, keep the top
+                # slice (ascending positions).  A short ask (phase or
+                # stage boundary) skips filtering — nothing to discard.
+                indices = two_tier.select(proposals, k)
+                proposals = [proposals[i] for i in indices]
             if len(proposals) > remaining:
                 raise RuntimeError(
                     f"{self.name}.ask returned {len(proposals)} proposals "
@@ -325,7 +355,7 @@ class SearchStrategy:
                     "positionally, so a mismatched batch evaluator would "
                     "silently corrupt the search"
                 )
-            self.tell(proposals, results)
+            self.tell(proposals, results, indices=indices)
             remaining -= len(proposals)
             batches += 1
             if checkpoint is not None and (

@@ -16,6 +16,8 @@ bit-identically.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.core.evaluator import CodesignEvaluator, EvaluationResult
@@ -78,11 +80,13 @@ class CombinedSearch(SearchStrategy):
         return proposals
 
     def tell(
-        self, proposals: list[Proposal], results: list[EvaluationResult]
+        self,
+        proposals: list[Proposal],
+        results: list[EvaluationResult],
+        indices: Sequence[int] | None = None,
     ) -> None:
-        self.trainer.update_batch(
-            self._pending, [r.reward.value for r in results]
-        )
+        pending = self._pending if indices is None else self._pending.subset(indices)
+        self.trainer.update_batch(pending, [r.reward.value for r in results])
         self._pending = None
         for result in results:
             self.archive.record(result, phase="combined")

@@ -22,6 +22,8 @@ bit-identical to the historic per-point loop.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.core.archive import ArchiveEntry, SearchArchive
@@ -168,10 +170,14 @@ class PhaseSearch(SearchStrategy):
         ]
 
     def tell(
-        self, proposals: list[Proposal], results: list[EvaluationResult]
+        self,
+        proposals: list[Proposal],
+        results: list[EvaluationResult],
+        indices: Sequence[int] | None = None,
     ) -> None:
         trainer = self.cnn_trainer if self._in_cnn_phase() else self.hw_trainer
-        trainer.update_batch(self._pending, [r.reward.value for r in results])
+        pending = self._pending if indices is None else self._pending.subset(indices)
+        trainer.update_batch(pending, [r.reward.value for r in results])
         for proposal, result in zip(proposals, results):
             self.archive.record(result, phase=proposal.phase)
         self._pending = None

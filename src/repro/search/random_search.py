@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from repro.core.evaluator import EvaluationResult
 from repro.search.base import Proposal, SearchStrategy
 
@@ -26,8 +28,13 @@ class RandomSearch(SearchStrategy):
         return proposals
 
     def tell(
-        self, proposals: list[Proposal], results: list[EvaluationResult]
+        self,
+        proposals: list[Proposal],
+        results: list[EvaluationResult],
+        indices: Sequence[int] | None = None,
     ) -> None:
+        # No per-rollout state survives ask(), so a filtered subset
+        # (two-tier mode) needs no slicing here.
         for result in results:
             self.archive.record(result, phase="random")
 

@@ -81,6 +81,12 @@ class RepeatJob:
     strategy_factory: StrategyFactory
     evaluator_factory: EvaluatorFactory
     cache_scenario: str | None = None  # EvalCache namespace override
+    # Two-tier mode: maps the job's exact evaluator to a
+    # repro.search.two_tier.TwoTierFilter (surrogate-ranked proposal
+    # filtering); None runs the plain exact-only loop.  A factory, not
+    # a filter, because process-backend workers rebuild evaluators
+    # per fork and the filter must wrap *that* evaluator's twin.
+    two_tier_factory: Callable[[CodesignEvaluator], object] | None = None
 
 
 @dataclass
@@ -278,12 +284,18 @@ class GridRun:
             if self.ledger is not None
             else None
         )
+        two_tier = (
+            job.two_tier_factory(evaluator)
+            if job.two_tier_factory is not None
+            else None
+        )
         result = strategy.run(
             evaluator,
             self.num_steps,
             batch_size=self.batch_size,
             checkpoint=checkpoint,
             checkpoint_every=self.checkpoint_every,
+            two_tier=two_tier,
         )
         if self.ledger is not None:
             self.ledger.record_done(job.label, repeat, result)
@@ -540,6 +552,7 @@ def run_repeats(
     ledger: RunLedger | str | Path | None = None,
     checkpoint_every: int = 10,
     label: str | None = None,
+    two_tier_factory: Callable[[CodesignEvaluator], object] | None = None,
 ) -> RepeatOutcome:
     """Run ``num_repeats`` independent searches of one experiment.
 
@@ -574,7 +587,14 @@ def run_repeats(
             scenario_name = evaluator_factory().reward_fn.config.name
             label = f"{scenario_name}/{strategy_name}"
     outcomes = run_grid(
-        [RepeatJob(label, strategy_factory, evaluator_factory)],
+        [
+            RepeatJob(
+                label,
+                strategy_factory,
+                evaluator_factory,
+                two_tier_factory=two_tier_factory,
+            )
+        ],
         num_steps=num_steps,
         num_repeats=num_repeats,
         master_seed=master_seed,

@@ -19,6 +19,8 @@ the historic per-point loop.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.core.evaluator import CodesignEvaluator, EvaluationResult
@@ -143,17 +145,21 @@ class SeparateSearch(SearchStrategy):
         ]
 
     def tell(
-        self, proposals: list[Proposal], results: list[EvaluationResult]
+        self,
+        proposals: list[Proposal],
+        results: list[EvaluationResult],
+        indices: Sequence[int] | None = None,
     ) -> None:
         stage1 = proposals[0].phase == "cnn-only"
+        pending = self._pending if indices is None else self._pending.subset(indices)
         if stage1:
             self.cnn_trainer.update_batch(
-                self._pending, [self._accuracy_reward(r) for r in results]
+                pending, [self._accuracy_reward(r) for r in results]
             )
             self._cnn_left -= len(proposals)
         else:
             self.hw_trainer.update_batch(
-                self._pending, [r.reward.value for r in results]
+                pending, [r.reward.value for r in results]
             )
         self._pending = None
         for proposal, result in zip(proposals, results):

@@ -165,6 +165,7 @@ class ThresholdScheduleSearch(SearchStrategy):
         batch_size: int = 1,
         checkpoint: Checkpoint | None = None,
         checkpoint_every: int = 1,
+        two_tier=None,
     ) -> SearchResult:
         """Run the whole schedule (``num_steps`` caps the total if set).
 
@@ -184,6 +185,14 @@ class ThresholdScheduleSearch(SearchStrategy):
         Returns a result whose ``extras`` carry per-rung archives and
         top-10 lists (the rows Fig. 7 plots).
         """
+        if two_tier is not None:
+            # The rung loop re-arms the evaluator's reward per rung; a
+            # surrogate filter armed with one scenario would rank with
+            # stale thresholds, so refuse rather than filter wrongly.
+            raise ValueError(
+                "threshold-schedule drives its own rung loop and does not "
+                "support two-tier surrogate filtering"
+            )
         if batch_size < 1:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         if checkpoint_every < 1:

@@ -383,6 +383,74 @@ class TestHardwareCli:
         with pytest.raises(SystemExit):
             main(["hw", "show", "tpu-v9"])
 
+    def test_hw_list_includes_surrogate_twins(self, capsys):
+        from repro.cli import main
+
+        assert main(["hw", "list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "surrogate:dac2020" in out
+        assert "surrogate:embedded-lite" in out
+
+    def test_hw_show_set_reports_effective_space(self, capsys):
+        # The regression: show once printed the default-params space
+        # for parametric platforms; with --set it must report the
+        # budget-capped effective size.
+        from repro.cli import main
+
+        assert main(
+            ["hw", "show", "dac2020-scaled", "--set", "max_pixel_par=16"]
+        ) == 0
+        shown = json.loads(capsys.readouterr().out)
+        assert shown["config_space_size"] == 5184
+        assert max(shown["parameter_values"]["pixel_par"]) == 16
+
+    def test_hw_show_surrogate_includes_budget_report(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["hw", "show", "surrogate:embedded-lite"]) == 0
+        shown = json.loads(capsys.readouterr().out)
+        assert shown["name"] == "surrogate:embedded-lite"
+        assert shown["cache_namespace"].startswith("hw/surrogate:embedded-lite/m")
+        assert shown["error_budget"]["passed"] is True
+        assert "latency" in shown["error_report"]
+
+    def test_hw_validate_surrogate(self, capsys, tmp_path, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(
+            ["hw", "validate-surrogate", "embedded-lite", "--samples", "64"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["budget"]["passed"] is True
+        assert report["platform"] == "embedded-lite"
+
+    def test_hw_validate_surrogate_budget_failure_exits_nonzero(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.cli import main
+        from repro.hw import surrogate as surrogate_mod
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        impossible = {
+            metric: {
+                "mean_rel_error": 0.0,
+                "max_rel_error": 0.0,
+                "min_rank_corr": 1.1,
+            }
+            for metric in ("area", "latency")
+        }
+        monkeypatch.setattr(surrogate_mod, "DEFAULT_ERROR_BUDGET", impossible)
+        assert main(
+            ["hw", "validate-surrogate", "embedded-lite", "--samples", "64"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert json.loads(captured.out)["budget"]["passed"] is False
+        assert "budget" in captured.err
+
     def test_study_show_hardware_flag(self, capsys):
         from repro.cli import main
 

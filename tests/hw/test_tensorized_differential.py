@@ -687,8 +687,14 @@ class TestGoldenTensorSlices:
         return json.loads((DATA_DIR / "tensorized_goldens.json").read_text())
 
     def test_covers_every_registered_platform(self, goldens):
+        # surrogate:* platforms are derived from the pinned base models;
+        # their own drift guard is the artifact probe contract
+        # (tests/hw/test_hw_surrogate.py), not golden tensor slices.
         pinned = {entry["platform"] for entry in goldens.values()}
-        assert pinned == set(list_platforms())
+        exact = {
+            name for name in list_platforms() if not name.startswith("surrogate:")
+        }
+        assert pinned == exact
 
     def test_slices_match_goldens(self, goldens, resnet_ir):
         for label, entry in goldens.items():

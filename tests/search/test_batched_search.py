@@ -60,7 +60,7 @@ class TestDriver:
                 spec, config = self.search_space.decode(actions)
                 return [Proposal(spec=spec, config=config)]
 
-            def tell(self, proposals, results):
+            def tell(self, proposals, results, indices=None):
                 for r in results:
                     self.archive.record(r)
 
