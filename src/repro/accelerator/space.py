@@ -29,6 +29,12 @@ class AcceleratorSpace:
         default_factory=lambda: dict(PARAMETER_VALUES)
     )
 
+    #: The frozen config dataclass this space decodes into.  Subclasses
+    #: (e.g. the tiled-GEMM space) override it with their own config
+    #: type; it must accept one keyword per parameter name and expose
+    #: each as an attribute plus ``to_dict()``.
+    config_class = AcceleratorConfig
+
     def __post_init__(self) -> None:
         self._names = list(self.parameters)
         self._radices = [len(self.parameters[n]) for n in self._names]
@@ -38,12 +44,12 @@ class AcceleratorSpace:
             strides.append(stride)
             stride *= radix
         self._strides = strides
-        # Flat index -> the one AcceleratorConfig object for that point.
+        # Flat index -> the one config object for that point.
         # Interning makes repeat decodes of the same configuration
         # return the *same* (frozen, immutable) object, so downstream
         # identity-keyed memos — the tensorized evaluator's
         # config-to-index resolution — hit without rebuilding any key.
-        self._interned: dict[int, AcceleratorConfig] = {}
+        self._interned: dict[int, object] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -79,7 +85,7 @@ class AcceleratorSpace:
             for name, radix in zip(self._names, self._radices):
                 values[name] = self.parameters[name][remainder % radix]
                 remainder //= radix
-            config = AcceleratorConfig(**values)
+            config = self.config_class(**values)
             self._interned[index] = config
         return config
 
@@ -143,6 +149,23 @@ class AcceleratorSpace:
         index = np.arange(self.size)
         out: dict[str, np.ndarray] = {}
         remainder = index
+        for name, radix in zip(self._names, self._radices):
+            values = np.asarray(self.parameters[name])
+            out[name] = values[remainder % radix]
+            remainder = remainder // radix
+        return out
+
+    def columns_at(self, indices) -> dict[str, np.ndarray]:
+        """Column views at the given flat indices only.
+
+        Value- and dtype-identical to ``{k: v[indices] for k, v in
+        columns().items()}`` without materializing the full space —
+        the decode that keeps surrogate fits affordable on spaces too
+        large to enumerate.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        out: dict[str, np.ndarray] = {}
+        remainder = indices
         for name, radix in zip(self._names, self._radices):
             values = np.asarray(self.parameters[name])
             out[name] = values[remainder % radix]

@@ -20,6 +20,9 @@ Usage::
     python -m repro study run examples/study_fig5.json --set execution.num_steps=5
     python -m repro hw list
     python -m repro hw show dac2020-scaled
+    python -m repro workload list
+    python -m repro workload show transformer
+    python -m repro study run bert-u50 --surrogate --exact-fraction 0.1
     python -m repro run fig5 --hardware embedded-lite
     python -m repro study run smoke --hardware dac2020-scaled --set 'hardware.params.clock_mhz=300'
     python -m repro study run hw-sweep
@@ -33,7 +36,10 @@ Usage::
 (:mod:`repro.core.study`): ``show`` prints a preset (or spec file) as
 JSON, ``run`` materializes it through the strategy / accuracy-source /
 hardware-platform registries and runs the grid.  ``repro hw`` inspects
-the hardware-platform registry (:mod:`repro.hw`); ``--hardware NAME``
+the hardware-platform registry (:mod:`repro.hw`); ``repro workload``
+inspects the workload registry (:mod:`repro.workloads`) and
+``--workload NAME`` swaps a spec's model family the same way
+``--hardware`` swaps its platform.  ``--hardware NAME``
 swaps the platform the search-study experiments (and fig7) evaluate
 on — evaluations from different platforms never share cache rows.  ``--set path=value`` overrides single
 spec fields (dotted paths into the JSON structure, values parsed as
@@ -303,6 +309,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="RNG seed of the held-out sample (default: 1; disjoint "
         "stream from the fit regardless of value)",
     )
+    workload = sub.add_parser(
+        "workload",
+        help="workload registry: list registered workloads or show one "
+        "workload's encoding, accuracy sources, and compatible "
+        "platforms (see repro.workloads)",
+    )
+    workload_sub = workload.add_subparsers(dest="workload_command", required=True)
+    workload_sub.add_parser("list", help="list registered workloads")
+    workload_show = workload_sub.add_parser(
+        "show", help="print one workload's description as JSON"
+    )
+    workload_show.add_argument(
+        "workload",
+        metavar="WORKLOAD",
+        help="a registered workload name (see 'repro workload list')",
+    )
     study = sub.add_parser(
         "study",
         help="declarative experiments: run/show StudySpec presets or "
@@ -365,6 +387,15 @@ def _add_spec_arguments(sp: argparse.ArgumentParser) -> None:
         help="replace the spec's hardware field with this registered "
         "platform (shorthand for overriding 'hardware'; applied "
         "before --set, so --set hardware.params.X=... can refine it)",
+    )
+    sp.add_argument(
+        "--workload",
+        default=None,
+        metavar="WORKLOAD",
+        help="replace the spec's workload field with this registered "
+        "workload (shorthand for --set workload=NAME, applied before "
+        "--set; the spec's accuracy source and platforms must be "
+        "compatible — see 'repro workload list')",
     )
     sp.add_argument(
         "--tensorize",
@@ -694,8 +725,20 @@ def _main_hw(args, parser: argparse.ArgumentParser) -> int:
     import json
 
     if args.hw_command == "list":
+        from repro.hw.tensorized import TENSORIZE_MAX_CONFIGS
+
+        sizes: dict[str, int] = {}
         for name in list_platforms():
-            print(name)
+            base = name.removeprefix("surrogate:")
+            if base not in sizes:
+                sizes[base] = build_platform(base).config_space().size
+            size = sizes[base]
+            note = (
+                f"size={size}"
+                if size <= TENSORIZE_MAX_CONFIGS
+                else f"size={_sci(size)}, not enumerable"
+            )
+            print(f"{name:<24} {note}")
         return 0
     if args.hw_command == "validate-surrogate":
         from repro.hw import validate_surrogate
@@ -731,12 +774,37 @@ def _main_hw(args, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+def _sci(size: int) -> str:
+    """Compact scientific size token, e.g. 393216 -> '3.9e5'."""
+    exponent = len(str(size)) - 1
+    return f"{size / 10 ** exponent:.1f}e{exponent}"
+
+
+def _main_workload(args, parser: argparse.ArgumentParser) -> int:
+    import json
+
+    from repro.workloads import WorkloadError, get_workload, list_workloads
+
+    if args.workload_command == "list":
+        for name in list_workloads():
+            print(name)
+        return 0
+    try:
+        workload = get_workload(args.workload)
+    except WorkloadError as err:
+        parser.error(str(err))
+    print(json.dumps(workload.describe(), indent=2))
+    return 0
+
+
 def _resolve_cli_spec(args, parser: argparse.ArgumentParser):
     """Resolve PRESET|SPEC.json + --hardware/--tensorize/--set to a spec."""
     try:
         spec = resolve_spec(args.spec)
         if args.hardware is not None:
             spec = spec.with_overrides({"hardware": {"name": args.hardware}})
+        if args.workload is not None:
+            spec = spec.with_overrides({"workload": args.workload})
         if args.tensorize:
             spec = spec.with_overrides({"execution.tensorize": True})
         if args.exact_fraction is not None and not args.surrogate:
@@ -908,6 +976,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "hw":
         return _main_hw(args, parser)
+    if args.command == "workload":
+        return _main_workload(args, parser)
     if args.command == "study":
         return _main_study(args, parser)
     if args.command == "serve":

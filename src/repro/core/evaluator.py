@@ -119,6 +119,11 @@ class CodesignEvaluator:
         self.accuracy_fn = accuracy_fn
         self.reward_fn = RewardFunction(reward_config)
         self.skeleton = skeleton
+        # Spec -> IR lowering.  The default compiles NASBench cells
+        # onto the CNN skeleton; workload recipes (repro.workloads)
+        # install their own — e.g. the transformer workload's GEMM
+        # lowering.  Same (spec, skeleton) signature either way.
+        self.compile_fn = compile_cell_ops
         self._area_cache: LRUCache = LRUCache(cache_capacity)
         self._latency_cache: LRUCache = LRUCache(cache_capacity)
         self._accuracy_cache: dict[str, float | None] = {}
@@ -304,7 +309,7 @@ class CodesignEvaluator:
                 return float(latency_ms[row, space.index_of(config)]) / 1e3
         key = (spec_hash, config_key(config))
         if key not in self._latency_cache:
-            ir = compile_cell_ops(spec, self.skeleton)
+            ir = self.compile_fn(spec, self.skeleton)
             self._latency_cache[key] = self.platform.network_latency_s(ir, config)
         return self._latency_cache[key]
 
@@ -511,7 +516,7 @@ class CodesignEvaluator:
         if latency is None:
             latency = float(
                 tensor.latency_row(
-                    spec_hash, lambda: compile_cell_ops(spec, self.skeleton)
+                    spec_hash, lambda: self.compile_fn(spec, self.skeleton)
                 )[index]
             )
         return Metrics(
@@ -581,7 +586,7 @@ class CodesignEvaluator:
                 return float(latency_ms[row, col]) / 1e3
         key = (spec_hash, ckey)
         if key not in self._latency_cache:
-            ir = compile_cell_ops(spec, self.skeleton)
+            ir = self.compile_fn(spec, self.skeleton)
             self._latency_cache[key] = self.platform.network_latency_s(ir, config)
         return self._latency_cache[key]
 
@@ -596,6 +601,7 @@ class CodesignEvaluator:
         clone.accuracy_fn = self.accuracy_fn
         clone.reward_fn = RewardFunction(reward_config)
         clone.skeleton = self.skeleton
+        clone.compile_fn = self.compile_fn
         clone.platform = self.platform
         clone._area_cache = self._area_cache
         clone._latency_cache = self._latency_cache
@@ -637,6 +643,7 @@ class CodesignEvaluator:
         clone.accuracy_fn = self.accuracy_fn
         clone.reward_fn = RewardFunction(self.reward_fn.config)
         clone.skeleton = self.skeleton
+        clone.compile_fn = self.compile_fn
         clone.platform = platform
         clone._area_cache = LRUCache(self._cache_capacity)
         clone._latency_cache = LRUCache(self._cache_capacity)

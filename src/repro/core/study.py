@@ -426,7 +426,14 @@ def _scenario_key(entry) -> str:
 
 @dataclass(frozen=True)
 class StudySpec:
-    """A complete, serializable experiment-grid definition."""
+    """A complete, serializable experiment-grid definition.
+
+    ``workload`` names the model family being searched
+    (:mod:`repro.workloads`); it defaults to the reference
+    ``cnn-cell`` recipe and is omitted from serialized dicts at that
+    default, so every pre-workload spec — including ledger-pinned
+    ones — stays byte-identical and resumable.
+    """
 
     name: str
     strategies: tuple = ()
@@ -434,11 +441,16 @@ class StudySpec:
     evaluator: EvaluatorSpec = field(default_factory=EvaluatorSpec)
     hardware: tuple = ()
     execution: ExecutionSpec = field(default_factory=ExecutionSpec)
+    workload: str = "cnn-cell"
 
     def __post_init__(self) -> None:
         _require(
             isinstance(self.name, str) and bool(self.name),
             "study spec needs a non-empty string 'name'",
+        )
+        _require(
+            isinstance(self.workload, str) and bool(self.workload),
+            f"study {self.name!r}: 'workload' must be a non-empty string",
         )
         strategies = tuple(
             s if isinstance(s, StrategySpec) else StrategySpec.from_dict(s)
@@ -547,6 +559,11 @@ class StudySpec:
             # ledgers pinned before this field existed — stay
             # byte-identical and remain resumable.
             del out["hardware"]
+        if self.workload != "cnn-cell":
+            # Same omission contract as 'hardware': the reference
+            # workload serializes to nothing, keeping pre-workload spec
+            # dicts byte-identical.
+            out["workload"] = self.workload
         return out
 
     @classmethod
@@ -554,7 +571,7 @@ class StudySpec:
         _check_fields(
             data,
             {"name", "strategies", "scenarios", "evaluator", "hardware",
-             "execution"},
+             "execution", "workload"},
             "study spec",
         )
         strategies = data.get("strategies")
@@ -574,6 +591,7 @@ class StudySpec:
             evaluator=data.get("evaluator") or EvaluatorSpec(),
             hardware=data.get("hardware") or (),
             execution=data.get("execution") or ExecutionSpec(),
+            workload=data.get("workload", "cnn-cell"),
         )
         if validate:
             spec.validate()
@@ -609,14 +627,16 @@ class StudySpec:
         Checks strategy names and parameter names
         (:mod:`repro.search.registry`), scenario names / inline specs
         (:mod:`repro.core.scenarios`), the accuracy source + params
-        (:mod:`repro.core.evaluator`), and the hardware platform(s) +
-        params (:mod:`repro.hw` — platforms are cheap to construct, so
-        params are validated by building).  Returns ``self`` so call
-        sites can chain.
+        (:mod:`repro.core.evaluator`), the workload and its
+        source/platform compatibility (:mod:`repro.workloads`), and
+        the hardware platform(s) + params (:mod:`repro.hw` — platforms
+        are cheap to construct, so params are validated by building).
+        Returns ``self`` so call sites can chain.
         """
         from repro.core.evaluator import AccuracySourceError, get_accuracy_source
         from repro.hw import HardwarePlatformError, build_platform
         from repro.search.registry import StrategyError, validate_strategy_params
+        from repro.workloads import WorkloadError, get_workload
 
         for strategy in self.strategies:
             try:
@@ -635,6 +655,28 @@ class StudySpec:
             get_accuracy_source(self.evaluator.source)
         except AccuracySourceError as err:
             raise StudyError(f"study {self.name!r}: {err}") from None
+        try:
+            workload = get_workload(self.workload)
+        except WorkloadError as err:
+            raise StudyError(f"study {self.name!r}: {err}") from None
+        # The reference workload keeps the open pre-workload contract
+        # (any source, any platform — archived studies must keep
+        # validating); named workloads pin their compatible recipes.
+        if not workload.is_reference:
+            if self.evaluator.source not in workload.accuracy_sources:
+                raise StudyError(
+                    f"study {self.name!r}: workload {workload.name!r} cannot "
+                    f"score specs with accuracy source "
+                    f"{self.evaluator.source!r}; compatible: "
+                    f"{sorted(workload.accuracy_sources)}"
+                )
+            for hw in self.hardware:
+                if not workload.supports_platform(hw.name):
+                    raise StudyError(
+                        f"study {self.name!r}: platform {hw.name!r} cannot "
+                        f"schedule workload {workload.name!r} IRs; "
+                        f"compatible: {sorted(workload.platforms)}"
+                    )
         for hw in self.hardware:
             try:
                 build_platform(hw.name, hw.params)
@@ -658,6 +700,7 @@ class StudySpec:
         # tensorize toggles when at their defaults (ledger byte-compat);
         # overrides still address them by path.
         data.setdefault("hardware", self._hardware_dict())
+        data.setdefault("workload", self.workload)
         data["execution"].setdefault("tensorize", self.execution.tensorize)
         data["execution"].setdefault("backend_params", dict(self.execution.backend_params))
         data["execution"].setdefault("surrogate", self.execution.surrogate)
@@ -824,8 +867,10 @@ def build_study(spec: StudySpec, bundle=None, scale=None, store=None) -> Study:
     from repro.search.registry import build_strategy
     from repro.search.runner import RepeatJob
     from repro.search.two_tier import TwoTierFilter
+    from repro.workloads import get_workload
 
     spec.validate()
+    workload = get_workload(spec.workload)
     source = get_accuracy_source(spec.evaluator.source)
     if source.requires_bundle and bundle is None:
         from repro.experiments.common import load_bundle
@@ -894,13 +939,13 @@ def build_study(spec: StudySpec, bundle=None, scale=None, store=None) -> Study:
     jobs: list[RepeatJob] = []
     job_meta: dict[str, tuple[str, str]] = {}
     for hw_label, platform in platforms.items():
+        # The workload supplies the model half of the joint space (the
+        # reference recipe reproduces the historic behaviour exactly:
+        # the bundle's encoding when one is loaded, the full cell
+        # space otherwise).
         search_space = JointSearchSpace(
+            cell_encoding=workload.encoding(bundle),
             accelerator_space=platform.config_space(),
-            **(
-                {"cell_encoding": bundle.cell_encoding}
-                if bundle is not None
-                else {}
-            ),
         )
         for scenario_key, scenario in scenario_configs.items():
             outcome_key = (
@@ -926,6 +971,10 @@ def build_study(spec: StudySpec, bundle=None, scale=None, store=None) -> Study:
                 platform=platform,
                 tensorize=tensorize_flags[hw_label],
             )
+            # The workload's lowering feeds every latency query (the
+            # reference workload's is compile_cell_ops — the
+            # evaluator's own default, so nothing moves for cnn-cell).
+            evaluator.compile_fn = workload.compile
             for strategy in spec.strategies:
                 label = f"{outcome_key}/{strategy.effective_label}"
                 job_meta[label] = (outcome_key, strategy.effective_label)

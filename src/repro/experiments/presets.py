@@ -186,6 +186,32 @@ def _hw_sweep() -> StudySpec:
     )
 
 
+@register_preset("bert-u50")
+def _bert_u50() -> StudySpec:
+    """Transformer x charm-u50 codesign: surrogates past enumerability.
+
+    The ``transformer`` workload's five-token encoder family searched
+    jointly with the ``charm-u50`` tiled-GEMM accelerator — 393,216
+    hardware configurations, well past the tensorized fast path's
+    enumeration ceiling, so ``execution.surrogate`` arms the two-tier
+    mode by default: a sampled-fit surrogate twin ranks inflated
+    proposal batches and only the top ``exact_fraction`` reaches the
+    exact analytical models (and the archive).
+    """
+    return StudySpec(
+        name="bert-u50",
+        strategies=(
+            {"name": "random"},
+            {"name": "evolution", "params": {"population_size": 4, "tournament_size": 2}},
+        ),
+        scenarios=("unconstrained",),
+        evaluator={"source": "transformer-analytic"},
+        hardware=({"name": "charm-u50"},),
+        workload="transformer",
+        execution={"surrogate": True, "exact_fraction": 0.25},
+    )
+
+
 @register_preset("smoke")
 def _smoke() -> StudySpec:
     """Five-step registry exerciser: the CI drift guard for the spec path.

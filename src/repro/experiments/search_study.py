@@ -129,6 +129,7 @@ def legacy_study_spec(
     checkpoint_every: int = 10,
     name: str = "search-study",
     hardware: str | dict | list | None = None,
+    workload: str = "cnn-cell",
     tensorize: bool = False,
     surrogate: bool = False,
     exact_fraction: float = 0.25,
@@ -146,7 +147,9 @@ def legacy_study_spec(
     :mod:`repro.search.registry` are registered on the fly.
     ``hardware`` (a platform name, hardware-spec mapping, or a list of
     them — see :mod:`repro.hw`) selects the hardware backend(s);
-    ``None`` keeps the reference ``dac2020``.  ``tensorize`` arms the
+    ``None`` keeps the reference ``dac2020``.  ``workload`` names a
+    registered workload recipe (default the reference ``cnn-cell`` —
+    see :mod:`repro.workloads`).  ``tensorize`` arms the
     full-space tensorized evaluation fast path (see
     :mod:`repro.hw.tensorized`).  ``backend`` is an execution-backend
     registry name (``serial`` / ``process`` / ``cluster`` or a plugin
@@ -188,6 +191,7 @@ def legacy_study_spec(
         scenarios=scenario_entries,
         evaluator={"source": "database"},
         hardware=() if hardware is None else hardware,
+        workload=workload,
         execution={
             "num_steps": scale.search_steps,
             "num_repeats": scale.num_repeats,
@@ -217,6 +221,7 @@ def _run_search_study(
     checkpoint_every: int = 10,
     name: str = "search-study",
     hardware: str | dict | list | None = None,
+    workload: str = "cnn-cell",
     tensorize: bool = False,
     surrogate: bool = False,
     exact_fraction: float = 0.25,
@@ -243,6 +248,7 @@ def _run_search_study(
         checkpoint_every=checkpoint_every,
         name=name,
         hardware=hardware,
+        workload=workload,
         tensorize=tensorize,
         surrogate=surrogate,
         exact_fraction=exact_fraction,

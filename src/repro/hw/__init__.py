@@ -19,6 +19,11 @@ from repro.hw.platform import (
     platform_from_spec,
     register_platform,
 )
+
+# charm must register before the surrogate module enumerates the
+# registry to create its import-time `surrogate:<name>` twins.
+from repro.hw.charm import CharmConfig, CharmSpace, CharmU50Platform
+from repro.hw.gemm import GemmIR, GemmOp, transformer_gemm_ir
 from repro.hw.surrogate import (
     DEFAULT_ERROR_BUDGET,
     SURROGATE_PREFIX,
@@ -40,7 +45,12 @@ from repro.hw.tensorized import (
 __all__ = [
     "DEFAULT_ERROR_BUDGET",
     "DEFAULT_PLATFORM_NAME",
+    "CharmConfig",
+    "CharmSpace",
+    "CharmU50Platform",
     "Dac2020Platform",
+    "GemmIR",
+    "GemmOp",
     "HardwarePlatform",
     "HardwarePlatformError",
     "PlatformEntry",
@@ -61,5 +71,6 @@ __all__ = [
     "register_surrogate_platforms",
     "surrogate_model_for",
     "tensorized_space",
+    "transformer_gemm_ir",
     "validate_surrogate",
 ]

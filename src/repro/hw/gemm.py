@@ -1,0 +1,199 @@
+"""GEMM-sequence workload IR for tiled-matmul accelerators.
+
+A :class:`GemmIR` is the transformer analogue of
+:class:`repro.nasbench.compile.NetworkIR`: a flat sequence of
+``(M, K, N)`` matrix multiplies with the same duck-typed op surface the
+hardware latency models consume (``macs``, ``input_bytes``,
+``weight_bytes``, ``output_bytes``, ``signature()``).  Tiled-GEMM
+platforms additionally read ``gemm_dims`` to compute tile utilisation;
+CNN ops do not expose it, so those platforms fall back to a
+``(spatial, in_channels, out_channels)`` view.
+
+This module is a *leaf*: it imports nothing from ``repro.hw`` or
+``repro.core``, so both the ``charm-u50`` platform and the
+``transformer`` workload can depend on it without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "GemmOp",
+    "GemmIR",
+    "TRANSFORMER_PARAMETER_VALUES",
+    "transformer_gemm_ir",
+    "canonical_transformer_irs",
+    "random_transformer_params",
+    "random_transformer_irs",
+]
+
+
+#: Token domains for the parametric transformer family.  One controller
+#: token per entry, in this order (the model half of the ``bert-u50``
+#: joint space).  ``hidden % heads == 0`` is the validity rule.
+TRANSFORMER_PARAMETER_VALUES: dict[str, tuple] = {
+    "depth": (2, 4, 6, 8, 12),
+    "heads": (2, 4, 8, 12, 16),
+    "hidden": (128, 192, 256, 384, 512, 768),
+    "ffn_ratio": (2, 3, 4),
+    "seq_len": (64, 128, 256, 384, 512),
+}
+
+
+@dataclass(frozen=True)
+class GemmOp:
+    """One ``count``-fold repeated ``(m, k, n)`` matrix multiply.
+
+    ``count`` folds per-head attention GEMMs into one op (``count`` =
+    number of heads) so the IR stays short while head count still
+    shapes tile utilisation through the per-instance dims.  Byte
+    counts follow the CNN IR's 8-bit convention; ``has_weights`` is
+    False for activation x activation products (attention scores and
+    score x value), whose ``k x n`` operand streams from memory as an
+    activation, not a resident weight tile.
+    """
+
+    index: int
+    name: str
+    m: int
+    k: int
+    n: int
+    count: int = 1
+    has_weights: bool = True
+    kind: str = "gemm"
+
+    @property
+    def macs(self) -> int:
+        return self.count * self.m * self.k * self.n
+
+    @property
+    def work(self) -> int:
+        return self.macs
+
+    @property
+    def params(self) -> int:
+        return self.k * self.n if self.has_weights else 0
+
+    @property
+    def input_bytes(self) -> int:
+        return self.count * self.m * self.k
+
+    @property
+    def weight_bytes(self) -> int:
+        if self.has_weights:
+            return self.k * self.n
+        return self.count * self.k * self.n
+
+    @property
+    def output_bytes(self) -> int:
+        return self.count * self.m * self.n
+
+    @property
+    def gemm_dims(self) -> tuple[int, int, int]:
+        """Per-instance ``(m, k, n)`` — what a tiled engine schedules."""
+        return (self.m, self.k, self.n)
+
+    def signature(self) -> tuple:
+        return (self.kind, self.m, self.k, self.n, self.count, self.has_weights)
+
+
+@dataclass
+class GemmIR:
+    """A compiled GEMM workload: an ordered list of :class:`GemmOp`."""
+
+    ops: list[GemmOp] = field(default_factory=list)
+
+    def add(self, name: str, m: int, k: int, n: int, *,
+            count: int = 1, has_weights: bool = True) -> int:
+        index = len(self.ops)
+        self.ops.append(GemmOp(index, name, m, k, n,
+                               count=count, has_weights=has_weights))
+        return index
+
+    @property
+    def total_macs(self) -> int:
+        return sum(op.macs for op in self.ops)
+
+    @property
+    def total_params(self) -> int:
+        return sum(op.params for op in self.ops)
+
+    def count_kinds(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for op in self.ops:
+            counts[op.kind] = counts.get(op.kind, 0) + 1
+        return counts
+
+    def unique_signatures(self) -> list[tuple]:
+        seen: dict[tuple, None] = {}
+        for op in self.ops:
+            seen.setdefault(op.signature(), None)
+        return list(seen)
+
+    def validate(self) -> None:
+        for op in self.ops:
+            if op.index >= len(self.ops) or self.ops[op.index] is not op:
+                raise AssertionError("op index out of sync")
+            if min(op.m, op.k, op.n, op.count) <= 0:
+                raise AssertionError(f"op {op.index} has non-positive dims")
+
+
+def transformer_gemm_ir(depth: int, heads: int, hidden: int,
+                        ffn_ratio: int, seq_len: int) -> GemmIR:
+    """Lower an encoder stack into its GEMM sequence.
+
+    Six GEMMs per layer (QKV, scores, score x V, output projection,
+    two FFN matmuls); attention products are per-head ops with
+    ``count=heads`` so head width shows up in tile utilisation.
+    """
+    if hidden % heads != 0:
+        raise ValueError(
+            f"hidden ({hidden}) must be divisible by heads ({heads})"
+        )
+    head_dim = hidden // heads
+    ir = GemmIR()
+    for layer in range(depth):
+        prefix = f"layer{layer}"
+        ir.add(f"{prefix}/qkv", seq_len, hidden, 3 * hidden)
+        ir.add(f"{prefix}/scores", seq_len, head_dim, seq_len,
+               count=heads, has_weights=False)
+        ir.add(f"{prefix}/attn-v", seq_len, seq_len, head_dim,
+               count=heads, has_weights=False)
+        ir.add(f"{prefix}/proj", seq_len, hidden, hidden)
+        ir.add(f"{prefix}/ffn1", seq_len, hidden, ffn_ratio * hidden)
+        ir.add(f"{prefix}/ffn2", seq_len, ffn_ratio * hidden, hidden)
+    ir.validate()
+    return ir
+
+
+#: Named reference points used for surrogate training/probing — the
+#: GEMM analogue of the canonical NAS-Bench cells.
+CANONICAL_TRANSFORMERS: tuple[tuple[str, dict], ...] = (
+    ("bert-tiny", dict(depth=2, heads=2, hidden=128, ffn_ratio=4, seq_len=128)),
+    ("bert-mini", dict(depth=4, heads=4, hidden=256, ffn_ratio=4, seq_len=128)),
+    ("bert-small", dict(depth=4, heads=8, hidden=512, ffn_ratio=4, seq_len=256)),
+    ("bert-base", dict(depth=12, heads=12, hidden=768, ffn_ratio=4, seq_len=384)),
+)
+
+
+def canonical_transformer_irs() -> list[GemmIR]:
+    return [transformer_gemm_ir(**params) for _, params in CANONICAL_TRANSFORMERS]
+
+
+def random_transformer_params(rng: np.random.Generator) -> dict:
+    """One valid (``hidden % heads == 0``) draw from the token domains."""
+    while True:
+        params = {
+            name: values[int(rng.integers(0, len(values)))]
+            for name, values in TRANSFORMER_PARAMETER_VALUES.items()
+        }
+        if params["hidden"] % params["heads"] == 0:
+            return params
+
+
+def random_transformer_irs(rng: np.random.Generator, count: int) -> list[GemmIR]:
+    return [transformer_gemm_ir(**random_transformer_params(rng))
+            for _ in range(count)]

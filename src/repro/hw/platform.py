@@ -154,13 +154,23 @@ class HardwarePlatform:
         return {"name": self.name, "params": dict(self.params)}
 
     def describe(self) -> dict:
-        """Human-oriented summary for ``repro hw show``."""
+        """Human-oriented summary for ``repro hw show``.
+
+        ``config_space_size`` is a pure product of parameter-domain
+        lengths — never an enumeration — so describing a
+        non-enumerable platform is cheap; ``enumerable`` says whether
+        the tensorized fast path could hold the full space (spaces
+        past the cap are searched via sampled-fit surrogates instead).
+        """
+        from repro.hw.tensorized import TENSORIZE_MAX_CONFIGS
+
         space = self.config_space()
         return {
             "name": self.name,
             "params": dict(self.params),
             "cache_namespace": self.cache_namespace(),
             "config_space_size": space.size,
+            "enumerable": space.size <= TENSORIZE_MAX_CONFIGS,
             "parameter_values": {
                 key: list(values) for key, values in space.parameters.items()
             },

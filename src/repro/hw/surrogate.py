@@ -487,18 +487,111 @@ def _training_irs(
 
 
 # ---------------------------------------------------------------------------
+# Per-platform dispatch
+# ---------------------------------------------------------------------------
+# A platform whose cost structure the CNN-cell featurization cannot
+# express (e.g. the tiled-GEMM charm-u50) supplies its own feature
+# extractors and training workloads as optional methods; everything
+# else falls through to the module-level CNN defaults, keeping the
+# dac2020-family fits bit-identical to their pre-hook artifacts.
+
+def _platform_config_features(
+    platform: HardwarePlatform, cols: dict[str, np.ndarray]
+) -> np.ndarray:
+    hook = getattr(platform, "surrogate_config_features", None)
+    return hook(cols) if hook is not None else config_features(cols)
+
+
+def _platform_latency_features(
+    platform: HardwarePlatform, ir, cols: dict[str, np.ndarray]
+) -> np.ndarray:
+    hook = getattr(platform, "surrogate_latency_features", None)
+    return hook(ir, cols) if hook is not None else latency_features(ir, cols)
+
+
+def _platform_training_irs(
+    platform: HardwarePlatform, skeleton: SkeletonConfig, seed: int
+) -> list:
+    hook = getattr(platform, "surrogate_training_irs", None)
+    return hook(skeleton, seed) if hook is not None else _training_irs(skeleton, seed)
+
+
+def _platform_probe_ir(platform: HardwarePlatform, skeleton: SkeletonConfig):
+    hook = getattr(platform, "surrogate_probe_ir", None)
+    if hook is not None:
+        return hook(skeleton)
+    return compile_cell_ops(_canonical_specs()[0], skeleton)
+
+
+def _platform_validation_irs(
+    platform: HardwarePlatform,
+    rng: np.random.Generator,
+    count: int,
+    skeleton: SkeletonConfig,
+) -> list:
+    hook = getattr(platform, "surrogate_validation_irs", None)
+    if hook is not None:
+        return hook(rng, count)
+    return [compile_cell_ops(spec, skeleton) for spec in _random_specs(rng, count)]
+
+
+# ---------------------------------------------------------------------------
 # Fitting + the artifact
 # ---------------------------------------------------------------------------
 
-def _sample_indices(size: int, n_samples: int, rng: np.random.Generator) -> np.ndarray:
+def _sample_indices(
+    size: int,
+    n_samples: int,
+    rng: np.random.Generator,
+    platform: HardwarePlatform | None = None,
+    space: AcceleratorSpace | None = None,
+) -> tuple[np.ndarray, str]:
+    """Seeded flat-index sample, rejection-topped-up to valid configs.
+
+    Returns ``(indices, mode)`` where mode is ``"enumerated"`` (space
+    small enough to take whole), ``"choice"`` (plain without-replacement
+    sample — every drawn config valid), or ``"rejection"`` (invalid
+    draws were replaced by fresh valid ones).  The first draw consumes
+    the RNG stream exactly as the pre-sampling implementation did, so
+    fits on all-valid platforms are bit-identical to their historical
+    artifacts.
+    """
     if size <= n_samples:
-        return np.arange(size)
-    return np.sort(rng.choice(size, size=n_samples, replace=False))
+        return np.arange(size), "enumerated"
+    draw = np.sort(rng.choice(size, size=n_samples, replace=False))
+    if platform is None or space is None:
+        return draw, "choice"
+    valid = np.asarray(
+        platform.batch_config_valid(space.columns_at(draw)), dtype=bool
+    )
+    if valid.all():
+        return draw, "choice"
+    kept = set(int(i) for i in draw[valid])
+    needed = n_samples - len(kept)
+    for _ in range(64):
+        if needed <= 0:
+            break
+        chunk = rng.integers(0, size, size=max(4 * needed, 256))
+        chunk_valid = np.asarray(
+            platform.batch_config_valid(space.columns_at(chunk)), dtype=bool
+        )
+        for index in chunk[chunk_valid].tolist():
+            if index not in kept:
+                kept.add(int(index))
+                needed -= 1
+                if needed == 0:
+                    break
+    if needed > 0:
+        raise HardwarePlatformError(
+            f"platform {platform.name!r}: could not rejection-sample "
+            f"{n_samples} valid configurations (space size {size}; the "
+            "valid fraction appears to be vanishingly small)"
+        )
+    return np.sort(np.fromiter(kept, dtype=np.int64, count=len(kept))), "rejection"
 
 
 def _columns_at(space: AcceleratorSpace, indices: np.ndarray) -> dict[str, np.ndarray]:
-    cols = space.columns()
-    return {name: values[indices] for name, values in cols.items()}
+    return space.columns_at(indices)
 
 
 def _error_report(exact: np.ndarray, predicted: np.ndarray) -> dict:
@@ -555,9 +648,14 @@ class SurrogateModel:
     latency: RegressorStack
     report: dict
     probes: dict
+    #: Present only when the fit rejection-sampled around invalid
+    #: configurations (``{"mode": "rejection", "n_drawn": ...}``);
+    #: omitted from the serialized form otherwise so every historical
+    #: all-valid fit keeps its digest byte for byte.
+    sampling: dict | None = None
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "format": 1,
             "base_name": self.base_name,
             "base_namespace": self.base_namespace,
@@ -573,6 +671,9 @@ class SurrogateModel:
             "report": self.report,
             "probes": self.probes,
         }
+        if self.sampling:
+            out["sampling"] = dict(self.sampling)
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "SurrogateModel":
@@ -588,6 +689,7 @@ class SurrogateModel:
             latency=RegressorStack.from_dict(data["models"]["latency"]),
             report=dict(data["report"]),
             probes=dict(data["probes"]),
+            sampling=data.get("sampling"),
         )
 
     @property
@@ -636,7 +738,7 @@ def _probe_values(
     step = max(1, size // _NUM_PROBES)
     indices = np.arange(0, size, step)[:_NUM_PROBES]
     cols = _columns_at(space, indices)
-    probe_ir = compile_cell_ops(_canonical_specs()[0], skeleton)
+    probe_ir = _platform_probe_ir(platform, skeleton)
     return {
         "indices": [int(i) for i in indices],
         "area_mm2": np.asarray(
@@ -687,7 +789,9 @@ def fit_surrogate(
         )
     space = platform.config_space()
     rng = make_rng(hash_seed("hw-surrogate", platform.cache_namespace(), n_samples, seed))
-    indices = _sample_indices(space.size, n_samples, rng)
+    indices, mode = _sample_indices(
+        space.size, n_samples, rng, platform=platform, space=space
+    )
     cols = _columns_at(space, indices)
     n = len(indices)
     holdout = np.zeros(n, dtype=bool)
@@ -695,19 +799,19 @@ def fit_surrogate(
 
     # --- area: config-only -------------------------------------------------
     area_exact = np.asarray(platform.batch_area_mm2(cols), dtype=np.float64)
-    X_area = config_features(cols)
+    X_area = _platform_config_features(platform, cols)
     area_stack = RegressorStack.fit(X_area[~holdout], area_exact[~holdout])
     area_report = _error_report(
         area_exact[holdout], area_stack.predict(X_area[holdout])
     )
 
-    # --- latency: joint (cell, config) ------------------------------------
-    irs = _training_irs(skeleton, seed)
-    holdout_ir = irs[-1]  # an entire cell the fit never sees
+    # --- latency: joint (workload, config) --------------------------------
+    irs = _platform_training_irs(platform, skeleton, seed)
+    holdout_ir = irs[-1]  # an entire workload the fit never sees
     train_irs = irs[:-1]
     X_parts, y_parts = [], []
     for ir in train_irs:
-        X_parts.append(latency_features(ir, cols)[~holdout])
+        X_parts.append(_platform_latency_features(platform, ir, cols)[~holdout])
         y_parts.append(
             np.asarray(
                 platform.batch_network_latency_s(ir, cols), dtype=np.float64
@@ -716,7 +820,7 @@ def fit_surrogate(
     latency_stack = RegressorStack.fit(
         np.vstack(X_parts), np.concatenate(y_parts), rounds=400
     )
-    X_hold = latency_features(holdout_ir, cols)[holdout]
+    X_hold = _platform_latency_features(platform, holdout_ir, cols)[holdout]
     y_hold = np.asarray(
         platform.batch_network_latency_s(holdout_ir, cols), dtype=np.float64
     )[holdout]
@@ -734,6 +838,9 @@ def fit_surrogate(
         latency=latency_stack,
         report={"area": area_report, "latency": latency_report},
         probes=_probe_values(platform, space, skeleton),
+        sampling=(
+            {"mode": mode, "n_drawn": int(n)} if mode == "rejection" else None
+        ),
     )
 
 
@@ -749,11 +856,17 @@ def _artifact_path(
     skeleton: SkeletonConfig,
     n_samples: int,
     seed: int,
+    space_size: int,
 ) -> Path:
     digest = hashlib.md5(base_namespace.encode()).hexdigest()[:10]
+    # The sampling mode is part of the key: a fit sampled from a big
+    # space must never warm-load as (or clobber) a full-space
+    # enumeration fit, even if the platform's space later shrinks or
+    # grows across the n_samples threshold.
+    mode = "full" if space_size <= n_samples else "sampled"
     return Path(cache_dir) / (
         f"surrogate_{digest}_{skeleton_token(skeleton)}"
-        f"_n{n_samples}_s{seed}_v{FEATURE_VERSION}.json"
+        f"_n{n_samples}_s{seed}_{mode}_v{FEATURE_VERSION}.json"
     )
 
 
@@ -792,7 +905,12 @@ def surrogate_model_for(
     if model is not None:
         return model
     path = _artifact_path(
-        resolved_dir, platform.cache_namespace(), skeleton, n_samples, seed
+        resolved_dir,
+        platform.cache_namespace(),
+        skeleton,
+        n_samples,
+        seed,
+        platform.config_space().size,
     )
     if use_disk_cache:
         model = SurrogateModel.load(path)
@@ -858,20 +976,31 @@ class SurrogatePlatform(HardwarePlatform):
         self._space = base.config_space()
 
     # --- metric queries ---------------------------------------------------
+    # Feature extraction dispatches through the *base* platform, so a
+    # platform with its own featurization (charm-u50) is predicted with
+    # the same features it was fitted on.
     def area_mm2(self, config) -> float:
         cols = _as_columns([config], self._space)
-        return float(self.model.area.predict(config_features(cols))[0])
+        return float(
+            self.model.area.predict(_platform_config_features(self.base, cols))[0]
+        )
 
     def batch_area_mm2(self, cols) -> np.ndarray:
-        return self.model.area.predict(config_features(cols))
+        return self.model.area.predict(_platform_config_features(self.base, cols))
 
     def network_latency_s(self, ir: NetworkIR, config) -> float:
         cols = _as_columns([config], self._space)
-        return float(self.model.latency.predict(latency_features(ir, cols))[0])
+        return float(
+            self.model.latency.predict(
+                _platform_latency_features(self.base, ir, cols)
+            )[0]
+        )
 
     def batch_network_latency_s(self, ir: NetworkIR, configs=None) -> np.ndarray:
         cols = _as_columns(configs, self._space)
-        return self.model.latency.predict(latency_features(ir, cols))
+        return self.model.latency.predict(
+            _platform_latency_features(self.base, ir, cols)
+        )
 
     def config_valid(self, config) -> bool:
         return self.base.config_valid(config)
@@ -963,20 +1092,23 @@ def validate_surrogate(
     rng = make_rng(
         hash_seed("hw-surrogate-validate", platform.cache_namespace(), n_samples, seed)
     )
-    indices = _sample_indices(space.size, n_samples, rng)
+    indices, _ = _sample_indices(
+        space.size, n_samples, rng, platform=platform, space=space
+    )
     cols = _columns_at(space, indices)
 
     area_exact = np.asarray(platform.batch_area_mm2(cols), dtype=np.float64)
-    area_pred = model.area.predict(config_features(cols))
+    area_pred = model.area.predict(_platform_config_features(platform, cols))
 
-    eval_specs = _random_specs(rng, 3)
+    eval_irs = _platform_validation_irs(platform, rng, 3, skeleton)
     latency_exact_parts, latency_pred_parts = [], []
-    for spec in eval_specs:
-        ir = compile_cell_ops(spec, skeleton)
+    for ir in eval_irs:
         latency_exact_parts.append(
             np.asarray(platform.batch_network_latency_s(ir, cols), dtype=np.float64)
         )
-        latency_pred_parts.append(model.latency.predict(latency_features(ir, cols)))
+        latency_pred_parts.append(
+            model.latency.predict(_platform_latency_features(platform, ir, cols))
+        )
     latency_exact = np.concatenate(latency_exact_parts)
     latency_pred = np.concatenate(latency_pred_parts)
 
@@ -985,7 +1117,7 @@ def validate_surrogate(
         "base_namespace": platform.cache_namespace(),
         "model_digest": model.digest,
         "n_configs": int(len(indices)),
-        "n_cells": len(eval_specs),
+        "n_cells": len(eval_irs),
         "area": _error_report(area_exact, area_pred),
         "latency": _error_report(latency_exact, latency_pred),
     }

@@ -1,0 +1,42 @@
+"""Pluggable workloads: named model families for the codesign loop.
+
+See :mod:`repro.workloads.registry` for the contract.  Importing this
+package registers the built-in workloads (``cnn-cell``,
+``transformer``) and their accuracy sources.
+"""
+
+from repro.workloads.registry import (
+    DEFAULT_WORKLOAD,
+    Workload,
+    WorkloadError,
+    default_workload,
+    get_workload,
+    list_workloads,
+    register_workload,
+)
+
+# Built-in workload registrations (import order: reference first).
+from repro.workloads.cnn_cell import CNN_CELL
+from repro.workloads.transformer import (
+    TRANSFORMER,
+    TransformerEncoding,
+    TransformerSpec,
+    analytic_accuracy,
+    compile_transformer_ops,
+)
+
+__all__ = [
+    "DEFAULT_WORKLOAD",
+    "Workload",
+    "WorkloadError",
+    "default_workload",
+    "get_workload",
+    "list_workloads",
+    "register_workload",
+    "CNN_CELL",
+    "TRANSFORMER",
+    "TransformerEncoding",
+    "TransformerSpec",
+    "analytic_accuracy",
+    "compile_transformer_ops",
+]

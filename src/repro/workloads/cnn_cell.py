@@ -1,0 +1,39 @@
+"""The ``cnn-cell`` reference workload — the paper's original space.
+
+This is a pure re-packaging of the pre-workload stack: the NASBench
+cell encoding, :func:`repro.nasbench.compile.compile_cell_ops`, and
+the three historical accuracy sources.  Nothing here may change
+behaviour — studies that never name a workload resolve to this recipe
+and must stay bit-identical to archived runs (the spec-pin suite in
+``tests/workloads`` guards exactly that).
+"""
+
+from __future__ import annotations
+
+from repro.nasbench.compile import compile_cell_ops
+from repro.nasbench.encoding import CellEncoding
+from repro.workloads.registry import register_workload
+
+__all__ = ["CNN_CELL"]
+
+
+def _cnn_cell_encoding(bundle=None) -> CellEncoding:
+    """The bundle's exact encoding when given, the full space otherwise."""
+    if bundle is not None:
+        return bundle.cell_encoding
+    return CellEncoding()
+
+
+CNN_CELL = register_workload(
+    "cnn-cell",
+    description=(
+        "NASBench-101-style CNN cells compiled onto the CIFAR skeleton "
+        "(the paper's original model space; reference workload)"
+    ),
+    encoding_factory=_cnn_cell_encoding,
+    compile=compile_cell_ops,
+    default_accuracy_source="database",
+    accuracy_sources=("database", "surrogate", "cifar100-trainer"),
+    platforms=("dac2020", "dac2020-scaled", "embedded-lite"),
+    is_reference=True,
+)

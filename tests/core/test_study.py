@@ -46,6 +46,7 @@ class TestRoundTrips:
     @pytest.mark.parametrize("preset", [
         "search-study", "fig5", "fig6", "fig7", "table2", "table3",
         "ablation-punishment", "ablation-random", "smoke", "hw-sweep",
+        "bert-u50",
     ])
     def test_preset_round_trips(self, preset):
         spec = get_preset(preset)
@@ -58,6 +59,7 @@ class TestRoundTrips:
         assert set(list_presets()) == {
             "search-study", "fig5", "fig6", "fig7", "table2", "table3",
             "ablation-punishment", "ablation-random", "smoke", "hw-sweep",
+            "bert-u50",
         }
 
     def test_round_trip_with_inline_scenarios_and_params(self):

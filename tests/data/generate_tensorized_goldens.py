@@ -64,23 +64,43 @@ def main() -> None:
     goldens: dict[str, dict] = {}
     for label, (name, params) in PLATFORM_BUILDS.items():
         platform = build_platform(name, params or None)
-        if not enumerable(platform):
-            print(f"skipping {label}: not enumerable")
-            continue
-        tensor = TensorizedSpace(platform, use_disk_cache=False)
-        indices = pinned_indices(tensor.size)
-        latency = tensor.latency_row("resnet", lambda: resnet_ir)
+        if enumerable(platform):
+            tensor = TensorizedSpace(platform, use_disk_cache=False)
+            size = tensor.size
+            indices = pinned_indices(size)
+            area = tensor.area_mm2
+            valid = tensor.valid
+            latency = tensor.latency_row("resnet", lambda: resnet_ir)
+            tensorized = True
+        else:
+            # Non-enumerable spaces (charm-u50) have no tensor; pin the
+            # batched column queries at the same probe indices instead —
+            # the lockstep-drift guard matters just as much there.
+            space = platform.config_space()
+            size = space.size
+            indices = pinned_indices(size)
+            cols = space.columns_at(np.asarray(indices, dtype=np.int64))
+            area = platform.batch_area_mm2(cols)
+            valid = platform.batch_config_valid(cols)
+            latency = platform.batch_network_latency_s(resnet_ir, cols)
+            indices_map = {index: pos for pos, index in enumerate(indices)}
+            area = {i: area[indices_map[i]] for i in indices}
+            valid = {i: valid[indices_map[i]] for i in indices}
+            latency = {i: latency[indices_map[i]] for i in indices}
+            tensorized = False
         goldens[label] = {
             "platform": name,
             "params": params,
             "namespace": platform.cache_namespace(),
-            "size": tensor.size,
+            "size": size,
+            "tensorized": tensorized,
             "indices": indices,
-            "area_hex": [float(tensor.area_mm2[i]).hex() for i in indices],
-            "valid": [bool(tensor.valid[i]) for i in indices],
+            "area_hex": [float(area[i]).hex() for i in indices],
+            "valid": [bool(valid[i]) for i in indices],
             "latency_hex": [float(latency[i]).hex() for i in indices],
         }
-        print(f"{label}: size={tensor.size} indices={len(indices)}")
+        print(f"{label}: size={size} indices={len(indices)} "
+              f"tensorized={tensorized}")
     (HERE / "tensorized_goldens.json").write_text(
         json.dumps(goldens, indent=2) + "\n"
     )

@@ -231,6 +231,55 @@ class TestArtifact:
         assert path.read_bytes() == good
 
 
+class TestSampledFit:
+    """Fits on spaces too large to enumerate (the charm-u50 regime)."""
+
+    @pytest.fixture(scope="class")
+    def charm(self):
+        return build_platform("charm-u50")
+
+    def test_sampled_fit_records_rejection_sampling(self, charm):
+        # ~90% of charm-u50 configs are over budget, so a uniform draw
+        # must be rejection-topped-up — and the artifact must say so.
+        model = fit_surrogate(charm, n_samples=64, seed=7)
+        assert model.sampling == {"mode": "rejection", "n_drawn": 64}
+
+    def test_small_space_fit_records_no_sampling(self, base):
+        # embedded-lite draws all-valid configs; the sampling record
+        # stays empty so historical artifacts keep warm-loading.
+        model = fit_surrogate(base, n_samples=64, seed=3)
+        assert model.sampling is None
+
+    def test_sampling_survives_serialization(self, charm, tmp_path):
+        model = surrogate_model_for(
+            charm, n_samples=64, seed=7, cache_dir=tmp_path
+        )
+        [artifact] = tmp_path.glob("surrogate_*.json")
+        reloaded = SurrogateModel.load(artifact)
+        assert reloaded is not None
+        assert reloaded.sampling == model.sampling == {
+            "mode": "rejection", "n_drawn": 64,
+        }
+
+    def test_artifact_key_separates_sampled_from_full(
+        self, charm, base, tmp_path
+    ):
+        # The satellite contract: a sampled fit can never warm-load as
+        # (or clobber) an enumerated fit — the mode is in the filename.
+        surrogate_model_for(charm, n_samples=64, seed=7, cache_dir=tmp_path)
+        [sampled] = tmp_path.glob("surrogate_*.json")
+        assert "_sampled_" in sampled.name
+        surrogate_model_for(base, n_samples=1024, seed=7, cache_dir=tmp_path)
+        names = {p.name for p in tmp_path.glob("surrogate_*.json")}
+        assert len(names) == 2
+        assert any("_full_" in name for name in names)
+
+    def test_sampled_fit_is_deterministic(self, charm):
+        a = fit_surrogate(charm, n_samples=64, seed=7)
+        b = fit_surrogate(charm, n_samples=64, seed=7)
+        assert a.digest == b.digest
+
+
 class TestValidate:
     def test_embedded_lite_clears_budget(self, base, model):
         report = validate_surrogate(base, n_samples=64, seed=1, model=model)

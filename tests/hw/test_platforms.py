@@ -123,30 +123,88 @@ class TestRegistryDrift:
         assert a.cache_namespace() != b.cache_namespace()
 
 
+#: Batch==scalar probes per platform: the whole space when small, an
+#: even deterministic stride otherwise (charm-u50's 393,216 configs
+#: would make one full-space batch per hypothesis example unaffordable).
+PROBE_LIMIT = 512
+
+
+@pytest.fixture(scope="module")
+def batch_probes(platforms, resnet_ir):
+    out = {}
+    for name, platform in platforms.items():
+        space = platform.config_space()
+        if space.size <= PROBE_LIMIT:
+            indices = np.arange(space.size, dtype=np.int64)
+        else:
+            indices = np.unique(
+                np.linspace(0, space.size - 1, PROBE_LIMIT).astype(np.int64)
+            )
+        cols = space.columns_at(indices)
+        out[name] = (
+            indices,
+            platform.batch_area_mm2(cols),
+            platform.batch_network_latency_s(resnet_ir, cols),
+            platform.batch_config_valid(cols),
+        )
+    return out
+
+
 class TestBatchScalarAgreement:
     """Per platform, the batched column query == the scalar loop, bit for bit."""
 
     @settings(max_examples=60, deadline=None)
     @given(data=st.data())
-    def test_batch_area_matches_scalar(self, platforms, data):
+    def test_batch_area_matches_scalar(self, platforms, batch_probes, data):
         name = data.draw(st.sampled_from(sorted(platforms)))
         platform = platforms[name]
         space = platform.config_space()
-        batch = platform.batch_area_mm2(space.columns())
-        index = data.draw(st.integers(min_value=0, max_value=space.size - 1))
-        assert batch[index] == platform.area_mm2(space.config_at(index))
+        indices, batch, _, _ = batch_probes[name]
+        pos = data.draw(st.integers(min_value=0, max_value=len(indices) - 1))
+        assert batch[pos] == platform.area_mm2(space.config_at(int(indices[pos])))
 
     @settings(max_examples=30, deadline=None)
     @given(data=st.data())
-    def test_batch_latency_matches_scalar(self, platforms, resnet_ir, data):
+    def test_batch_latency_matches_scalar(
+        self, platforms, resnet_ir, batch_probes, data
+    ):
         name = data.draw(st.sampled_from(sorted(platforms)))
         platform = platforms[name]
         space = platform.config_space()
-        batch = platform.batch_network_latency_s(resnet_ir, space.columns())
-        index = data.draw(st.integers(min_value=0, max_value=space.size - 1))
-        assert batch[index] == platform.network_latency_s(
-            resnet_ir, space.config_at(index)
+        indices, _, batch, _ = batch_probes[name]
+        pos = data.draw(st.integers(min_value=0, max_value=len(indices) - 1))
+        assert batch[pos] == platform.network_latency_s(
+            resnet_ir, space.config_at(int(indices[pos]))
         )
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_batch_validity_matches_scalar(self, platforms, batch_probes, data):
+        name = data.draw(st.sampled_from(sorted(platforms)))
+        platform = platforms[name]
+        space = platform.config_space()
+        indices, _, _, batch = batch_probes[name]
+        pos = data.draw(st.integers(min_value=0, max_value=len(indices) - 1))
+        assert bool(batch[pos]) == platform.config_valid(
+            space.config_at(int(indices[pos]))
+        )
+
+    def test_columns_at_matches_full_columns(self, platforms):
+        # The subsampled decode the probes (and sampled surrogate fits)
+        # ride on must be value- and dtype-identical to slicing the
+        # full enumeration wherever that enumeration is affordable.
+        for name, platform in platforms.items():
+            space = platform.config_space()
+            if space.size > 20_000:
+                continue
+            full = space.columns()
+            indices = np.unique(
+                np.linspace(0, space.size - 1, 64).astype(np.int64)
+            )
+            sub = space.columns_at(indices)
+            for key in full:
+                assert np.array_equal(full[key][indices], sub[key]), (name, key)
+                assert full[key].dtype == sub[key].dtype, (name, key)
 
 
 class TestReferencePlatform:

@@ -1,0 +1,65 @@
+"""Spec-pin: pre-workload StudySpec JSON stays byte-identical.
+
+Every StudySpec serialized before the workload field existed has no
+``"workload"`` key.  Those specs are pinned inside run ledgers (resume
+refuses any edited spec), so loading one must resolve to the reference
+``cnn-cell`` workload AND re-serialize without emitting the field —
+otherwise every archived ledger would refuse to resume.
+"""
+
+import json
+
+from repro.core.study import StudySpec
+from repro.experiments.presets import get_preset, list_presets
+
+#: A verbatim pre-PR spec dump (the fig5 preset as serialized before
+#: the workload field existed — matches examples/study_fig5.json).
+PRE_WORKLOAD_SPEC = {
+    "name": "fig5",
+    "strategies": [
+        {"name": "combined"},
+        {"name": "phase"},
+        {"name": "separate"},
+    ],
+    "scenarios": ["unconstrained", "1-constraint", "2-constraints"],
+    "evaluator": {"source": "database"},
+}
+
+
+class TestPreWorkloadSpecPin:
+    def test_loads_as_cnn_cell(self):
+        spec = StudySpec.from_dict(PRE_WORKLOAD_SPEC)
+        assert spec.workload == "cnn-cell"
+
+    def test_reserializes_without_workload_field(self):
+        spec = StudySpec.from_dict(PRE_WORKLOAD_SPEC)
+        assert "workload" not in spec.to_dict()
+
+    def test_round_trip_is_byte_identical(self):
+        before = json.dumps(
+            StudySpec.from_dict(PRE_WORKLOAD_SPEC).to_dict(), sort_keys=True
+        )
+        after = json.dumps(
+            StudySpec.from_dict(json.loads(before)).to_dict(), sort_keys=True
+        )
+        assert before == after
+
+    def test_matches_the_live_fig5_preset(self):
+        # The pre-PR dump and today's preset serialize identically —
+        # the cnn-cell default changed nothing for archived specs.
+        assert StudySpec.from_dict(PRE_WORKLOAD_SPEC) == get_preset("fig5")
+
+    def test_only_non_default_workloads_serialize(self):
+        for name in list_presets():
+            spec = get_preset(name)
+            emitted = spec.to_dict()
+            if spec.workload == "cnn-cell":
+                assert "workload" not in emitted, name
+            else:
+                assert emitted["workload"] == spec.workload, name
+
+    def test_with_overrides_preserves_workload(self):
+        spec = get_preset("bert-u50").with_overrides(
+            {"execution.num_steps": 3}
+        )
+        assert spec.workload == "transformer"
